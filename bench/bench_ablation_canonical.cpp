@@ -1,0 +1,73 @@
+// Experiment A3: ablation of canonical timestamp renumbering.  The paper's
+// timestamps are rationals; only their *order* is semantically meaningful.
+// The engine therefore hashes states modulo order-isomorphism.  Shape:
+// hashing raw rationals instead inflates the visited-state count (different
+// interleavings produce order-isomorphic but numerically different
+// timestamps) while leaving outcome sets unchanged — canonicalisation is a
+// pure quotient that finite exploration needs.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace rc11;
+
+std::uint64_t states_for(std::size_t litmus_idx, bool canonical) {
+  auto tests = litmus::all_tests();
+  auto& test = tests.at(litmus_idx);
+  memsem::SemanticsOptions opts;
+  opts.canonical_timestamps = canonical;
+  test.sys.set_options(opts);
+  return explore::explore(test.sys).stats.states;
+}
+
+void BM_Canonical(benchmark::State& state) {
+  const auto idx = static_cast<std::size_t>(state.range(0));
+  std::uint64_t canon = 0, raw = 0;
+  for (auto _ : state) {
+    canon = states_for(idx, true);
+    raw = states_for(idx, false);
+    benchmark::DoNotOptimize(canon + raw);
+  }
+  state.counters["canonical_states"] = static_cast<double>(canon);
+  state.counters["raw_states"] = static_cast<double>(raw);
+  state.counters["inflation"] =
+      canon ? static_cast<double>(raw) / static_cast<double>(canon) : 0;
+  auto tests = litmus::all_tests();
+  state.SetLabel(tests.at(idx).name);
+}
+BENCHMARK(BM_Canonical)->DenseRange(0, 9);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  {
+    bool inflated_somewhere = false;
+    bool outcomes_stable = true;
+    auto tests = rc11::litmus::all_tests();
+    for (std::size_t i = 0; i < tests.size(); ++i) {
+      const auto canon = states_for(i, true);
+      const auto raw = states_for(i, false);
+      if (raw > canon) inflated_somewhere = true;
+      // Outcome sets must be identical regardless of encoding.
+      auto raw_test = rc11::litmus::all_tests().at(i);
+      rc11::memsem::SemanticsOptions opts;
+      opts.canonical_timestamps = false;
+      raw_test.sys.set_options(opts);
+      const auto result = rc11::explore::explore(raw_test.sys);
+      const auto outcomes = rc11::explore::final_register_values(
+          raw_test.sys, result, raw_test.observed);
+      if (outcomes != raw_test.allowed) outcomes_stable = false;
+    }
+    rc11::bench::verdict(
+        "A3", inflated_somewhere && outcomes_stable,
+        "raw-timestamp hashing inflates state counts on at least one litmus "
+        "test while outcome sets stay identical — canonicalisation is a pure "
+        "quotient");
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Experiment A2: ablation of covered-set (cvd) enforcement.  The paper's
+// UPDATE rule covers the write it reads from so that no later modification
+// can squeeze in between — this is what makes read-modify-write atomic.
+// Shape: with enforcement, two competing CAS(x, 0, _) cannot both succeed;
+// without it, the double-success outcome appears and lock mutual exclusion
+// collapses.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "locks/clients.hpp"
+#include "locks/lock_objects.hpp"
+
+namespace {
+
+using namespace rc11;
+
+bool double_success_reachable(bool enforce) {
+  auto test = litmus::cas_agreement();
+  memsem::SemanticsOptions opts;
+  opts.enforce_covered = enforce;
+  test.sys.set_options(opts);
+  const auto result = explore::explore(test.sys);
+  return explore::outcome_reachable(test.sys, result, test.observed, {1, 1});
+}
+
+/// With the covered set off, the CAS spinlock's mutual exclusion fails:
+/// count reachable states where both threads sit in their critical sections.
+std::uint64_t mutex_violations(bool enforce) {
+  memsem::SemanticsOptions opts;
+  opts.enforce_covered = enforce;
+  locks::ClientArtifacts art;
+  locks::CasSpinLock lock;
+  auto sys = locks::instantiate(locks::counter_client(2, 1, &art), lock);
+  sys.set_options(opts);
+  explore::ExploreOptions eopts;
+  eopts.stop_on_violation = false;
+  const auto result = explore::explore(
+      sys, eopts,
+      [&](const lang::System& s, const lang::Config& cfg)
+          -> std::optional<std::string> {
+        (void)s;
+        // Final states must satisfy x = 2 (both increments applied) when the
+        // lock is correct; count finals with a lost update instead.
+        if (!cfg.all_done(s)) return std::nullopt;
+        const auto x = s.locations().find("x");
+        if (cfg.mem.op(cfg.mem.last_op(x)).value != 2) {
+          return "lost update";
+        }
+        return std::nullopt;
+      });
+  return result.violations.size();
+}
+
+void BM_CasAgreement(benchmark::State& state) {
+  const bool enforce = state.range(0) != 0;
+  bool reachable = false;
+  for (auto _ : state) {
+    reachable = double_success_reachable(enforce);
+    benchmark::DoNotOptimize(reachable);
+  }
+  state.counters["double_success"] = reachable ? 1 : 0;
+  state.SetLabel(enforce ? "cvd enforced" : "cvd ignored");
+}
+BENCHMARK(BM_CasAgreement)->Arg(1)->Arg(0);
+
+void BM_SpinlockCounter(benchmark::State& state) {
+  const bool enforce = state.range(0) != 0;
+  std::uint64_t violations = 0;
+  for (auto _ : state) {
+    violations = mutex_violations(enforce);
+    benchmark::DoNotOptimize(violations);
+  }
+  state.counters["lost_updates"] = static_cast<double>(violations);
+  state.SetLabel(enforce ? "cvd enforced" : "cvd ignored");
+}
+BENCHMARK(BM_SpinlockCounter)->Arg(1)->Arg(0);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  {
+    const bool with = double_success_reachable(true);
+    const bool without = double_success_reachable(false);
+    rc11::bench::verdict(
+        "A2", !with && without,
+        std::string("double CAS success reachable: ") +
+            (with ? "yes" : "no") + " with cvd, " + (without ? "yes" : "no") +
+            " without — covering is what makes updates atomic");
+    const auto lost_with = mutex_violations(true);
+    const auto lost_without = mutex_violations(false);
+    rc11::bench::verdict(
+        "A2-lock", lost_with == 0 && lost_without > 0,
+        "lock-protected counter lost updates: " + std::to_string(lost_with) +
+            " with cvd, " + std::to_string(lost_without) + " without");
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Experiment A1: ablation of the paper's cross-component view transfer
+// (the ctview updates of Figs. 5 and 6).  Shape: with the transfer on, the
+// synchronising stack (Fig. 2) and lock clients forbid stale reads; with it
+// off, the forbidden outcomes become reachable — which is exactly why the
+// paper's modular semantics must thread ctview through every synchronising
+// transition.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "locks/clients.hpp"
+#include "locks/lock_objects.hpp"
+
+namespace {
+
+using namespace rc11;
+
+std::size_t stale_outcomes(bool transfer) {
+  auto test = litmus::fig2_stack_mp_sync();
+  memsem::SemanticsOptions opts;
+  opts.cross_component_view_transfer = transfer;
+  test.sys.set_options(opts);
+  const auto result = explore::explore(test.sys);
+  const auto outcomes =
+      explore::final_register_values(test.sys, result, test.observed);
+  std::size_t stale = 0;
+  for (const auto& o : outcomes) {
+    if (o[1] != 5) ++stale;
+  }
+  return stale;
+}
+
+void BM_Fig2_WithTransfer(benchmark::State& state) {
+  std::size_t stale = 0;
+  for (auto _ : state) {
+    stale = stale_outcomes(true);
+    benchmark::DoNotOptimize(stale);
+  }
+  state.counters["stale_outcomes"] = static_cast<double>(stale);
+}
+BENCHMARK(BM_Fig2_WithTransfer);
+
+void BM_Fig2_WithoutTransfer(benchmark::State& state) {
+  std::size_t stale = 0;
+  for (auto _ : state) {
+    stale = stale_outcomes(false);
+    benchmark::DoNotOptimize(stale);
+  }
+  state.counters["stale_outcomes"] = static_cast<double>(stale);
+}
+BENCHMARK(BM_Fig2_WithoutTransfer);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  {
+    const auto with = stale_outcomes(true);
+    const auto without = stale_outcomes(false);
+    rc11::bench::verdict(
+        "A1", with == 0 && without > 0,
+        "Fig. 2 stale outcomes: " + std::to_string(with) +
+            " with ctview transfer, " + std::to_string(without) +
+            " without — the transfer is what makes library synchronisation "
+            "publish client writes");
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

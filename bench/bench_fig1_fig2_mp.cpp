@@ -1,0 +1,57 @@
+// Experiments F1 and F2 (DESIGN.md): the paper's motivating message-passing
+// programs through a library stack (Figures 1 and 2).
+//
+// Paper shape to reproduce:
+//   Fig. 1 (relaxed push/pop):  r2 ∈ {0, 5} — the stale read is observable.
+//   Fig. 2 (pushR/popA):        r2 = 5 only — synchronisation publishes d.
+//
+// The benchmark measures full state-space exploration of each program and
+// reports states/transitions as counters.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace rc11;
+
+void BM_Fig1_RelaxedStackMP(benchmark::State& state) {
+  for (auto _ : state) {
+    auto test = litmus::fig1_stack_mp_relaxed();
+    auto result = explore::explore(test.sys);
+    benchmark::DoNotOptimize(result.stats.states);
+    state.counters["states"] = static_cast<double>(result.stats.states);
+    state.counters["transitions"] = static_cast<double>(result.stats.transitions);
+    state.counters["final_outcomes"] = static_cast<double>(
+        explore::final_register_values(test.sys, result, test.observed).size());
+  }
+}
+BENCHMARK(BM_Fig1_RelaxedStackMP);
+
+void BM_Fig2_SyncStackMP(benchmark::State& state) {
+  for (auto _ : state) {
+    auto test = litmus::fig2_stack_mp_sync();
+    auto result = explore::explore(test.sys);
+    benchmark::DoNotOptimize(result.stats.states);
+    state.counters["states"] = static_cast<double>(result.stats.states);
+    state.counters["transitions"] = static_cast<double>(result.stats.transitions);
+    state.counters["final_outcomes"] = static_cast<double>(
+        explore::final_register_values(test.sys, result, test.observed).size());
+  }
+}
+BENCHMARK(BM_Fig2_SyncStackMP);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  {
+    auto fig1 = rc11::litmus::fig1_stack_mp_relaxed();
+    rc11::bench::run_litmus("F1", fig1);
+    auto fig2 = rc11::litmus::fig2_stack_mp_sync();
+    rc11::bench::run_litmus("F2", fig2);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Experiment F3: the Figure 3 proof outline for message passing through the
+// synchronising stack.  Paper shape: the outline is valid (possible /
+// definite / conditional observation assertions carry the publication
+// argument), and a broken outline is rejected.  The benchmark measures the
+// cost of outline checking with and without the Owicki-Gries interference
+// side condition.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "og/catalog.hpp"
+
+namespace {
+
+using namespace rc11;
+
+void BM_Fig3_Validity(benchmark::State& state) {
+  for (auto _ : state) {
+    auto ex = og::make_fig3();
+    og::OutlineCheckOptions opts;
+    opts.check_interference = false;
+    const auto result = og::check_outline(ex.sys, ex.outline, opts);
+    benchmark::DoNotOptimize(result.valid);
+    state.counters["states"] = static_cast<double>(result.stats.states);
+    state.counters["obligations"] =
+        static_cast<double>(result.obligations_checked);
+  }
+}
+BENCHMARK(BM_Fig3_Validity);
+
+void BM_Fig3_WithInterference(benchmark::State& state) {
+  for (auto _ : state) {
+    auto ex = og::make_fig3();
+    og::OutlineCheckOptions opts;
+    opts.check_interference = true;
+    const auto result = og::check_outline(ex.sys, ex.outline, opts);
+    benchmark::DoNotOptimize(result.valid);
+    state.counters["obligations"] =
+        static_cast<double>(result.obligations_checked);
+  }
+}
+BENCHMARK(BM_Fig3_WithInterference);
+
+void BM_Fig3_BrokenRejection(benchmark::State& state) {
+  for (auto _ : state) {
+    auto ex = og::make_fig3_broken();
+    const auto result = og::check_outline(ex.sys, ex.outline);
+    benchmark::DoNotOptimize(result.valid);
+  }
+}
+BENCHMARK(BM_Fig3_BrokenRejection);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  {
+    auto ex = rc11::og::make_fig3();
+    rc11::og::OutlineCheckOptions opts;
+    opts.check_interference = true;
+    const auto result = rc11::og::check_outline(ex.sys, ex.outline, opts);
+    rc11::bench::verdict(
+        "F3", result.valid,
+        "Fig. 3 outline valid over " + std::to_string(result.stats.states) +
+            " states, " + std::to_string(result.obligations_checked) +
+            " obligations");
+    auto broken = rc11::og::make_fig3_broken();
+    const auto broken_result = rc11::og::check_outline(broken.sys, broken.outline);
+    rc11::bench::verdict("F3-neg", !broken_result.valid,
+                         "broken Fig. 3 outline rejected");
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Experiment F5 (part 1): microbenchmarks of the Figure 5 memory-semantics
+// transitions — READ (relaxed and synchronising), WRITE, UPDATE — and of the
+// view-merge operator ⊗ that every synchronisation applies.  These are the
+// primitive costs every verification run is built from.
+
+#include <benchmark/benchmark.h>
+
+#include "memsem/location.hpp"
+#include "memsem/state.hpp"
+
+namespace {
+
+using namespace rc11::memsem;
+
+LocationTable make_locs(std::size_t vars) {
+  LocationTable locs;
+  for (std::size_t i = 0; i < vars; ++i) {
+    locs.add_var("x" + std::to_string(i),
+                 i % 2 == 0 ? Component::Client : Component::Library, 0);
+  }
+  return locs;
+}
+
+void BM_WriteTransition(benchmark::State& state) {
+  const auto locs = make_locs(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    state.PauseTiming();
+    MemState m{locs, 2};
+    state.ResumeTiming();
+    OpId last = m.mo(0)[0];
+    for (int i = 0; i < 64; ++i) {
+      last = m.write(0, 0, i, MemOrder::Relaxed, last);
+    }
+    benchmark::DoNotOptimize(last);
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_WriteTransition)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_RelaxedReadTransition(benchmark::State& state) {
+  const auto locs = make_locs(static_cast<std::size_t>(state.range(0)));
+  MemState m{locs, 2};
+  OpId w = m.write(0, 0, 1, MemOrder::Relaxed, m.mo(0)[0]);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.read(1, 0, w, MemOrder::Relaxed));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RelaxedReadTransition)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_SynchronisingReadTransition(benchmark::State& state) {
+  // The acquiring read of a releasing write merges the full mview — cost is
+  // linear in the number of locations (both components).
+  const auto locs = make_locs(static_cast<std::size_t>(state.range(0)));
+  MemState m{locs, 2};
+  OpId w = m.write(0, 0, 1, MemOrder::Release, m.mo(0)[0]);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.read(1, 0, w, MemOrder::Acquire));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SynchronisingReadTransition)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_UpdateTransition(benchmark::State& state) {
+  const auto locs = make_locs(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    state.PauseTiming();
+    MemState m{locs, 2};
+    state.ResumeTiming();
+    OpId cur = m.mo(0)[0];
+    for (int i = 1; i <= 64; ++i) {
+      cur = m.update(static_cast<ThreadId>(i % 2), 0, cur, i);
+    }
+    benchmark::DoNotOptimize(cur);
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_UpdateTransition)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_StateEncode(benchmark::State& state) {
+  const auto locs = make_locs(8);
+  MemState m{locs, 2};
+  OpId last = m.mo(0)[0];
+  for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+    last = m.write(0, 0, i, MemOrder::Relaxed, last);
+  }
+  std::vector<std::uint64_t> out;
+  for (auto _ : state) {
+    out.clear();
+    m.encode(out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetLabel("history length " + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_StateEncode)->Arg(4)->Arg(16)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,72 @@
+// Experiment F7/L4: the Figure 7 lock-synchronisation proof outline
+// (Lemma 4).  Paper shape: the outline — mutual exclusion invariant,
+// version-indexed visibility assertions, covered/hidden conjuncts — is
+// valid; the final registers satisfy r1 = r2 ∈ {0, 5}; a broken outline is
+// rejected.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "og/catalog.hpp"
+
+namespace {
+
+using namespace rc11;
+
+void BM_Fig7_Validity(benchmark::State& state) {
+  for (auto _ : state) {
+    auto ex = og::make_fig7();
+    og::OutlineCheckOptions opts;
+    opts.check_interference = false;
+    const auto result = og::check_outline(ex.sys, ex.outline, opts);
+    benchmark::DoNotOptimize(result.valid);
+    state.counters["states"] = static_cast<double>(result.stats.states);
+  }
+}
+BENCHMARK(BM_Fig7_Validity);
+
+void BM_Fig7_WithInterference(benchmark::State& state) {
+  for (auto _ : state) {
+    auto ex = og::make_fig7();
+    og::OutlineCheckOptions opts;
+    opts.check_interference = true;
+    const auto result = og::check_outline(ex.sys, ex.outline, opts);
+    benchmark::DoNotOptimize(result.valid);
+    state.counters["obligations"] =
+        static_cast<double>(result.obligations_checked);
+  }
+}
+BENCHMARK(BM_Fig7_WithInterference);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  {
+    auto ex = rc11::og::make_fig7();
+    rc11::og::OutlineCheckOptions opts;
+    opts.check_interference = true;
+    const auto result = rc11::og::check_outline(ex.sys, ex.outline, opts);
+    rc11::bench::verdict(
+        "F7/L4", result.valid,
+        "Fig. 7 outline (incl. Inv and interference freedom) valid over " +
+            std::to_string(result.stats.states) + " states");
+
+    const auto run = rc11::explore::explore(ex.sys);
+    const auto outcomes = rc11::explore::final_register_values(
+        ex.sys, run, {ex.r1, ex.r2});
+    rc11::bench::verdict(
+        "F7-outcomes",
+        outcomes == std::vector<std::vector<rc11::lang::Value>>{{0, 0}, {5, 5}},
+        "final (r1, r2) = " + rc11::bench::outcomes_to_string(outcomes) +
+            " (agreement: both 0 or both 5)");
+
+    auto broken = rc11::og::make_fig7_broken();
+    const auto broken_result =
+        rc11::og::check_outline(broken.sys, broken.outline);
+    rc11::bench::verdict("F7-neg", !broken_result.valid,
+                         "broken Fig. 7 outline rejected");
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Experiment F5 (part 2): the litmus suite as a whole — every classic RC11
+// RAR shape must produce exactly its allowed outcome set (allowed weak
+// behaviours are found; forbidden ones — LB cycles, coherence violations,
+// non-atomic CAS — are excluded).  One benchmark per test, reporting the
+// explored state-space size.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace rc11;
+
+void BM_Litmus(benchmark::State& state) {
+  const auto idx = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    auto tests = litmus::all_tests();
+    auto& test = tests.at(idx);
+    auto result = explore::explore(test.sys);
+    benchmark::DoNotOptimize(result.stats.states);
+    state.counters["states"] = static_cast<double>(result.stats.states);
+    state.counters["transitions"] = static_cast<double>(result.stats.transitions);
+  }
+  auto tests = litmus::all_tests();
+  state.SetLabel(tests.at(idx).name);
+}
+BENCHMARK(BM_Litmus)->DenseRange(0, 11);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto tests = rc11::litmus::all_tests();
+  for (auto& test : tests) {
+    rc11::bench::run_litmus("F5/" + test.name, test);
+  }
+  for (auto& test : rc11::litmus::all_causality_tests()) {
+    const auto result = rc11::explore::explore(test.sys);
+    bool ok = true;
+    for (const auto& o : test.must_allow) {
+      ok = ok && rc11::explore::outcome_reachable(test.sys, result,
+                                                  test.observed, o);
+    }
+    for (const auto& o : test.must_forbid) {
+      ok = ok && !rc11::explore::outcome_reachable(test.sys, result,
+                                                   test.observed, o);
+    }
+    rc11::bench::verdict("F5/" + test.name, ok,
+                         test.description + " (" +
+                             std::to_string(result.stats.states) + " states)");
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

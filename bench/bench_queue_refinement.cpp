@@ -1,0 +1,81 @@
+// Experiment Q1 (extension): contextual refinement for the FIFO queue — the
+// third data type through the Section 6 machinery.  The lock-protected ring
+// buffer must forward-simulate the abstract synchronising queue; the
+// relaxed-unlock variant must fail.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "queues/queue_objects.hpp"
+#include "refinement/refinement.hpp"
+
+namespace {
+
+using namespace rc11;
+
+void BM_QueueSimulation_Publication(benchmark::State& state) {
+  refinement::SimulationResult result;
+  for (auto _ : state) {
+    queues::AbstractQueue abs;
+    const auto abs_sys =
+        queues::instantiate(queues::publication_client(), abs);
+    queues::LockedRingQueue conc;
+    const auto conc_sys =
+        queues::instantiate(queues::publication_client(), conc);
+    result = refinement::check_forward_simulation(abs_sys, conc_sys);
+    benchmark::DoNotOptimize(result.holds);
+  }
+  state.counters["abs_states"] = static_cast<double>(result.abstract_states);
+  state.counters["conc_states"] = static_cast<double>(result.concrete_states);
+  state.counters["holds"] = result.holds ? 1 : 0;
+}
+BENCHMARK(BM_QueueSimulation_Publication);
+
+void BM_QueueSimulation_Pipeline(benchmark::State& state) {
+  const auto count = static_cast<unsigned>(state.range(0));
+  refinement::SimulationResult result;
+  for (auto _ : state) {
+    queues::AbstractQueue abs;
+    const auto abs_sys =
+        queues::instantiate(queues::pipeline_client(count), abs);
+    queues::LockedRingQueue conc{count};
+    const auto conc_sys =
+        queues::instantiate(queues::pipeline_client(count), conc);
+    result = refinement::check_forward_simulation(abs_sys, conc_sys);
+    benchmark::DoNotOptimize(result.holds);
+  }
+  state.counters["abs_states"] = static_cast<double>(result.abstract_states);
+  state.counters["conc_states"] = static_cast<double>(result.concrete_states);
+  state.counters["holds"] = result.holds ? 1 : 0;
+  state.SetLabel(std::to_string(count) + " elements");
+}
+BENCHMARK(BM_QueueSimulation_Pipeline)->Arg(1)->Arg(2)->Arg(3);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  {
+    queues::AbstractQueue abs;
+    const auto abs_sys =
+        queues::instantiate(queues::publication_client(), abs);
+    queues::LockedRingQueue conc;
+    const auto conc_sys =
+        queues::instantiate(queues::publication_client(), conc);
+    const auto r = refinement::check_forward_simulation(abs_sys, conc_sys);
+    bench::verdict("Q1", r.holds,
+                   "locked ring queue forward-simulates the abstract FIFO "
+                   "queue (abs " +
+                       std::to_string(r.abstract_states) + " states, conc " +
+                       std::to_string(r.concrete_states) + " states)");
+
+    queues::LockedRingQueue broken{2, /*releasing_unlock=*/false};
+    const auto broken_sys =
+        queues::instantiate(queues::publication_client(), broken);
+    const auto rb = refinement::check_forward_simulation(abs_sys, broken_sys);
+    bench::verdict("Q1-neg", !rb.holds,
+                   "relaxed-unlock ring queue rejected: " + rb.diagnosis);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

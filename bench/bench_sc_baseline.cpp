@@ -1,0 +1,78 @@
+// Experiment B1 (baseline): the same programs under the SC baseline vs the
+// paper's RC11 RAR model.  Shape: SC outcome sets are subsets of the RC11
+// ones (the difference is exactly the weak behaviours), and SC state spaces
+// are no larger.  This quantifies what the weak-memory machinery buys and
+// costs.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace rc11;
+
+struct Comparison {
+  std::uint64_t rc11_states = 0;
+  std::uint64_t sc_states = 0;
+  std::size_t rc11_outcomes = 0;
+  std::size_t sc_outcomes = 0;
+};
+
+Comparison compare(std::size_t idx) {
+  Comparison cmp;
+  {
+    auto t = litmus::all_tests().at(idx);
+    const auto result = explore::explore(t.sys);
+    cmp.rc11_states = result.stats.states;
+    cmp.rc11_outcomes =
+        explore::final_register_values(t.sys, result, t.observed).size();
+  }
+  {
+    auto t = litmus::all_tests().at(idx);
+    memsem::SemanticsOptions opts;
+    opts.model = memsem::MemoryModel::SC;
+    t.sys.set_options(opts);
+    const auto result = explore::explore(t.sys);
+    cmp.sc_states = result.stats.states;
+    cmp.sc_outcomes =
+        explore::final_register_values(t.sys, result, t.observed).size();
+  }
+  return cmp;
+}
+
+void BM_ScVsRC11(benchmark::State& state) {
+  const auto idx = static_cast<std::size_t>(state.range(0));
+  Comparison cmp;
+  for (auto _ : state) {
+    cmp = compare(idx);
+    benchmark::DoNotOptimize(cmp.rc11_states);
+  }
+  state.counters["rc11_states"] = static_cast<double>(cmp.rc11_states);
+  state.counters["sc_states"] = static_cast<double>(cmp.sc_states);
+  state.counters["rc11_outcomes"] = static_cast<double>(cmp.rc11_outcomes);
+  state.counters["sc_outcomes"] = static_cast<double>(cmp.sc_outcomes);
+  state.SetLabel(litmus::all_tests().at(idx).name);
+}
+BENCHMARK(BM_ScVsRC11)->DenseRange(0, 11);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  {
+    bool subset_everywhere = true;
+    int strictly_weaker = 0;
+    for (std::size_t i = 0; i < litmus::all_tests().size(); ++i) {
+      const auto cmp = compare(i);
+      if (cmp.sc_outcomes > cmp.rc11_outcomes) subset_everywhere = false;
+      if (cmp.sc_outcomes < cmp.rc11_outcomes) ++strictly_weaker;
+    }
+    bench::verdict("B1", subset_everywhere && strictly_weaker >= 3,
+                   "SC baseline: outcome sets shrink on " +
+                       std::to_string(strictly_weaker) +
+                       " litmus tests (the weak behaviours), never grow");
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Experiment F4: throughput of the combined program semantics (Fig. 4 over
+// Fig. 5) — states and transitions explored per second on representative
+// programs.  This is the figure of merit for the substitution of Isabelle
+// proofs by exhaustive checking: it bounds the instantiation sizes every
+// other experiment can afford.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "locks/clients.hpp"
+#include "locks/lock_objects.hpp"
+
+namespace {
+
+using namespace rc11;
+
+void BM_ExploreMP(benchmark::State& state) {
+  std::uint64_t states = 0, transitions = 0;
+  for (auto _ : state) {
+    auto test = litmus::mp_release_acquire();
+    const auto result = explore::explore(test.sys);
+    states = result.stats.states;
+    transitions = result.stats.transitions;
+    benchmark::DoNotOptimize(states);
+  }
+  state.counters["states_per_s"] = benchmark::Counter(
+      static_cast<double>(states * state.iterations()),
+      benchmark::Counter::kIsRate);
+  state.counters["transitions_per_s"] = benchmark::Counter(
+      static_cast<double>(transitions * state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ExploreMP);
+
+void BM_ExploreIRIW(benchmark::State& state) {
+  std::uint64_t states = 0, transitions = 0;
+  for (auto _ : state) {
+    auto test = litmus::iriw_release_acquire();
+    const auto result = explore::explore(test.sys);
+    states = result.stats.states;
+    transitions = result.stats.transitions;
+    benchmark::DoNotOptimize(states);
+  }
+  state.counters["states_per_s"] = benchmark::Counter(
+      static_cast<double>(states * state.iterations()),
+      benchmark::Counter::kIsRate);
+  state.counters["transitions_per_s"] = benchmark::Counter(
+      static_cast<double>(transitions * state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ExploreIRIW);
+
+/// Lock-client exploration scaling: threads × rounds of the most-general
+/// client over the ticket lock (the largest concrete state spaces in the
+/// refinement experiments).
+void BM_ExploreTicketClient(benchmark::State& state) {
+  const auto threads = static_cast<unsigned>(state.range(0));
+  const auto rounds = static_cast<unsigned>(state.range(1));
+  std::uint64_t states = 0;
+  for (auto _ : state) {
+    locks::TicketLock lock;
+    const auto sys = locks::instantiate(locks::mgc_client(threads, rounds), lock);
+    const auto result = explore::explore(sys);
+    states = result.stats.states;
+    benchmark::DoNotOptimize(states);
+  }
+  state.counters["states"] = static_cast<double>(states);
+  state.SetLabel(std::to_string(threads) + " threads x " +
+                 std::to_string(rounds) + " rounds");
+}
+BENCHMARK(BM_ExploreTicketClient)
+    ->Args({2, 1})
+    ->Args({2, 2})
+    ->Args({3, 1});
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,80 @@
+// Experiment S1 (extension — the paper's future-work direction): contextual
+// refinement for a second data type.  The lock-protected bounded vector
+// stack must forward-simulate the abstract synchronising stack of
+// Figures 1-3; the variant with a relaxed unlock must fail, since it loses
+// the pushR/popA publication guarantee.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "refinement/refinement.hpp"
+#include "stacks/stack_objects.hpp"
+
+namespace {
+
+using namespace rc11;
+
+void BM_StackSimulation_Publication(benchmark::State& state) {
+  refinement::SimulationResult result;
+  for (auto _ : state) {
+    stacks::AbstractStack abs;
+    const auto abs_sys = stacks::instantiate(stacks::publication_client(), abs);
+    stacks::LockedVectorStack conc;
+    const auto conc_sys =
+        stacks::instantiate(stacks::publication_client(), conc);
+    result = refinement::check_forward_simulation(abs_sys, conc_sys);
+    benchmark::DoNotOptimize(result.holds);
+  }
+  state.counters["abs_states"] = static_cast<double>(result.abstract_states);
+  state.counters["conc_states"] = static_cast<double>(result.concrete_states);
+  state.counters["holds"] = result.holds ? 1 : 0;
+}
+BENCHMARK(BM_StackSimulation_Publication);
+
+void BM_StackSimulation_ProducerConsumer(benchmark::State& state) {
+  const auto pushes = static_cast<unsigned>(state.range(0));
+  refinement::SimulationResult result;
+  for (auto _ : state) {
+    stacks::AbstractStack abs;
+    const auto abs_sys =
+        stacks::instantiate(stacks::producer_consumer_client(pushes), abs);
+    stacks::LockedVectorStack conc{pushes};
+    const auto conc_sys =
+        stacks::instantiate(stacks::producer_consumer_client(pushes), conc);
+    result = refinement::check_forward_simulation(abs_sys, conc_sys);
+    benchmark::DoNotOptimize(result.holds);
+  }
+  state.counters["abs_states"] = static_cast<double>(result.abstract_states);
+  state.counters["conc_states"] = static_cast<double>(result.concrete_states);
+  state.counters["holds"] = result.holds ? 1 : 0;
+  state.SetLabel(std::to_string(pushes) + " pushes");
+}
+BENCHMARK(BM_StackSimulation_ProducerConsumer)->Arg(1)->Arg(2)->Arg(3);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  {
+    stacks::AbstractStack abs;
+    const auto abs_sys = stacks::instantiate(stacks::publication_client(), abs);
+    stacks::LockedVectorStack conc;
+    const auto conc_sys =
+        stacks::instantiate(stacks::publication_client(), conc);
+    const auto r = refinement::check_forward_simulation(abs_sys, conc_sys);
+    bench::verdict("S1", r.holds,
+                   "locked vector stack forward-simulates the abstract "
+                   "synchronising stack (abs " +
+                       std::to_string(r.abstract_states) + " states, conc " +
+                       std::to_string(r.concrete_states) + " states)");
+
+    stacks::LockedVectorStack broken{2, /*releasing_unlock=*/false};
+    const auto broken_sys =
+        stacks::instantiate(stacks::publication_client(), broken);
+    const auto rb = refinement::check_forward_simulation(abs_sys, broken_sys);
+    bench::verdict("S1-neg", !rb.holds,
+                   "relaxed-unlock variant rejected: " + rb.diagnosis);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Experiment D5-7: contextual refinement via the trace-inclusion game of
+// Definitions 5-7, as an independent oracle alongside the Def. 8 simulation.
+// Paper shape: C[AO] ⊑ C[CO] for the correct implementations; violations for
+// the broken ones.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "locks/clients.hpp"
+#include "locks/lock_objects.hpp"
+#include "refinement/refinement.hpp"
+
+namespace {
+
+using namespace rc11;
+
+template <typename MakeLock>
+void run_inclusion(benchmark::State& state, MakeLock make_lock) {
+  refinement::TraceInclusionResult result;
+  for (auto _ : state) {
+    locks::AbstractLock abs;
+    const auto abs_sys = locks::instantiate(locks::fig7_client(), abs);
+    auto lock = make_lock();
+    const auto conc_sys = locks::instantiate(locks::fig7_client(), *lock);
+    result = refinement::check_trace_inclusion(abs_sys, conc_sys);
+    benchmark::DoNotOptimize(result.holds);
+  }
+  state.counters["product_nodes"] = static_cast<double>(result.product_nodes);
+  state.counters["holds"] = result.holds ? 1 : 0;
+}
+
+void BM_TraceInclusion_SeqLock(benchmark::State& state) {
+  run_inclusion(state, [] { return std::make_unique<locks::SeqLock>(); });
+}
+BENCHMARK(BM_TraceInclusion_SeqLock);
+
+void BM_TraceInclusion_TicketLock(benchmark::State& state) {
+  run_inclusion(state, [] { return std::make_unique<locks::TicketLock>(); });
+}
+BENCHMARK(BM_TraceInclusion_TicketLock);
+
+void BM_TraceInclusion_BrokenSeqLock(benchmark::State& state) {
+  run_inclusion(state,
+                [] { return std::make_unique<locks::SeqLock>(false); });
+}
+BENCHMARK(BM_TraceInclusion_BrokenSeqLock);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  {
+    rc11::locks::AbstractLock abs;
+    const auto abs_sys =
+        rc11::locks::instantiate(rc11::locks::fig7_client(), abs);
+    const auto check = [&](rc11::locks::LockObject& lock, const char* exp,
+                           bool expect_holds) {
+      const auto conc_sys =
+          rc11::locks::instantiate(rc11::locks::fig7_client(), lock);
+      const auto r = rc11::refinement::check_trace_inclusion(abs_sys, conc_sys);
+      rc11::bench::verdict(exp, r.holds == expect_holds,
+                           std::string(expect_holds
+                                           ? "trace inclusion holds ("
+                                           : "trace inclusion refuted (") +
+                               std::to_string(r.product_nodes) +
+                               " product nodes)");
+    };
+    rc11::locks::SeqLock seq;
+    check(seq, "D5-7/seqlock", true);
+    rc11::locks::TicketLock ticket;
+    check(ticket, "D5-7/ticketlock", true);
+    rc11::locks::SeqLock broken{false};
+    check(broken, "D5-7/broken-seqlock", false);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

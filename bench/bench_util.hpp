@@ -1,0 +1,50 @@
+// Shared helpers for the experiment benchmarks: formatting of outcome sets
+// and a uniform "[exp-id] ..." verdict line so bench output doubles as the
+// reproduction record collected into bench_output.txt / EXPERIMENTS.md.
+
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "explore/explorer.hpp"
+#include "litmus/litmus.hpp"
+
+namespace rc11::bench {
+
+inline std::string outcomes_to_string(
+    const std::vector<std::vector<lang::Value>>& outcomes) {
+  std::ostringstream os;
+  os << "{";
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    os << (i ? " " : "") << "(";
+    for (std::size_t j = 0; j < outcomes[i].size(); ++j) {
+      os << (j ? "," : "") << outcomes[i][j];
+    }
+    os << ")";
+  }
+  os << "}";
+  return os.str();
+}
+
+inline void verdict(const std::string& exp, bool ok, const std::string& detail) {
+  std::cout << "[" << exp << "] " << (ok ? "REPRODUCED" : "MISMATCH") << " — "
+            << detail << "\n";
+}
+
+/// Explores a litmus test and prints whether the reachable outcome set
+/// matches the RC11 RAR prediction; returns the explore result for counters.
+inline explore::ExploreResult run_litmus(const std::string& exp,
+                                         litmus::LitmusTest& test) {
+  auto result = explore::explore(test.sys);
+  const auto outcomes =
+      explore::final_register_values(test.sys, result, test.observed);
+  verdict(exp, outcomes == test.allowed,
+          test.name + ": outcomes " + outcomes_to_string(outcomes) +
+              " expected " + outcomes_to_string(test.allowed));
+  return result;
+}
+
+}  // namespace rc11::bench

@@ -1,0 +1,332 @@
+#include "assertions/assertions.hpp"
+
+#include <sstream>
+#include <utility>
+
+#include "support/diagnostics.hpp"
+
+namespace rc11::assertions {
+
+using memsem::MemState;
+using memsem::OpId;
+
+struct Assertion::Impl {
+  std::string name;
+  Fn fn;
+};
+
+Assertion::Assertion()
+    : impl_(std::make_shared<Impl>(
+          Impl{"true", [](const System&, const Config&) { return true; }})) {}
+
+Assertion::Assertion(std::string name, Fn fn)
+    : impl_(std::make_shared<Impl>(Impl{std::move(name), std::move(fn)})) {}
+
+bool Assertion::eval(const System& sys, const Config& cfg) const {
+  return impl_->fn(sys, cfg);
+}
+
+const std::string& Assertion::name() const { return impl_->name; }
+
+Assertion Assertion::always() { return Assertion{}; }
+
+Assertion operator&&(Assertion a, Assertion b) {
+  const std::string name = "(" + a.name() + " && " + b.name() + ")";
+  return Assertion{name, [a, b](const System& sys, const Config& cfg) {
+                     return a.eval(sys, cfg) && b.eval(sys, cfg);
+                   }};
+}
+
+Assertion operator||(Assertion a, Assertion b) {
+  const std::string name = "(" + a.name() + " || " + b.name() + ")";
+  return Assertion{name, [a, b](const System& sys, const Config& cfg) {
+                     return a.eval(sys, cfg) || b.eval(sys, cfg);
+                   }};
+}
+
+Assertion operator!(Assertion a) {
+  return Assertion{"!" + a.name(), [a](const System& sys, const Config& cfg) {
+                     return !a.eval(sys, cfg);
+                   }};
+}
+
+Assertion implies(Assertion a, Assertion b) {
+  const std::string name = "(" + a.name() + " ==> " + b.name() + ")";
+  return Assertion{name, [a, b](const System& sys, const Config& cfg) {
+                     return !a.eval(sys, cfg) || b.eval(sys, cfg);
+                   }};
+}
+
+Assertion pred(std::string name, Assertion::Fn fn) {
+  return Assertion{std::move(name), std::move(fn)};
+}
+
+namespace {
+
+/// dview(view, ops, y) = v of Section 5.1: the view's entry for y is the last
+/// write to y, and that write wrote v.
+bool dview_is(const MemState& mem, const memsem::View& view, LocId y, Value v) {
+  const OpId last = mem.last_op(y);
+  return view[y] == last && mem.op(last).value == v;
+}
+
+bool is_var_write(const memsem::Op& op) {
+  return op.kind == memsem::OpKind::Init || op.kind == memsem::OpKind::Write ||
+         op.kind == memsem::OpKind::WriteRel ||
+         op.kind == memsem::OpKind::Update;
+}
+
+std::string fmt(ThreadId t) { return std::to_string(t); }
+
+}  // namespace
+
+// --- variables ---------------------------------------------------------------
+
+Assertion possible_obs(ThreadId t, LocId x, Value v) {
+  const std::string name =
+      support::concat("<loc", x, "=", v, ">_", fmt(t));
+  return Assertion{name, [t, x, v](const System&, const Config& cfg) {
+                     for (const OpId w : cfg.mem.observable(t, x)) {
+                       if (cfg.mem.op(w).value == v) return true;
+                     }
+                     return false;
+                   }};
+}
+
+Assertion definite_obs(ThreadId t, LocId x, Value v) {
+  const std::string name =
+      support::concat("[loc", x, "=", v, "]_", fmt(t));
+  return Assertion{name, [t, x, v](const System&, const Config& cfg) {
+                     const OpId last = cfg.mem.last_op(x);
+                     return cfg.mem.view_front(t, x) == last &&
+                            cfg.mem.op(last).value == v;
+                   }};
+}
+
+Assertion cond_obs(ThreadId t, LocId x, Value u, LocId y, Value v) {
+  const std::string name =
+      support::concat("<loc", x, "=", u, ">[loc", y, "=", v, "]_", fmt(t));
+  return Assertion{name, [t, x, u, y, v](const System&, const Config& cfg) {
+                     for (const OpId w : cfg.mem.observable(t, x)) {
+                       const auto& op = cfg.mem.op(w);
+                       if (op.value != u) continue;
+                       if (!op.releasing) return false;
+                       if (!dview_is(cfg.mem, op.mview, y, v)) return false;
+                     }
+                     return true;
+                   }};
+}
+
+Assertion covered_var(LocId x, Value u) {
+  const std::string name = support::concat("C_loc", x, "^", u);
+  return Assertion{name, [x, u](const System&, const Config& cfg) {
+                     const OpId last = cfg.mem.last_op(x);
+                     for (const OpId w : cfg.mem.mo(x)) {
+                       const auto& op = cfg.mem.op(w);
+                       if (op.covered) continue;
+                       if (w != last || op.value != u) return false;
+                     }
+                     return true;
+                   }};
+}
+
+Assertion hidden_var(LocId x, Value u) {
+  const std::string name = support::concat("H_loc", x, "^", u);
+  return Assertion{name, [x, u](const System&, const Config& cfg) {
+                     bool exists = false;
+                     for (const OpId w : cfg.mem.mo(x)) {
+                       const auto& op = cfg.mem.op(w);
+                       if (!is_var_write(op) || op.value != u) continue;
+                       exists = true;
+                       if (!op.covered) return false;
+                     }
+                     return exists;
+                   }};
+}
+
+// --- lock --------------------------------------------------------------------
+
+namespace {
+
+const char* kind_name(OpKind k) {
+  switch (k) {
+    case OpKind::LockAcquire: return "acquire";
+    case OpKind::LockRelease: return "release";
+    case OpKind::Init: return "init";
+    default: return "op";
+  }
+}
+
+}  // namespace
+
+Assertion lock_possible_release(ThreadId t, LocId l, Value u) {
+  const std::string name = support::concat("<l", l, ".release_", u, ">_", fmt(t));
+  return Assertion{name, [t, l, u](const System&, const Config& cfg) {
+                     const auto front = cfg.mem.rank(cfg.mem.view_front(t, l));
+                     const auto order = cfg.mem.mo(l);
+                     for (std::size_t i = front; i < order.size(); ++i) {
+                       const auto& op = cfg.mem.op(order[i]);
+                       if (op.kind == OpKind::LockRelease && op.value == u) {
+                         return true;
+                       }
+                     }
+                     return false;
+                   }};
+}
+
+Assertion lock_definite(ThreadId t, LocId l, OpKind kind, Value u) {
+  const std::string name =
+      support::concat("[l", l, ".", kind_name(kind), "_", u, "]_", fmt(t));
+  return Assertion{name, [t, l, kind, u](const System&, const Config& cfg) {
+                     const OpId last = cfg.mem.last_op(l);
+                     if (cfg.mem.view_front(t, l) != last) return false;
+                     const auto& op = cfg.mem.op(last);
+                     return op.kind == kind && op.value == u;
+                   }};
+}
+
+Assertion lock_cond_obs(ThreadId t, LocId l, Value u, LocId y, Value v) {
+  const std::string name = support::concat("<l", l, ".release_", u, ">[loc", y,
+                                           "=", v, "]_", fmt(t));
+  return Assertion{name, [t, l, u, y, v](const System&, const Config& cfg) {
+                     const auto front = cfg.mem.rank(cfg.mem.view_front(t, l));
+                     const auto order = cfg.mem.mo(l);
+                     for (std::size_t i = front; i < order.size(); ++i) {
+                       const auto& op = cfg.mem.op(order[i]);
+                       if (op.kind != OpKind::LockRelease || op.value != u) {
+                         continue;
+                       }
+                       if (!dview_is(cfg.mem, op.mview, y, v)) return false;
+                     }
+                     return true;
+                   }};
+}
+
+Assertion lock_covered(LocId l, OpKind kind, Value u) {
+  const std::string name = support::concat("C_l", l, ".", kind_name(kind), "_", u);
+  return Assertion{name, [l, kind, u](const System&, const Config& cfg) {
+                     const OpId last = cfg.mem.last_op(l);
+                     for (const OpId w : cfg.mem.mo(l)) {
+                       const auto& op = cfg.mem.op(w);
+                       if (op.covered) continue;
+                       if (w != last || op.kind != kind || op.value != u) {
+                         return false;
+                       }
+                     }
+                     return true;
+                   }};
+}
+
+Assertion lock_hidden(LocId l, OpKind kind, Value u) {
+  const std::string name = support::concat("H_l", l, ".", kind_name(kind), "_", u);
+  return Assertion{name, [l, kind, u](const System&, const Config& cfg) {
+                     bool exists = false;
+                     for (const OpId w : cfg.mem.mo(l)) {
+                       const auto& op = cfg.mem.op(w);
+                       if (op.kind != kind || op.value != u) continue;
+                       exists = true;
+                       if (!op.covered) return false;
+                     }
+                     return exists;
+                   }};
+}
+
+Assertion lock_hidden_init(LocId l) {
+  return lock_hidden(l, OpKind::Init, 0);
+}
+
+Assertion lock_held_by(ThreadId t, LocId l) {
+  const std::string name = support::concat("held(l", l, ")_", fmt(t));
+  return Assertion{name, [t, l](const System&, const Config& cfg) {
+                     const auto& op = cfg.mem.op(cfg.mem.last_op(l));
+                     return op.kind == OpKind::LockAcquire && op.thread == t;
+                   }};
+}
+
+// --- stack -------------------------------------------------------------------
+
+namespace {
+
+std::optional<OpId> top_of(const MemState& mem, LocId s) {
+  const auto order = mem.mo(s);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const auto& op = mem.op(*it);
+    if (op.kind == OpKind::StackPush && !op.covered) return *it;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+Assertion stack_can_pop(LocId s, Value v) {
+  const std::string name = support::concat("<s", s, ".pop_", v, ">");
+  return Assertion{name, [s, v](const System&, const Config& cfg) {
+                     const auto top = top_of(cfg.mem, s);
+                     return top && cfg.mem.op(*top).value == v;
+                   }};
+}
+
+Assertion stack_pop_empty_only(LocId s) {
+  const std::string name = support::concat("[s", s, ".pop_emp]");
+  return Assertion{name, [s](const System&, const Config& cfg) {
+                     return !top_of(cfg.mem, s).has_value();
+                   }};
+}
+
+Assertion stack_cond_obs(LocId s, Value v, LocId y, Value n) {
+  const std::string name =
+      support::concat("<s", s, ".pop_", v, ">[loc", y, "=", n, "]");
+  return Assertion{name, [s, v, y, n](const System&, const Config& cfg) {
+                     const auto top = top_of(cfg.mem, s);
+                     if (!top || cfg.mem.op(*top).value != v) return true;
+                     const auto& op = cfg.mem.op(*top);
+                     return op.releasing && dview_is(cfg.mem, op.mview, y, n);
+                   }};
+}
+
+// --- program predicates --------------------------------------------------------
+
+Assertion at_pc(ThreadId t, std::uint32_t pc) {
+  const std::string name = support::concat("pc", fmt(t), "=", pc);
+  return Assertion{name, [t, pc](const System&, const Config& cfg) {
+                     return cfg.pc[t] == pc;
+                   }};
+}
+
+Assertion pc_in(ThreadId t, std::set<std::uint32_t> pcs) {
+  std::ostringstream os;
+  os << "pc" << t << " in {";
+  for (const auto p : pcs) os << p << " ";
+  os << "}";
+  return Assertion{os.str(), [t, pcs = std::move(pcs)](const System&,
+                                                       const Config& cfg) {
+                     return pcs.count(cfg.pc[t]) > 0;
+                   }};
+}
+
+Assertion thread_done(ThreadId t) {
+  const std::string name = support::concat("done_", fmt(t));
+  return Assertion{name, [t](const System& sys, const Config& cfg) {
+                     return cfg.thread_done(sys, t);
+                   }};
+}
+
+Assertion reg_eq(Reg r, Value v) {
+  const std::string name = support::concat("r", r.id, "@t", r.thread, "=", v);
+  return Assertion{name, [r, v](const System&, const Config& cfg) {
+                     return cfg.regs[r.thread][r.id] == v;
+                   }};
+}
+
+Assertion reg_in(Reg r, std::set<Value> values) {
+  std::ostringstream os;
+  os << "r" << r.id << "@t" << r.thread << " in {";
+  for (const auto v : values) os << v << " ";
+  os << "}";
+  return Assertion{os.str(), [r, values = std::move(values)](
+                                 const System&, const Config& cfg) {
+                     return values.count(cfg.regs[r.thread][r.id]) > 0;
+                   }};
+}
+
+}  // namespace assertions

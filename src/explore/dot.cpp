@@ -1,0 +1,74 @@
+#include "explore/dot.hpp"
+
+#include <sstream>
+
+namespace rc11::explore {
+
+namespace {
+
+std::string escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char ch : text) {
+    if (ch == '"' || ch == '\\') out.push_back('\\');
+    if (ch == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out.push_back(ch);
+  }
+  return out;
+}
+
+std::string node_caption(const lang::System& sys, const lang::Config& cfg,
+                         const DotOptions& options) {
+  std::ostringstream os;
+  os << "pc=(";
+  for (std::size_t t = 0; t < cfg.pc.size(); ++t) {
+    os << (t ? "," : "") << cfg.pc[t];
+  }
+  os << ")";
+  if (options.show_registers) {
+    for (lang::ThreadId t = 0; t < sys.num_threads(); ++t) {
+      for (lang::RegId r = 0; r < cfg.regs[t].size(); ++r) {
+        os << "\n" << sys.reg_name(t, r) << "=" << cfg.regs[t][r];
+      }
+    }
+  }
+  return os.str();
+}
+
+}  // namespace
+
+std::string to_dot(const lang::System& sys, const refinement::StateGraph& graph,
+                   const DotOptions& options) {
+  std::ostringstream os;
+  os << "digraph " << options.graph_name << " {\n"
+     << "  rankdir=TB;\n"
+     << "  node [shape=box, fontname=\"monospace\", fontsize=9];\n"
+     << "  edge [fontname=\"monospace\", fontsize=8];\n";
+  for (std::uint32_t i = 0; i < graph.num_states(); ++i) {
+    os << "  s" << i << " [label=\""
+       << escape(node_caption(sys, graph.states[i], options)) << "\"";
+    if (i == graph.initial) os << ", style=bold";
+    if (options.mark_finals && graph.states[i].all_done(sys)) {
+      os << ", peripheries=2";
+    }
+    os << "];\n";
+  }
+  const bool labelled =
+      options.show_edge_labels && graph.labels.size() == graph.num_states();
+  for (std::uint32_t i = 0; i < graph.num_states(); ++i) {
+    for (std::size_t e = 0; e < graph.succ[i].size(); ++e) {
+      os << "  s" << i << " -> s" << graph.succ[i][e];
+      if (labelled) {
+        os << " [label=\"" << escape(graph.labels[i][e]) << "\"]";
+      }
+      os << ";\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace rc11::explore

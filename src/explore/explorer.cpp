@@ -1,0 +1,184 @@
+#include "explore/explorer.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "support/diagnostics.hpp"
+#include "support/hash.hpp"
+
+namespace rc11::explore {
+
+namespace {
+
+/// Visited set keyed by state hash with full-encoding confirmation, so hash
+/// collisions can never make exploration unsound (skip a genuinely new
+/// state) — they only cost an extra comparison.
+class VisitedSet {
+ public:
+  /// Returns true iff the encoding was newly inserted.
+  bool insert(std::vector<std::uint64_t> encoding) {
+    support::WordHasher h;
+    for (const auto w : encoding) h.add(w);
+    auto& bucket = buckets_[h.digest()];
+    for (const auto idx : bucket) {
+      if (encodings_[idx] == encoding) return false;
+    }
+    bucket.push_back(encodings_.size());
+    encodings_.push_back(std::move(encoding));
+    return true;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return encodings_.size(); }
+
+ private:
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> buckets_;
+  std::vector<std::vector<std::uint64_t>> encodings_;
+};
+
+struct TraceNode {
+  std::int64_t parent = -1;
+  std::string label;
+};
+
+struct Frontier {
+  Config cfg;
+  std::int64_t trace_node = -1;
+};
+
+}  // namespace
+
+namespace {
+
+/// The thread to expand exclusively under local-step fusion, if any.
+std::optional<ThreadId> fusible_thread(const System& sys, const Config& cfg) {
+  for (ThreadId t = 0; t < sys.num_threads(); ++t) {
+    if (cfg.thread_done(sys, t)) continue;
+    const auto kind = sys.code(t)[cfg.pc[t]].kind;
+    if (kind == lang::IKind::Assign || kind == lang::IKind::Branch ||
+        kind == lang::IKind::Jump) {
+      return t;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+ExploreResult explore(const System& sys, const ExploreOptions& options,
+                      const Invariant& invariant) {
+  ExploreResult result;
+  VisitedSet visited;
+  std::vector<TraceNode> trace_nodes;
+  VisitedSet final_dedup;
+
+  std::deque<Frontier> frontier;
+  {
+    Config init = lang::initial_config(sys);
+    visited.insert(init.encode());
+    if (options.track_traces) trace_nodes.push_back({-1, "init"});
+    frontier.push_back({std::move(init), options.track_traces ? 0 : -1});
+  }
+
+  const auto build_trace = [&](std::int64_t node) {
+    std::vector<std::string> labels;
+    for (std::int64_t n = node; n >= 0; n = trace_nodes[static_cast<std::size_t>(n)].parent) {
+      labels.push_back(trace_nodes[static_cast<std::size_t>(n)].label);
+    }
+    std::reverse(labels.begin(), labels.end());
+    return labels;
+  };
+
+  while (!frontier.empty()) {
+    if (result.stats.states >= options.max_states) {
+      result.truncated = true;
+      break;
+    }
+    result.stats.max_frontier =
+        std::max<std::uint64_t>(result.stats.max_frontier, frontier.size());
+    const bool bfs = options.strategy == SearchStrategy::Bfs;
+    Frontier item = bfs ? std::move(frontier.front()) : std::move(frontier.back());
+    if (bfs) {
+      frontier.pop_front();
+    } else {
+      frontier.pop_back();
+    }
+    const Config& cfg = item.cfg;
+    result.stats.states += 1;
+
+    if (invariant) {
+      if (auto violation = invariant(sys, cfg)) {
+        result.violations.push_back(
+            {*violation, cfg.to_string(sys),
+             options.track_traces ? build_trace(item.trace_node)
+                                  : std::vector<std::string>{}});
+        if (options.stop_on_violation) break;
+      }
+    }
+
+    std::vector<Step> steps;
+    if (options.fuse_local_steps) {
+      if (const auto t = fusible_thread(sys, cfg)) {
+        steps = lang::thread_successors(sys, cfg, *t, options.track_traces);
+      } else {
+        steps = lang::successors(sys, cfg, options.track_traces);
+      }
+    } else {
+      steps = lang::successors(sys, cfg, options.track_traces);
+    }
+    if (steps.empty()) {
+      if (cfg.all_done(sys)) {
+        result.stats.finals += 1;
+        if (options.collect_finals && final_dedup.insert(cfg.encode())) {
+          result.final_configs.push_back(cfg);
+        }
+      } else {
+        result.stats.blocked += 1;
+      }
+      continue;
+    }
+
+    for (auto& step : steps) {
+      result.stats.transitions += 1;
+      if (visited.insert(step.after.encode())) {
+        std::int64_t node = -1;
+        if (options.track_traces) {
+          node = static_cast<std::int64_t>(trace_nodes.size());
+          trace_nodes.push_back({item.trace_node, std::move(step.label)});
+        }
+        frontier.push_back({std::move(step.after), node});
+      }
+    }
+  }
+
+  return result;
+}
+
+std::vector<std::vector<lang::Value>> final_register_values(
+    const System& sys, const ExploreResult& result,
+    const std::vector<lang::Reg>& regs) {
+  std::vector<std::vector<lang::Value>> outcomes;
+  for (const auto& cfg : result.final_configs) {
+    std::vector<lang::Value> tuple;
+    tuple.reserve(regs.size());
+    for (const auto& r : regs) {
+      RC11_REQUIRE(r.thread < cfg.regs.size() && r.id < cfg.regs[r.thread].size(),
+                   "register out of range in outcome extraction");
+      tuple.push_back(cfg.regs[r.thread][r.id]);
+    }
+    if (std::find(outcomes.begin(), outcomes.end(), tuple) == outcomes.end()) {
+      outcomes.push_back(std::move(tuple));
+    }
+  }
+  std::sort(outcomes.begin(), outcomes.end());
+  (void)sys;
+  return outcomes;
+}
+
+bool outcome_reachable(const System& sys, const ExploreResult& result,
+                       const std::vector<lang::Reg>& regs,
+                       const std::vector<lang::Value>& values) {
+  const auto outcomes = final_register_values(sys, result, regs);
+  return std::find(outcomes.begin(), outcomes.end(), values) != outcomes.end();
+}
+
+}  // namespace rc11::explore

@@ -1,0 +1,107 @@
+// rc11lib/explore/explorer.hpp
+//
+// Explicit-state exploration of the combined transition relation.  This is
+// the engine behind the substitution documented in DESIGN.md: the paper
+// discharges its lemmas symbolically in Isabelle/HOL; we decide the same
+// questions on finite instantiations by enumerating every reachable
+// configuration of the operational semantics.
+//
+// States are deduplicated by their canonical encoding (order-isomorphic
+// timestamp quotient — see memsem::SemanticsOptions::canonical_timestamps),
+// which is what keeps litmus-style programs finite-state: reads only advance
+// views monotonically and the set of modifying operations is bounded by the
+// program's writes.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "lang/config.hpp"
+
+namespace rc11::explore {
+
+using lang::Config;
+using lang::Step;
+using lang::System;
+using lang::ThreadId;
+
+/// Search order.  Both visit the same set of states (the visited set makes
+/// exploration order-insensitive); BFS yields shortest counterexample
+/// traces, DFS has the smaller frontier on deep graphs.
+enum class SearchStrategy : std::uint8_t { Dfs, Bfs };
+
+struct ExploreOptions {
+  /// Hard cap on distinct states; exploration reports truncation beyond it.
+  std::uint64_t max_states = 1'000'000;
+  SearchStrategy strategy = SearchStrategy::Dfs;
+  /// Sound reduction for outcome-set exploration: when some thread's next
+  /// instruction is *local* (Assign / Branch / Jump — deterministic, no
+  /// memory effect), expand only that thread.  Local steps commute with all
+  /// other transitions and can never be disabled, so reachable final states
+  /// and memory behaviours are preserved while intermediate interleavings of
+  /// program counters are pruned.  Leave off when checking proof outlines
+  /// (annotations quantify over the *full* interleaving set).
+  bool fuse_local_steps = false;
+  /// Stop at the first invariant violation (otherwise keep counting).
+  bool stop_on_violation = true;
+  /// Record parent links and step labels so violations come with a full
+  /// counterexample trace (costs memory; default off for benchmarks).
+  bool track_traces = false;
+  /// Keep a copy of every final configuration (needed for outcome sets).
+  bool collect_finals = true;
+};
+
+/// An invariant violation with an optional counterexample trace.
+struct Violation {
+  std::string what;              ///< description from the invariant callback
+  std::string state_dump;        ///< pretty-printed violating configuration
+  std::vector<std::string> trace;  ///< step labels from the initial state
+};
+
+struct ExploreStats {
+  std::uint64_t states = 0;       ///< distinct states visited
+  std::uint64_t transitions = 0;  ///< transitions generated
+  std::uint64_t finals = 0;       ///< states with every thread terminated
+  std::uint64_t blocked = 0;      ///< non-final states with no transition
+  std::uint64_t max_frontier = 0;
+};
+
+struct ExploreResult {
+  ExploreStats stats;
+  std::vector<Config> final_configs;  ///< deduplicated (iff collect_finals)
+  std::vector<Violation> violations;
+  bool truncated = false;  ///< hit max_states: results are a lower bound
+
+  [[nodiscard]] bool ok() const { return violations.empty() && !truncated; }
+};
+
+/// Invariant callback: return a description to report a violation at this
+/// reachable configuration, or std::nullopt if the configuration is fine.
+using Invariant =
+    std::function<std::optional<std::string>(const System&, const Config&)>;
+
+/// Explores all configurations reachable from the initial configuration.
+/// `invariant` (if given) is evaluated at every reachable configuration.
+[[nodiscard]] ExploreResult explore(const System& sys,
+                                    const ExploreOptions& options = {},
+                                    const Invariant& invariant = {});
+
+/// Convenience: the set of final values of selected registers, as tuples in
+/// the order given.  This is how litmus outcomes ("r1 = 1, r2 = 0 allowed?")
+/// are extracted.
+[[nodiscard]] std::vector<std::vector<lang::Value>> final_register_values(
+    const System& sys, const ExploreResult& result,
+    const std::vector<lang::Reg>& regs);
+
+/// True iff some final configuration assigns exactly `values` to `regs`.
+[[nodiscard]] bool outcome_reachable(const System& sys,
+                                     const ExploreResult& result,
+                                     const std::vector<lang::Reg>& regs,
+                                     const std::vector<lang::Value>& values);
+
+}  // namespace rc11::explore

@@ -1,0 +1,74 @@
+// rc11lib/lang/config.hpp
+//
+// Runtime configurations and the combined transition relation of Section 3.2:
+// the program semantics of Fig. 4 (per-thread control and local state)
+// constrained by the memory semantics of Fig. 5 (for plain accesses) and the
+// abstract object semantics of Section 4 (for method calls).
+//
+// A configuration is the tuple (P, ρ, γ, β) of the paper: per-thread program
+// counters into the compiled CFG, per-thread register files, and the combined
+// weak-memory state.  `successors` enumerates every transition of every
+// thread, including all memory nondeterminism (the choice of write a read
+// reads from, the placement choice for a write, and both CAS outcomes), which
+// is exactly the branching that the paper's ==> relation exhibits.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lang/system.hpp"
+#include "memsem/state.hpp"
+
+namespace rc11::lang {
+
+/// A configuration (P, ρ, γ, β).
+struct Config {
+  std::vector<std::uint32_t> pc;          ///< per-thread program counter
+  std::vector<std::vector<Value>> regs;   ///< per-thread register files (ρ)
+  memsem::MemState mem;                   ///< combined γ and β
+
+  [[nodiscard]] bool thread_done(const System& sys, ThreadId t) const {
+    return pc[t] >= sys.code(t).size();
+  }
+
+  [[nodiscard]] bool all_done(const System& sys) const {
+    for (ThreadId t = 0; t < sys.num_threads(); ++t) {
+      if (!thread_done(sys, t)) return false;
+    }
+    return true;
+  }
+
+  /// Canonical encoding (pcs, registers, memory); two configurations are
+  /// semantically identical iff their encodings are equal.
+  [[nodiscard]] std::vector<std::uint64_t> encode() const;
+  [[nodiscard]] std::uint64_t hash() const;
+
+  [[nodiscard]] std::string to_string(const System& sys) const;
+};
+
+/// One enabled transition and its result.
+struct Step {
+  ThreadId thread = 0;
+  std::string label;  ///< populated only when requested (diagnostics cost)
+  Config after;
+};
+
+/// The initial configuration Γ_Init (locations initialised, registers at
+/// their declared initial values, all pcs at 0).
+[[nodiscard]] Config initial_config(const System& sys);
+
+/// All transitions enabled in `cfg`, across every thread.  `want_labels`
+/// fills Step::label with a human-readable description (slower; meant for
+/// counterexample reporting).
+[[nodiscard]] std::vector<Step> successors(const System& sys, const Config& cfg,
+                                           bool want_labels = false);
+
+/// All transitions of a single thread (used by the Owicki-Gries interference
+/// checker and the refinement game to attribute steps).
+[[nodiscard]] std::vector<Step> thread_successors(const System& sys,
+                                                  const Config& cfg, ThreadId t,
+                                                  bool want_labels = false);
+
+}  // namespace rc11::lang

@@ -1,0 +1,88 @@
+// rc11lib/lang/expr.hpp
+//
+// Expressions of the programming language of Section 3.1.  Per the grammar,
+// expressions range over *local* variables only (Exp_L): all interaction with
+// shared state happens through the explicit read/write/update/method-call
+// instructions, which is what makes each instruction a single atomic step of
+// the operational semantics.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "memsem/types.hpp"
+
+namespace rc11::lang {
+
+using memsem::Value;
+
+/// Register (local variable) identifier, dense per thread.
+using RegId = std::uint32_t;
+
+enum class UnOp : std::uint8_t { Neg, Not };
+
+enum class BinOp : std::uint8_t {
+  Add, Sub, Mul, Mod,
+  Eq, Ne, Lt, Le, Gt, Ge,
+  And, Or,
+};
+
+namespace detail {
+struct ExprNode;
+}  // namespace detail
+
+/// Immutable expression tree.  Shared ownership keeps builder code natural
+/// (subexpressions can be reused) while evaluation stays allocation-free.
+class Expr {
+ public:
+  /// Constructs an *empty* expression (valid() is false); evaluating it is an
+  /// internal error.  Exists so Instr can hold optional expression slots.
+  Expr() = default;
+
+  /// Constant n.
+  static Expr constant(Value v);
+  /// Local register r.
+  static Expr reg(RegId r);
+
+  static Expr unary(UnOp op, Expr operand);
+  static Expr binary(BinOp op, Expr lhs, Expr rhs);
+
+  /// Evaluates over a register file (index = RegId).  Boolean results are
+  /// encoded as 0/1; any nonzero value is truthy.
+  [[nodiscard]] Value eval(const std::vector<Value>& regs) const;
+
+  /// The largest register id referenced, or -1 if none (used for validation).
+  [[nodiscard]] std::int64_t max_reg() const;
+
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] bool valid() const noexcept { return node_ != nullptr; }
+
+ private:
+  explicit Expr(std::shared_ptr<const detail::ExprNode> node)
+      : node_(std::move(node)) {}
+  std::shared_ptr<const detail::ExprNode> node_;
+};
+
+// Operator sugar so builder code reads like the paper's programs.
+Expr operator+(Expr a, Expr b);
+Expr operator-(Expr a, Expr b);
+Expr operator*(Expr a, Expr b);
+Expr operator%(Expr a, Expr b);
+Expr operator==(Expr a, Expr b);
+Expr operator!=(Expr a, Expr b);
+Expr operator<(Expr a, Expr b);
+Expr operator<=(Expr a, Expr b);
+Expr operator>(Expr a, Expr b);
+Expr operator>=(Expr a, Expr b);
+Expr operator&&(Expr a, Expr b);
+Expr operator||(Expr a, Expr b);
+Expr operator!(Expr a);
+
+/// even(r) — used by the sequence lock's acquire loop (§6.2).
+Expr is_even(Expr a);
+
+}  // namespace rc11::lang

@@ -1,0 +1,248 @@
+// Combined transition relation: Fig. 4's program steps constrained by
+// Fig. 5's memory transitions and Section 4's abstract object rules.
+
+#include <sstream>
+
+#include "lang/config.hpp"
+#include "objects/lock.hpp"
+#include "objects/queue.hpp"
+#include "objects/stack.hpp"
+#include "support/diagnostics.hpp"
+#include "support/hash.hpp"
+
+namespace rc11::lang {
+
+using memsem::kStackEmpty;
+using memsem::MemState;
+using memsem::OpId;
+
+std::vector<std::uint64_t> Config::encode() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(64);
+  for (const auto p : pc) out.push_back(p);
+  for (const auto& file : regs) {
+    out.push_back(file.size());
+    for (const auto v : file) out.push_back(static_cast<std::uint64_t>(v));
+  }
+  mem.encode(out);
+  return out;
+}
+
+std::uint64_t Config::hash() const {
+  support::WordHasher h;
+  for (const auto w : encode()) h.add(w);
+  return h.digest();
+}
+
+std::string Config::to_string(const System& sys) const {
+  std::ostringstream os;
+  for (ThreadId t = 0; t < sys.num_threads(); ++t) {
+    os << "t" << t << " pc=" << pc[t];
+    if (thread_done(sys, t)) os << " (done)";
+    for (RegId r = 0; r < regs[t].size(); ++r) {
+      os << " " << sys.reg_name(t, r) << "=" << regs[t][r];
+    }
+    os << "\n";
+  }
+  os << mem.to_string();
+  return os.str();
+}
+
+Config initial_config(const System& sys) {
+  Config cfg{std::vector<std::uint32_t>(sys.num_threads(), 0),
+             {},
+             MemState{sys.locations(), sys.num_threads(), sys.options()}};
+  cfg.regs.resize(sys.num_threads());
+  for (ThreadId t = 0; t < sys.num_threads(); ++t) {
+    cfg.regs[t].resize(sys.num_regs(t));
+    for (RegId r = 0; r < cfg.regs[t].size(); ++r) {
+      cfg.regs[t][r] = sys.reg_initial(t, r);
+    }
+  }
+  return cfg;
+}
+
+namespace {
+
+std::string describe(const System& sys, ThreadId t, const Instr& in,
+                     const char* suffix) {
+  std::ostringstream os;
+  os << "t" << t << ": ";
+  if (!in.label.empty()) {
+    os << in.label;
+    if (in.kind == IKind::Load || in.kind == IKind::Store ||
+        in.kind == IKind::Cas || in.kind == IKind::Fai ||
+        in.kind == IKind::Push || in.kind == IKind::Pop ||
+        in.kind == IKind::LockAcquire || in.kind == IKind::LockRelease) {
+      os << " [" << sys.locations().name(in.loc) << "]";
+    }
+  } else {
+    os << describe_instr(sys, t, in);
+  }
+  os << suffix;
+  return os.str();
+}
+
+/// Appends a successor built from `cfg` by `mutate`, advancing t's pc.
+template <typename Mutate>
+void add_step(std::vector<Step>& out, const System& sys, const Config& cfg,
+              ThreadId t, const Instr& in, bool want_labels,
+              const char* label_suffix, Mutate&& mutate) {
+  Step step{t, {}, cfg};
+  step.after.pc[t] += 1;
+  mutate(step.after);
+  if (want_labels) step.label = describe(sys, t, in, label_suffix);
+  out.push_back(std::move(step));
+}
+
+}  // namespace
+
+std::vector<Step> thread_successors(const System& sys, const Config& cfg,
+                                    ThreadId t, bool want_labels) {
+  std::vector<Step> out;
+  if (cfg.thread_done(sys, t)) return out;
+  const Instr& in = sys.code(t)[cfg.pc[t]];
+  const auto& regs = cfg.regs[t];
+
+  switch (in.kind) {
+    case IKind::Assign: {
+      add_step(out, sys, cfg, t, in, want_labels, "", [&](Config& next) {
+        next.regs[t][in.dst] = in.e1.eval(regs);
+      });
+      break;
+    }
+    case IKind::Load: {
+      for (const OpId w : cfg.mem.observable(t, in.loc)) {
+        add_step(out, sys, cfg, t, in, want_labels, "", [&](Config& next) {
+          next.regs[t][in.dst] = next.mem.read(t, in.loc, w, in.order);
+        });
+      }
+      break;
+    }
+    case IKind::Store: {
+      const Value v = in.e1.eval(regs);
+      for (const OpId w : cfg.mem.observable_uncovered(t, in.loc)) {
+        add_step(out, sys, cfg, t, in, want_labels, "", [&](Config& next) {
+          next.mem.write(t, in.loc, v, in.order, w);
+        });
+      }
+      break;
+    }
+    case IKind::Cas: {
+      const Value expected = in.e2.eval(regs);
+      const Value desired = in.e3.eval(regs);
+      // Success: an UPDATE transition reading an observable uncovered write
+      // with the expected value.
+      for (const OpId w : cfg.mem.observable_uncovered(t, in.loc)) {
+        if (cfg.mem.read_value_of(w) != expected) continue;
+        add_step(out, sys, cfg, t, in, want_labels, " (success)",
+                 [&](Config& next) {
+                   next.mem.update(t, in.loc, w, desired);
+                   next.regs[t][in.dst] = 1;
+                 });
+      }
+      // Failure: a relaxed READ of any observable write with a different
+      // value (the paper's rd(x, v'), v' != u rule).
+      for (const OpId w : cfg.mem.observable(t, in.loc)) {
+        if (cfg.mem.read_value_of(w) == expected) continue;
+        add_step(out, sys, cfg, t, in, want_labels, " (fail)",
+                 [&](Config& next) {
+                   next.mem.read(t, in.loc, w, memsem::MemOrder::Relaxed);
+                   next.regs[t][in.dst] = 0;
+                 });
+      }
+      break;
+    }
+    case IKind::Fai: {
+      for (const OpId w : cfg.mem.observable_uncovered(t, in.loc)) {
+        const Value old = cfg.mem.read_value_of(w);
+        add_step(out, sys, cfg, t, in, want_labels, "", [&](Config& next) {
+          next.mem.update(t, in.loc, w, old + 1);
+          next.regs[t][in.dst] = old;
+        });
+      }
+      break;
+    }
+    case IKind::LockAcquire: {
+      if (objects::lock_acquire_enabled(cfg.mem, in.loc)) {
+        add_step(out, sys, cfg, t, in, want_labels, "", [&](Config& next) {
+          const auto op = objects::lock_acquire(next.mem, t, in.loc);
+          if (in.has_dst) {
+            // Acquire returns true; with capture_version the acquired
+            // version is recorded instead (the paper's l.Acquire(v)).
+            next.regs[t][in.dst] =
+                in.capture_version ? next.mem.op(op).value : 1;
+          }
+        });
+      }
+      // else: blocked — no transition (abstract acquire is blocking).
+      break;
+    }
+    case IKind::LockRelease: {
+      if (objects::lock_release_enabled(cfg.mem, t, in.loc)) {
+        add_step(out, sys, cfg, t, in, want_labels, "", [&](Config& next) {
+          objects::lock_release(next.mem, t, in.loc);
+        });
+      }
+      // Releasing a lock one does not hold is a client bug; the thread
+      // blocks, and the explorer reports the resulting deadlock.
+      break;
+    }
+    case IKind::Push: {
+      const Value v = in.e1.eval(regs);
+      const bool is_queue =
+          sys.locations().kind(in.loc) == memsem::LocKind::Queue;
+      add_step(out, sys, cfg, t, in, want_labels, "", [&](Config& next) {
+        const bool releasing = in.order == memsem::MemOrder::Release;
+        if (is_queue) {
+          objects::queue_enqueue(next.mem, t, in.loc, v, releasing);
+        } else {
+          objects::stack_push(next.mem, t, in.loc, v, releasing);
+        }
+      });
+      break;
+    }
+    case IKind::Pop: {
+      const bool is_queue =
+          sys.locations().kind(in.loc) == memsem::LocKind::Queue;
+      const bool empty = is_queue ? objects::queue_empty(cfg.mem, in.loc)
+                                  : objects::stack_empty(cfg.mem, in.loc);
+      add_step(out, sys, cfg, t, in, want_labels, empty ? " (empty)" : "",
+               [&](Config& next) {
+                 const bool acq = in.order == memsem::MemOrder::Acquire;
+                 next.regs[t][in.dst] =
+                     is_queue
+                         ? objects::queue_dequeue(next.mem, t, in.loc, acq)
+                         : objects::stack_pop(next.mem, t, in.loc, acq);
+               });
+      break;
+    }
+    case IKind::Branch: {
+      const bool taken = in.e1.eval(regs) != 0;
+      add_step(out, sys, cfg, t, in, want_labels, taken ? " (taken)" : "",
+               [&](Config& next) {
+                 if (taken) next.pc[t] = in.target;
+               });
+      break;
+    }
+    case IKind::Jump: {
+      add_step(out, sys, cfg, t, in, want_labels, "",
+               [&](Config& next) { next.pc[t] = in.target; });
+      break;
+    }
+  }
+  return out;
+}
+
+std::vector<Step> successors(const System& sys, const Config& cfg,
+                             bool want_labels) {
+  std::vector<Step> out;
+  for (ThreadId t = 0; t < sys.num_threads(); ++t) {
+    auto steps = thread_successors(sys, cfg, t, want_labels);
+    out.insert(out.end(), std::make_move_iterator(steps.begin()),
+               std::make_move_iterator(steps.end()));
+  }
+  return out;
+}
+
+}  // namespace rc11::lang

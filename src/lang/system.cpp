@@ -1,0 +1,373 @@
+#include "lang/system.hpp"
+
+#include <sstream>
+
+#include "support/diagnostics.hpp"
+
+namespace rc11::lang {
+
+using memsem::LocKind;
+
+// ---------------------------------------------------------------------------
+// System
+// ---------------------------------------------------------------------------
+
+LocId System::client_var(std::string_view name, Value initial) {
+  return locs_.add_var(name, Component::Client, initial);
+}
+
+LocId System::library_var(std::string_view name, Value initial) {
+  return locs_.add_var(name, Component::Library, initial);
+}
+
+LocId System::client_lock(std::string_view name) {
+  return locs_.add_object(name, Component::Client, LocKind::Lock);
+}
+
+LocId System::library_lock(std::string_view name) {
+  return locs_.add_object(name, Component::Library, LocKind::Lock);
+}
+
+LocId System::client_stack(std::string_view name) {
+  return locs_.add_object(name, Component::Client, LocKind::Stack);
+}
+
+LocId System::library_stack(std::string_view name) {
+  return locs_.add_object(name, Component::Library, LocKind::Stack);
+}
+
+LocId System::client_queue(std::string_view name) {
+  return locs_.add_object(name, Component::Client, LocKind::Queue);
+}
+
+LocId System::library_queue(std::string_view name) {
+  return locs_.add_object(name, Component::Library, LocKind::Queue);
+}
+
+ThreadBuilder System::thread() {
+  const auto t = static_cast<ThreadId>(code_.size());
+  code_.emplace_back();
+  regs_.emplace_back();
+  return ThreadBuilder{*this, t};
+}
+
+std::string describe_instr(const System& sys, ThreadId t, const Instr& in) {
+  const auto& locs = sys.locations();
+  const auto reg = [&](RegId r) { return sys.reg_name(t, r); };
+  std::ostringstream os;
+  switch (in.kind) {
+    case IKind::Assign:
+      os << reg(in.dst) << " := " << in.e1.to_string();
+      break;
+    case IKind::Load:
+      os << reg(in.dst) << " <-" << (in.order == MemOrder::Acquire ? "A " : " ")
+         << locs.name(in.loc);
+      break;
+    case IKind::Store:
+      os << locs.name(in.loc) << " :=" << (in.order == MemOrder::Release ? "R " : " ")
+         << in.e1.to_string();
+      break;
+    case IKind::Cas:
+      os << reg(in.dst) << " <- CAS(" << locs.name(in.loc) << ", "
+         << in.e2.to_string() << ", " << in.e3.to_string() << ")";
+      break;
+    case IKind::Fai:
+      os << reg(in.dst) << " <- FAI(" << locs.name(in.loc) << ")";
+      break;
+    case IKind::LockAcquire:
+      os << locs.name(in.loc) << ".Acquire()";
+      break;
+    case IKind::LockRelease:
+      os << locs.name(in.loc) << ".Release()";
+      break;
+    case IKind::Push:
+      os << locs.name(in.loc)
+         << (locs.kind(in.loc) == LocKind::Queue ? ".enq" : ".push")
+         << (in.order == MemOrder::Release ? "R(" : "(") << in.e1.to_string()
+         << ")";
+      break;
+    case IKind::Pop:
+      os << reg(in.dst) << " <- " << locs.name(in.loc)
+         << (locs.kind(in.loc) == LocKind::Queue ? ".deq" : ".pop")
+         << (in.order == MemOrder::Acquire ? "A" : "") << "()";
+      break;
+    case IKind::Branch:
+      os << "if " << in.e1.to_string() << " goto " << in.target;
+      break;
+    case IKind::Jump:
+      os << "goto " << in.target;
+      break;
+  }
+  return os.str();
+}
+
+std::string System::disassemble() const {
+  std::ostringstream os;
+  for (ThreadId t = 0; t < num_threads(); ++t) {
+    os << "thread " << t << ":\n";
+    const auto& code = code_[t];
+    for (std::size_t pc = 0; pc < code.size(); ++pc) {
+      const Instr& in = code[pc];
+      os << "  " << pc << ": ";
+      if (!in.label.empty()) {
+        os << in.label;
+      } else {
+        os << describe_instr(*this, t, in);
+      }
+      os << "\n";
+    }
+  }
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// ThreadBuilder
+// ---------------------------------------------------------------------------
+
+Reg ThreadBuilder::reg(std::string_view name, Value initial, Component comp) {
+  auto& regs = sys_->regs_[thread_];
+  for (const auto& existing : regs) {
+    support::require(existing.name != name, "duplicate register ", name,
+                     " in thread ", thread_);
+  }
+  regs.push_back({std::string{name}, comp, initial});
+  return Reg{thread_, static_cast<RegId>(regs.size() - 1)};
+}
+
+std::uint32_t ThreadBuilder::here() const {
+  return static_cast<std::uint32_t>(sys_->code_[thread_].size());
+}
+
+std::uint32_t ThreadBuilder::emit(Instr instr) {
+  const auto pc = here();
+  sys_->code_[thread_].push_back(std::move(instr));
+  return pc;
+}
+
+void ThreadBuilder::patch_target(std::uint32_t pc, std::uint32_t target) {
+  sys_->code_[thread_].at(pc).target = target;
+}
+
+namespace {
+
+void check_reg_thread(const Reg& r, ThreadId t) {
+  RC11_REQUIRE(r.thread == t, "register used in a foreign thread");
+}
+
+}  // namespace
+
+ThreadBuilder& ThreadBuilder::assign(Reg r, Expr e, std::string_view label) {
+  check_reg_thread(r, thread_);
+  Instr in;
+  in.kind = IKind::Assign;
+  in.dst = r.id;
+  in.has_dst = true;
+  in.e1 = std::move(e);
+  in.label = label;
+  emit(std::move(in));
+  return *this;
+}
+
+ThreadBuilder& ThreadBuilder::load(Reg r, LocId x, std::string_view label) {
+  check_reg_thread(r, thread_);
+  Instr in;
+  in.kind = IKind::Load;
+  in.dst = r.id;
+  in.has_dst = true;
+  in.loc = x;
+  in.order = MemOrder::Relaxed;
+  in.label = label;
+  emit(std::move(in));
+  return *this;
+}
+
+ThreadBuilder& ThreadBuilder::load_acq(Reg r, LocId x, std::string_view label) {
+  load(r, x, label);
+  sys_->code_[thread_].back().order = MemOrder::Acquire;
+  return *this;
+}
+
+ThreadBuilder& ThreadBuilder::store(LocId x, Expr e, std::string_view label) {
+  Instr in;
+  in.kind = IKind::Store;
+  in.loc = x;
+  in.e1 = std::move(e);
+  in.order = MemOrder::Relaxed;
+  in.label = label;
+  emit(std::move(in));
+  return *this;
+}
+
+ThreadBuilder& ThreadBuilder::store_rel(LocId x, Expr e, std::string_view label) {
+  store(x, std::move(e), label);
+  sys_->code_[thread_].back().order = MemOrder::Release;
+  return *this;
+}
+
+ThreadBuilder& ThreadBuilder::cas(Reg r, LocId x, Expr expected, Expr desired,
+                                  std::string_view label) {
+  check_reg_thread(r, thread_);
+  Instr in;
+  in.kind = IKind::Cas;
+  in.dst = r.id;
+  in.has_dst = true;
+  in.loc = x;
+  in.e2 = std::move(expected);
+  in.e3 = std::move(desired);
+  in.order = MemOrder::AcqRel;
+  in.label = label;
+  emit(std::move(in));
+  return *this;
+}
+
+ThreadBuilder& ThreadBuilder::fai(Reg r, LocId x, std::string_view label) {
+  check_reg_thread(r, thread_);
+  Instr in;
+  in.kind = IKind::Fai;
+  in.dst = r.id;
+  in.has_dst = true;
+  in.loc = x;
+  in.order = MemOrder::AcqRel;
+  in.label = label;
+  emit(std::move(in));
+  return *this;
+}
+
+ThreadBuilder& ThreadBuilder::acquire(LocId lock, std::optional<Reg> r,
+                                      std::string_view label) {
+  Instr in;
+  in.kind = IKind::LockAcquire;
+  in.loc = lock;
+  if (r) {
+    check_reg_thread(*r, thread_);
+    in.dst = r->id;
+    in.has_dst = true;
+  }
+  in.label = label;
+  emit(std::move(in));
+  return *this;
+}
+
+ThreadBuilder& ThreadBuilder::acquire_version(LocId lock, Reg r,
+                                              std::string_view label) {
+  acquire(lock, r, label);
+  sys_->code_[thread_].back().capture_version = true;
+  return *this;
+}
+
+ThreadBuilder& ThreadBuilder::release(LocId lock, std::string_view label) {
+  Instr in;
+  in.kind = IKind::LockRelease;
+  in.loc = lock;
+  in.label = label;
+  emit(std::move(in));
+  return *this;
+}
+
+ThreadBuilder& ThreadBuilder::push(LocId stack, Expr e, std::string_view label) {
+  Instr in;
+  in.kind = IKind::Push;
+  in.loc = stack;
+  in.e1 = std::move(e);
+  in.order = MemOrder::Relaxed;
+  in.label = label;
+  emit(std::move(in));
+  return *this;
+}
+
+ThreadBuilder& ThreadBuilder::push_rel(LocId stack, Expr e, std::string_view label) {
+  push(stack, std::move(e), label);
+  sys_->code_[thread_].back().order = MemOrder::Release;
+  return *this;
+}
+
+ThreadBuilder& ThreadBuilder::pop(Reg r, LocId stack, std::string_view label) {
+  check_reg_thread(r, thread_);
+  Instr in;
+  in.kind = IKind::Pop;
+  in.dst = r.id;
+  in.has_dst = true;
+  in.loc = stack;
+  in.order = MemOrder::Relaxed;
+  in.label = label;
+  emit(std::move(in));
+  return *this;
+}
+
+ThreadBuilder& ThreadBuilder::pop_acq(Reg r, LocId stack, std::string_view label) {
+  pop(r, stack, label);
+  sys_->code_[thread_].back().order = MemOrder::Acquire;
+  return *this;
+}
+
+ThreadBuilder& ThreadBuilder::enqueue(LocId queue, Expr e,
+                                      std::string_view label) {
+  return push(queue, std::move(e), label);
+}
+
+ThreadBuilder& ThreadBuilder::enqueue_rel(LocId queue, Expr e,
+                                          std::string_view label) {
+  return push_rel(queue, std::move(e), label);
+}
+
+ThreadBuilder& ThreadBuilder::dequeue(Reg r, LocId queue,
+                                      std::string_view label) {
+  return pop(r, queue, label);
+}
+
+ThreadBuilder& ThreadBuilder::dequeue_acq(Reg r, LocId queue,
+                                          std::string_view label) {
+  return pop_acq(r, queue, label);
+}
+
+ThreadBuilder& ThreadBuilder::if_else(Expr cond,
+                                      const std::function<void()>& then_body,
+                                      const std::function<void()>& else_body) {
+  // if !cond goto ELSE; <then>; goto END; ELSE: <else>; END:
+  Instr br;
+  br.kind = IKind::Branch;
+  br.e1 = !std::move(cond);
+  const auto to_else = emit(std::move(br));
+  then_body();
+  if (else_body) {
+    Instr jp;
+    jp.kind = IKind::Jump;
+    const auto to_end = emit(std::move(jp));
+    patch_target(to_else, here());
+    else_body();
+    patch_target(to_end, here());
+  } else {
+    patch_target(to_else, here());
+  }
+  return *this;
+}
+
+ThreadBuilder& ThreadBuilder::while_(Expr cond, const std::function<void()>& body) {
+  // HEAD: if !cond goto END; <body>; goto HEAD; END:
+  const auto head = here();
+  Instr br;
+  br.kind = IKind::Branch;
+  br.e1 = !std::move(cond);
+  const auto to_end = emit(std::move(br));
+  body();
+  Instr jp;
+  jp.kind = IKind::Jump;
+  jp.target = head;
+  emit(std::move(jp));
+  patch_target(to_end, here());
+  return *this;
+}
+
+ThreadBuilder& ThreadBuilder::do_until(const std::function<void()>& body, Expr cond) {
+  // HEAD: <body>; if !cond goto HEAD
+  const auto head = here();
+  body();
+  Instr br;
+  br.kind = IKind::Branch;
+  br.e1 = !std::move(cond);
+  br.target = head;
+  emit(std::move(br));
+  return *this;
+}
+
+}  // namespace rc11::lang

@@ -1,0 +1,386 @@
+#include "litmus/litmus.hpp"
+
+#include <algorithm>
+
+#include "memsem/types.hpp"
+
+namespace rc11::litmus {
+
+using lang::c;
+using memsem::kStackEmpty;
+
+namespace {
+
+std::vector<std::vector<Value>> sorted(std::vector<std::vector<Value>> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+}  // namespace
+
+LitmusTest mp_release_acquire() {
+  LitmusTest t;
+  t.name = "MP+rel+acq";
+  t.description = "message passing with releasing flag write / acquiring read";
+  auto d = t.sys.client_var("d", 0);
+  auto f = t.sys.client_var("f", 0);
+  auto t1 = t.sys.thread();
+  t1.store(d, c(5), "d := 5");
+  t1.store_rel(f, c(1), "f :=R 1");
+  auto t2 = t.sys.thread();
+  auto r1 = t2.reg("r1");
+  auto r2 = t2.reg("r2");
+  t2.load_acq(r1, f, "r1 <-A f");
+  t2.load(r2, d, "r2 <- d");
+  t.observed = {r1, r2};
+  t.allowed = sorted({{0, 0}, {0, 5}, {1, 5}});
+  return t;
+}
+
+LitmusTest mp_relaxed() {
+  LitmusTest t;
+  t.name = "MP+rlx";
+  t.description = "message passing with relaxed accesses: stale read allowed";
+  auto d = t.sys.client_var("d", 0);
+  auto f = t.sys.client_var("f", 0);
+  auto t1 = t.sys.thread();
+  t1.store(d, c(5), "d := 5");
+  t1.store(f, c(1), "f := 1");
+  auto t2 = t.sys.thread();
+  auto r1 = t2.reg("r1");
+  auto r2 = t2.reg("r2");
+  t2.load(r1, f, "r1 <- f");
+  t2.load(r2, d, "r2 <- d");
+  t.observed = {r1, r2};
+  t.allowed = sorted({{0, 0}, {0, 5}, {1, 0}, {1, 5}});
+  return t;
+}
+
+LitmusTest sb_release_acquire() {
+  LitmusTest t;
+  t.name = "SB+rel+acq";
+  t.description = "store buffering: r1 = r2 = 0 allowed even with RA";
+  auto x = t.sys.client_var("x", 0);
+  auto y = t.sys.client_var("y", 0);
+  auto t1 = t.sys.thread();
+  auto r1 = t1.reg("r1");
+  t1.store_rel(x, c(1), "x :=R 1");
+  t1.load_acq(r1, y, "r1 <-A y");
+  auto t2 = t.sys.thread();
+  auto r2 = t2.reg("r2");
+  t2.store_rel(y, c(1), "y :=R 1");
+  t2.load_acq(r2, x, "r2 <-A x");
+  t.observed = {r1, r2};
+  t.allowed = sorted({{0, 0}, {0, 1}, {1, 0}, {1, 1}});
+  return t;
+}
+
+LitmusTest lb_relaxed() {
+  LitmusTest t;
+  t.name = "LB+rlx";
+  t.description = "load buffering: RC11 RAR forbids the (1,1) cycle";
+  auto x = t.sys.client_var("x", 0);
+  auto y = t.sys.client_var("y", 0);
+  auto t1 = t.sys.thread();
+  auto r1 = t1.reg("r1");
+  t1.load(r1, x, "r1 <- x");
+  t1.store(y, c(1), "y := 1");
+  auto t2 = t.sys.thread();
+  auto r2 = t2.reg("r2");
+  t2.load(r2, y, "r2 <- y");
+  t2.store(x, c(1), "x := 1");
+  t.observed = {r1, r2};
+  t.allowed = sorted({{0, 0}, {0, 1}, {1, 0}});
+  return t;
+}
+
+LitmusTest corr() {
+  LitmusTest t;
+  t.name = "CoRR";
+  t.description = "read-read coherence: no reading against modification order";
+  auto x = t.sys.client_var("x", 0);
+  auto t1 = t.sys.thread();
+  t1.store(x, c(1), "x := 1");
+  auto t2 = t.sys.thread();
+  auto r1 = t2.reg("r1");
+  auto r2 = t2.reg("r2");
+  t2.load(r1, x, "r1 <- x");
+  t2.load(r2, x, "r2 <- x");
+  t.observed = {r1, r2};
+  t.allowed = sorted({{0, 0}, {0, 1}, {1, 1}});
+  return t;
+}
+
+LitmusTest coww_reads() {
+  LitmusTest t;
+  t.name = "CoWW+reads";
+  t.description = "write-write coherence: reader sees a mo-monotone pair";
+  auto x = t.sys.client_var("x", 0);
+  auto t1 = t.sys.thread();
+  t1.store(x, c(1), "x := 1");
+  t1.store(x, c(2), "x := 2");
+  auto t2 = t.sys.thread();
+  auto r1 = t2.reg("r1");
+  auto r2 = t2.reg("r2");
+  t2.load(r1, x, "r1 <- x");
+  t2.load(r2, x, "r2 <- x");
+  t.observed = {r1, r2};
+  t.allowed = sorted({{0, 0}, {0, 1}, {0, 2}, {1, 1}, {1, 2}, {2, 2}});
+  return t;
+}
+
+LitmusTest iriw_release_acquire() {
+  LitmusTest t;
+  t.name = "IRIW+rel+acq";
+  t.description = "independent reads of independent writes may disagree under RA";
+  auto x = t.sys.client_var("x", 0);
+  auto y = t.sys.client_var("y", 0);
+  auto w1 = t.sys.thread();
+  w1.store_rel(x, c(1), "x :=R 1");
+  auto w2 = t.sys.thread();
+  w2.store_rel(y, c(1), "y :=R 1");
+  auto rdr1 = t.sys.thread();
+  auto r1 = rdr1.reg("r1");
+  auto r2 = rdr1.reg("r2");
+  rdr1.load_acq(r1, x, "r1 <-A x");
+  rdr1.load_acq(r2, y, "r2 <-A y");
+  auto rdr2 = t.sys.thread();
+  auto r3 = rdr2.reg("r3");
+  auto r4 = rdr2.reg("r4");
+  rdr2.load_acq(r3, y, "r3 <-A y");
+  rdr2.load_acq(r4, x, "r4 <-A x");
+  t.observed = {r1, r2, r3, r4};
+  // Every combination is allowed under RA, including the SC-violating
+  // disagreement (1,0,1,0).
+  std::vector<std::vector<Value>> all;
+  for (Value a = 0; a <= 1; ++a)
+    for (Value b = 0; b <= 1; ++b)
+      for (Value cc = 0; cc <= 1; ++cc)
+        for (Value d = 0; d <= 1; ++d) all.push_back({a, b, cc, d});
+  t.allowed = sorted(std::move(all));
+  return t;
+}
+
+LitmusTest cas_agreement() {
+  LitmusTest t;
+  t.name = "CAS-agreement";
+  t.description = "two competing CAS(x,0,_): exactly one succeeds";
+  auto x = t.sys.client_var("x", 0);
+  auto t1 = t.sys.thread();
+  auto r1 = t1.reg("r1");
+  t1.cas(r1, x, c(0), c(1), "r1 <- CAS(x,0,1)");
+  auto t2 = t.sys.thread();
+  auto r2 = t2.reg("r2");
+  t2.cas(r2, x, c(0), c(2), "r2 <- CAS(x,0,2)");
+  t.observed = {r1, r2};
+  t.allowed = sorted({{1, 0}, {0, 1}});
+  return t;
+}
+
+LitmusTest fai_tickets() {
+  LitmusTest t;
+  t.name = "FAI-tickets";
+  t.description = "two FAI(x) return distinct consecutive values";
+  auto x = t.sys.client_var("x", 0);
+  auto t1 = t.sys.thread();
+  auto r1 = t1.reg("r1");
+  t1.fai(r1, x, "r1 <- FAI(x)");
+  auto t2 = t.sys.thread();
+  auto r2 = t2.reg("r2");
+  t2.fai(r2, x, "r2 <- FAI(x)");
+  t.observed = {r1, r2};
+  t.allowed = sorted({{0, 1}, {1, 0}});
+  return t;
+}
+
+LitmusTest two_writers() {
+  LitmusTest t;
+  t.name = "2W+reads";
+  t.description = "two writers to one variable: reader stays mo-monotone";
+  auto x = t.sys.client_var("x", 0);
+  auto t1 = t.sys.thread();
+  t1.store(x, c(1), "x := 1");
+  auto t2 = t.sys.thread();
+  t2.store(x, c(2), "x := 2");
+  auto t3 = t.sys.thread();
+  auto r1 = t3.reg("r1");
+  auto r2 = t3.reg("r2");
+  t3.load(r1, x, "r1 <- x");
+  t3.load(r2, x, "r2 <- x");
+  t.observed = {r1, r2};
+  // Monotone pairs under mo [1,2] or [2,1]; (1,0) and (2,0) are forbidden.
+  t.allowed = sorted({{0, 0}, {0, 1}, {0, 2}, {1, 1}, {1, 2}, {2, 1}, {2, 2}});
+  return t;
+}
+
+namespace {
+
+/// The client of Figures 1 and 2: T1 writes d then pushes the message;
+/// T2 pops until it sees the message, then reads d.
+LitmusTest stack_mp(bool synchronising) {
+  LitmusTest t;
+  t.name = synchronising ? "Fig2-stack-MP+sync" : "Fig1-stack-MP+rlx";
+  t.description = synchronising
+                      ? "publication via synchronising stack (pushR/popA)"
+                      : "unsynchronised message passing via relaxed stack";
+  auto d = t.sys.client_var("d", 0);
+  auto s = t.sys.library_stack("s");
+  auto t1 = t.sys.thread();
+  t1.store(d, c(5), "d := 5");
+  if (synchronising) {
+    t1.push_rel(s, c(1), "s.pushR(1)");
+  } else {
+    t1.push(s, c(1), "s.push(1)");
+  }
+  auto t2 = t.sys.thread();
+  auto r1 = t2.reg("r1");
+  auto r2 = t2.reg("r2");
+  t2.do_until(
+      [&] {
+        if (synchronising) {
+          t2.pop_acq(r1, s, "r1 <- s.popA()");
+        } else {
+          t2.pop(r1, s, "r1 <- s.pop()");
+        }
+      },
+      lang::Expr{r1} == c(1));
+  t2.load(r2, d, "r2 <- d");
+  t.observed = {r1, r2};
+  t.allowed = synchronising ? sorted({{1, 5}})
+                            : sorted({{1, 0}, {1, 5}});
+  return t;
+}
+
+}  // namespace
+
+LitmusTest fig1_stack_mp_relaxed() { return stack_mp(false); }
+LitmusTest fig2_stack_mp_sync() { return stack_mp(true); }
+
+namespace {
+
+CausalityTest wrc(bool annotated) {
+  CausalityTest t;
+  t.name = annotated ? "WRC+rel+acq" : "WRC+rlx";
+  t.description = annotated
+                      ? "write-read causality: the RA chain publishes x"
+                      : "write-read causality: relaxed chain leaks stale x";
+  auto x = t.sys.client_var("x", 0);
+  auto y = t.sys.client_var("y", 0);
+  auto t1 = t.sys.thread();
+  if (annotated) {
+    t1.store_rel(x, c(1), "x :=R 1");
+  } else {
+    t1.store(x, c(1), "x := 1");
+  }
+  auto t2 = t.sys.thread();
+  auto r1 = t2.reg("r1");
+  if (annotated) {
+    t2.load_acq(r1, x, "r1 <-A x");
+    t2.store_rel(y, c(1), "y :=R 1");
+  } else {
+    t2.load(r1, x, "r1 <- x");
+    t2.store(y, c(1), "y := 1");
+  }
+  auto t3 = t.sys.thread();
+  auto r2 = t3.reg("r2");
+  auto r3 = t3.reg("r3");
+  if (annotated) {
+    t3.load_acq(r2, y, "r2 <-A y");
+  } else {
+    t3.load(r2, y, "r2 <- y");
+  }
+  t3.load(r3, x, "r3 <- x");
+  t.observed = {r1, r2, r3};
+  if (annotated) {
+    t.must_allow = {{1, 1, 1}, {0, 0, 0}, {1, 0, 0}, {0, 1, 1}};
+    // The causality violation: T2 saw x = 1 before publishing y, T3 saw the
+    // publication but misses x = 1.
+    t.must_forbid = {{1, 1, 0}};
+  } else {
+    t.must_allow = {{1, 1, 0}, {1, 1, 1}};
+    t.must_forbid = {};
+  }
+  return t;
+}
+
+}  // namespace
+
+CausalityTest wrc_release_acquire() { return wrc(true); }
+CausalityTest wrc_relaxed() { return wrc(false); }
+
+CausalityTest isa2_release_acquire() {
+  CausalityTest t;
+  t.name = "ISA2+rel+acq";
+  t.description = "two-hop release/acquire chain publishes x transitively";
+  auto x = t.sys.client_var("x", 0);
+  auto y = t.sys.client_var("y", 0);
+  auto z = t.sys.client_var("z", 0);
+  auto t1 = t.sys.thread();
+  t1.store(x, c(1), "x := 1");
+  t1.store_rel(y, c(1), "y :=R 1");
+  auto t2 = t.sys.thread();
+  auto r1 = t2.reg("r1");
+  t2.load_acq(r1, y, "r1 <-A y");
+  t2.store_rel(z, c(1), "z :=R 1");
+  auto t3 = t.sys.thread();
+  auto r2 = t3.reg("r2");
+  auto r3 = t3.reg("r3");
+  t3.load_acq(r2, z, "r2 <-A z");
+  t3.load(r3, x, "r3 <- x");
+  t.observed = {r1, r2, r3};
+  t.must_allow = {{1, 1, 1}, {0, 0, 0}, {1, 0, 0}};
+  t.must_forbid = {{1, 1, 0}};
+  return t;
+}
+
+CausalityTest s_shape() {
+  CausalityTest t;
+  t.name = "S+rel+acq";
+  t.description =
+      "release/acquire edge orders the writes to x in modification order";
+  auto x = t.sys.client_var("x", 0);
+  auto y = t.sys.client_var("y", 0);
+  auto t1 = t.sys.thread();
+  t1.store(x, c(2), "x := 2");
+  t1.store_rel(y, c(1), "y :=R 1");
+  auto t2 = t.sys.thread();
+  auto r1 = t2.reg("r1");
+  auto r2 = t2.reg("r2");
+  t2.load_acq(r1, y, "r1 <-A y");
+  t2.store(x, c(1), "x := 1");
+  t2.load(r2, x, "r2 <- x");
+  t.observed = {r1, r2};
+  // If T2 synchronised (r1 = 1), its write of 1 must be placed after the
+  // write of 2, so re-reading x can only return 1.
+  t.must_allow = {{1, 1}, {0, 1}, {0, 2}};
+  t.must_forbid = {{1, 2}};
+  return t;
+}
+
+std::vector<CausalityTest> all_causality_tests() {
+  std::vector<CausalityTest> tests;
+  tests.push_back(wrc_release_acquire());
+  tests.push_back(wrc_relaxed());
+  tests.push_back(isa2_release_acquire());
+  tests.push_back(s_shape());
+  return tests;
+}
+
+std::vector<LitmusTest> all_tests() {
+  std::vector<LitmusTest> tests;
+  tests.push_back(mp_release_acquire());
+  tests.push_back(mp_relaxed());
+  tests.push_back(sb_release_acquire());
+  tests.push_back(lb_relaxed());
+  tests.push_back(corr());
+  tests.push_back(coww_reads());
+  tests.push_back(iriw_release_acquire());
+  tests.push_back(cas_agreement());
+  tests.push_back(fai_tickets());
+  tests.push_back(two_writers());
+  tests.push_back(fig1_stack_mp_relaxed());
+  tests.push_back(fig2_stack_mp_sync());
+  return tests;
+}
+
+}  // namespace rc11::litmus

@@ -1,0 +1,179 @@
+#include "locks/lock_objects.hpp"
+
+#include "memsem/types.hpp"
+#include "support/diagnostics.hpp"
+
+namespace rc11::locks {
+
+using lang::c;
+using lang::Expr;
+using memsem::Component;
+
+// --- abstract lock -----------------------------------------------------------
+
+void AbstractLock::declare(System& sys) { l_ = sys.library_lock("l"); }
+
+void AbstractLock::emit_acquire(ThreadBuilder& tb, Reg dst) {
+  tb.acquire(l_, dst, "l.Acquire()");
+}
+
+void AbstractLock::emit_release(ThreadBuilder& tb) {
+  tb.release(l_, "l.Release()");
+}
+
+// --- sequence lock -----------------------------------------------------------
+
+void SeqLock::declare(System& sys) {
+  regs_.clear();  // a LockObject may be reused across instantiations
+  glb_ = sys.library_var("glb", 0);
+}
+
+SeqLock::ThreadRegs& SeqLock::regs_for(ThreadBuilder& tb) {
+  const auto t = tb.id();
+  auto it = regs_.find(t);
+  if (it == regs_.end()) {
+    ThreadRegs regs{
+        tb.reg("slk_r", 0, Component::Library),
+        tb.reg("slk_loc", 0, Component::Library),
+    };
+    it = regs_.emplace(t, regs).first;
+  }
+  return it->second;
+}
+
+void SeqLock::emit_acquire(ThreadBuilder& tb, Reg dst) {
+  auto& r = regs_for(tb);
+  tb.do_until(
+      [&] {
+        tb.do_until([&] { tb.load_acq(r.r, glb_, "r <-A glb"); },
+                    lang::is_even(Expr{r.r}));
+        tb.cas(r.loc, glb_, Expr{r.r}, Expr{r.r} + c(1),
+               "loc <- CAS(glb, r, r+1)");
+      },
+      Expr{r.loc});
+  // Acquire() returns true — delivered through the client register, which is
+  // the refinement-visible rval of Section 4.
+  tb.assign(dst, c(1), "return true");
+}
+
+void SeqLock::emit_release(ThreadBuilder& tb) {
+  auto& r = regs_for(tb);
+  if (releasing_release_) {
+    tb.store_rel(glb_, Expr{r.r} + c(2), "glb :=R r + 2");
+  } else {
+    tb.store(glb_, Expr{r.r} + c(2), "glb := r + 2 (BROKEN: relaxed)");
+  }
+}
+
+// --- ticket lock ---------------------------------------------------------------
+
+void TicketLock::declare(System& sys) {
+  regs_.clear();
+  nt_ = sys.library_var("nt", 0);
+  sn_ = sys.library_var("sn", 0);
+}
+
+TicketLock::ThreadRegs& TicketLock::regs_for(ThreadBuilder& tb) {
+  const auto t = tb.id();
+  auto it = regs_.find(t);
+  if (it == regs_.end()) {
+    ThreadRegs regs{
+        tb.reg("tkt_mt", 0, Component::Library),
+        tb.reg("tkt_sn", 0, Component::Library),
+    };
+    it = regs_.emplace(t, regs).first;
+  }
+  return it->second;
+}
+
+void TicketLock::emit_acquire(ThreadBuilder& tb, Reg dst) {
+  auto& r = regs_for(tb);
+  tb.fai(r.my_ticket, nt_, "m_t <- FAI(nt)");
+  tb.do_until([&] { tb.load_acq(r.serving, sn_, "s_n <-A sn"); },
+              Expr{r.my_ticket} == Expr{r.serving});
+  tb.assign(dst, c(1), "return true");
+}
+
+void TicketLock::emit_release(ThreadBuilder& tb) {
+  auto& r = regs_for(tb);
+  if (releasing_release_) {
+    tb.store_rel(sn_, Expr{r.serving} + c(1), "sn :=R s_n + 1");
+  } else {
+    tb.store(sn_, Expr{r.serving} + c(1), "sn := s_n + 1 (BROKEN: relaxed)");
+  }
+}
+
+// --- CAS spinlock ---------------------------------------------------------------
+
+void CasSpinLock::declare(System& sys) {
+  regs_.clear();
+  glb_ = sys.library_var("glb", 0);
+}
+
+CasSpinLock::ThreadRegs& CasSpinLock::regs_for(ThreadBuilder& tb) {
+  const auto t = tb.id();
+  auto it = regs_.find(t);
+  if (it == regs_.end()) {
+    ThreadRegs regs{tb.reg("tas_loc", 0, Component::Library)};
+    it = regs_.emplace(t, regs).first;
+  }
+  return it->second;
+}
+
+void CasSpinLock::emit_acquire(ThreadBuilder& tb, Reg dst) {
+  auto& r = regs_for(tb);
+  tb.do_until([&] { tb.cas(r.loc, glb_, c(0), c(1), "loc <- CAS(glb, 0, 1)"); },
+              Expr{r.loc});
+  tb.assign(dst, c(1), "return true");
+}
+
+void CasSpinLock::emit_release(ThreadBuilder& tb) {
+  tb.store_rel(glb_, c(0), "glb :=R 0");
+}
+
+// --- TTAS lock --------------------------------------------------------------------
+
+void TTASLock::declare(System& sys) {
+  regs_.clear();
+  glb_ = sys.library_var("glb", 0);
+}
+
+TTASLock::ThreadRegs& TTASLock::regs_for(ThreadBuilder& tb) {
+  const auto t = tb.id();
+  auto it = regs_.find(t);
+  if (it == regs_.end()) {
+    ThreadRegs regs{
+        tb.reg("ttas_r", 0, Component::Library),
+        tb.reg("ttas_loc", 0, Component::Library),
+    };
+    it = regs_.emplace(t, regs).first;
+  }
+  return it->second;
+}
+
+void TTASLock::emit_acquire(ThreadBuilder& tb, Reg dst) {
+  auto& r = regs_for(tb);
+  tb.do_until(
+      [&] {
+        tb.do_until([&] { tb.load_acq(r.r, glb_, "r <-A glb"); },
+                    Expr{r.r} == c(0));
+        tb.cas(r.loc, glb_, c(0), c(1), "loc <- CAS(glb, 0, 1)");
+      },
+      Expr{r.loc});
+  tb.assign(dst, c(1), "return true");
+}
+
+void TTASLock::emit_release(ThreadBuilder& tb) {
+  tb.store_rel(glb_, c(0), "glb :=R 0");
+}
+
+// --- instantiation ---------------------------------------------------------------
+
+System instantiate(const ClientProgram& client, LockObject& object) {
+  System sys;
+  object.declare(sys);
+  client(sys, object);
+  return sys;
+}
+
+}  // namespace rc11::locks

@@ -1,0 +1,73 @@
+// rc11lib/memsem/location.hpp
+//
+// The location table: the set of global variables and abstract objects of a
+// combined client-library system, partitioned into components as in Section 3
+// of the paper (GVar = GVar_C ∪ GVar_L, plus abstract objects from Obj).
+
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "memsem/types.hpp"
+#include "support/diagnostics.hpp"
+#include "support/intern.hpp"
+
+namespace rc11::memsem {
+
+/// Static description of one location.
+struct LocationInfo {
+  std::string name;
+  Component component = Component::Client;
+  LocKind kind = LocKind::Var;
+  Value initial = 0;  ///< initial value (plain variables only)
+};
+
+/// Dense registry of all locations of a system.  Immutable once the memory
+/// state has been initialised.
+class LocationTable {
+ public:
+  /// Declares a plain global variable with its (mandatory, per the paper's
+  /// Init discipline: "each shared variable is initialised exactly once")
+  /// initial value.
+  LocId add_var(std::string_view name, Component comp, Value initial) {
+    return add({std::string{name}, comp, LocKind::Var, initial});
+  }
+
+  /// Declares an abstract object (lock or stack).
+  LocId add_object(std::string_view name, Component comp, LocKind kind) {
+    RC11_REQUIRE(kind != LocKind::Var, "add_object requires an object kind");
+    return add({std::string{name}, comp, kind, 0});
+  }
+
+  [[nodiscard]] const LocationInfo& info(LocId loc) const { return locs_.at(loc); }
+  [[nodiscard]] std::size_t size() const noexcept { return locs_.size(); }
+
+  [[nodiscard]] Component component(LocId loc) const { return info(loc).component; }
+  [[nodiscard]] LocKind kind(LocId loc) const { return info(loc).kind; }
+  [[nodiscard]] const std::string& name(LocId loc) const { return info(loc).name; }
+  [[nodiscard]] bool is_var(LocId loc) const { return kind(loc) == LocKind::Var; }
+
+  /// Looks a location up by name; fails with a user error if absent.
+  [[nodiscard]] LocId find(std::string_view name) const {
+    for (LocId i = 0; i < locs_.size(); ++i) {
+      if (locs_[i].name == name) return i;
+    }
+    support::fail("unknown location: ", name);
+  }
+
+ private:
+  LocId add(LocationInfo info) {
+    for (const auto& existing : locs_) {
+      support::require(existing.name != info.name,
+                       "duplicate location name: ", info.name);
+    }
+    locs_.push_back(std::move(info));
+    return static_cast<LocId>(locs_.size() - 1);
+  }
+
+  std::vector<LocationInfo> locs_;
+};
+
+}  // namespace rc11::memsem

@@ -1,0 +1,298 @@
+#include "memsem/state.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/diagnostics.hpp"
+#include "support/hash.hpp"
+
+namespace rc11::memsem {
+
+using support::Rational;
+
+MemState::MemState(const LocationTable& locs, ThreadId num_threads,
+                   SemanticsOptions options)
+    : locs_(&locs), num_threads_(num_threads), options_(options) {
+  support::require(num_threads > 0, "a system needs at least one thread");
+  const auto num_locs = locs.size();
+  mo_.resize(num_locs);
+  ops_.reserve(num_locs);
+
+  // One initialising operation per location, all at timestamp 0.  Object
+  // init operations are releasing: Fig. 6's acquire synchronises with the
+  // operation it observes, which may be l.init_0.  Plain-variable
+  // initialisation is a relaxed write (as in the paper's examples, where
+  // message passing cannot be established through initialisation alone).
+  View init_view(num_locs, kNoOp);
+  for (LocId loc = 0; loc < num_locs; ++loc) {
+    Op op;
+    op.loc = loc;
+    op.thread = 0;
+    op.kind = OpKind::Init;
+    op.value = locs.is_var(loc) ? locs.info(loc).initial : 0;
+    op.releasing = !locs.is_var(loc);
+    op.mo_pos = 0;
+    op.ts = Rational{0};
+    const auto id = static_cast<OpId>(ops_.size());
+    ops_.push_back(std::move(op));
+    mo_[loc].push_back(id);
+    init_view[loc] = id;
+  }
+  // mview of every init operation is the full initial viewfront
+  // (γ_Init.mview = γ_Init.tview ∪ β_Init.tview in §3.3).
+  for (LocId loc = 0; loc < num_locs; ++loc) {
+    ops_[mo_[loc][0]].mview = init_view;
+  }
+  tview_.assign(num_threads, init_view);
+}
+
+std::vector<OpId> MemState::observable(ThreadId t, LocId loc) const {
+  if (options_.model == MemoryModel::SC) {
+    // Under the SC baseline only the mo-maximal write is readable.
+    return {mo_[loc].back()};
+  }
+  const OpId front = tview_[t][loc];
+  const auto& order = mo_[loc];
+  std::vector<OpId> result;
+  result.reserve(order.size() - ops_[front].mo_pos);
+  for (std::size_t i = ops_[front].mo_pos; i < order.size(); ++i) {
+    result.push_back(order[i]);
+  }
+  return result;
+}
+
+std::vector<OpId> MemState::observable_uncovered(ThreadId t, LocId loc) const {
+  std::vector<OpId> result = observable(t, loc);
+  if (options_.enforce_covered) {
+    std::erase_if(result, [this](OpId w) { return ops_[w].covered; });
+  }
+  return result;
+}
+
+OpId MemState::last_op(LocId loc) const {
+  RC11_REQUIRE(!mo_[loc].empty(), "location without operations");
+  return mo_[loc].back();
+}
+
+void MemState::merge_view_into(View& target, const View& source,
+                               std::optional<Component> only) const {
+  for (LocId loc = 0; loc < target.size(); ++loc) {
+    if (only && locs_->component(loc) != *only) continue;
+    if (ops_[source[loc]].mo_pos > ops_[target[loc]].mo_pos) {
+      target[loc] = source[loc];
+    }
+  }
+}
+
+Value MemState::read(ThreadId t, LocId loc, OpId w, MemOrder order) {
+  RC11_REQUIRE(order == MemOrder::Relaxed || order == MemOrder::Acquire,
+               "read order must be relaxed or acquire");
+  RC11_REQUIRE(ops_[w].loc == loc, "read target on wrong location");
+  RC11_REQUIRE(options_.model == MemoryModel::SC ||
+                   ops_[w].mo_pos >= ops_[tview_[t][loc]].mo_pos,
+               "read target not observable");
+  const bool sync = (ops_[w].releasing && order == MemOrder::Acquire) ||
+                    options_.model == MemoryModel::SC;
+  if (sync) {
+    // tview' = tview ⊗ mview_w and ctview' = ctview ⊗ mview_w of Fig. 5,
+    // realised as one merge over all locations (or, under the A1 ablation,
+    // over the executing component's locations only).
+    const std::optional<Component> only =
+        options_.cross_component_view_transfer
+            ? std::nullopt
+            : std::optional<Component>{locs_->component(loc)};
+    merge_view_into(tview_[t], ops_[w].mview, only);
+  }
+  if (ops_[w].mo_pos > ops_[tview_[t][loc]].mo_pos) {
+    tview_[t][loc] = w;
+  }
+  return ops_[w].value;
+}
+
+OpId MemState::insert_after(LocId loc, Op op, OpId after) {
+  auto& order = mo_[loc];
+  const std::uint32_t pos = ops_[after].mo_pos;
+  RC11_REQUIRE(order[pos] == after, "modification order rank out of sync");
+  // fresh_γ(q, q'): q < q' and q' precedes every existing timestamp after q.
+  op.ts = (pos + 1 == order.size())
+              ? ops_[after].ts.successor()
+              : Rational::midpoint(ops_[after].ts, ops_[order[pos + 1]].ts);
+  op.mo_pos = pos + 1;
+  const auto id = static_cast<OpId>(ops_.size());
+  ops_.push_back(std::move(op));
+  order.insert(order.begin() + pos + 1, id);
+  for (std::size_t i = pos + 2; i < order.size(); ++i) {
+    ops_[order[i]].mo_pos = static_cast<std::uint32_t>(i);
+  }
+  return id;
+}
+
+OpId MemState::write(ThreadId t, LocId loc, Value v, MemOrder order, OpId after) {
+  RC11_REQUIRE(order == MemOrder::Relaxed || order == MemOrder::Release,
+               "write order must be relaxed or release");
+  RC11_REQUIRE(locs_->is_var(loc), "write requires a plain variable");
+  RC11_REQUIRE(!options_.enforce_covered || !ops_[after].covered,
+               "cannot insert after a covered write");
+  Op op;
+  op.loc = loc;
+  op.thread = t;
+  op.kind = order == MemOrder::Release ? OpKind::WriteRel : OpKind::Write;
+  op.value = v;
+  op.releasing =
+      order == MemOrder::Release || options_.model == MemoryModel::SC;
+  const OpId id = insert_after(loc, std::move(op), after);
+  tview_[t][loc] = id;
+  // mview' = tview' ∪ β.tview_t: the writer's full (both-component) view.
+  ops_[id].mview = tview_[t];
+  return id;
+}
+
+OpId MemState::update(ThreadId t, LocId loc, OpId w, Value v) {
+  RC11_REQUIRE(locs_->is_var(loc), "update requires a plain variable");
+  RC11_REQUIRE(!options_.enforce_covered || !ops_[w].covered,
+               "cannot update a covered write");
+  const bool sync = ops_[w].releasing;
+  Op op;
+  op.loc = loc;
+  op.thread = t;
+  op.kind = OpKind::Update;
+  op.value = v;
+  op.read_value = ops_[w].value;
+  op.releasing = true;  // upd^RA is a releasing write
+  const OpId id = insert_after(loc, std::move(op), w);
+  ops_[w].covered = true;
+  if (sync) {
+    const std::optional<Component> only =
+        options_.cross_component_view_transfer
+            ? std::nullopt
+            : std::optional<Component>{locs_->component(loc)};
+    merge_view_into(tview_[t], ops_[w].mview, only);
+  }
+  tview_[t][loc] = id;
+  ops_[id].mview = tview_[t];
+  return id;
+}
+
+OpId MemState::object_op(ThreadId t, LocId loc, OpKind kind, Value value,
+                         bool releasing, std::optional<OpId> sync_with,
+                         bool cover) {
+  RC11_REQUIRE(!locs_->is_var(loc), "object_op requires an object location");
+  Op op;
+  op.loc = loc;
+  op.thread = t;
+  op.kind = kind;
+  op.value = value;
+  op.releasing = releasing;
+  op.mo_pos = static_cast<std::uint32_t>(mo_[loc].size());
+  op.ts = ops_[mo_[loc].back()].ts.successor();
+  const auto id = static_cast<OpId>(ops_.size());
+  ops_.push_back(std::move(op));
+  mo_[loc].push_back(id);
+  if (sync_with) {
+    if (cover) {
+      ops_[*sync_with].covered = true;
+    }
+    const std::optional<Component> only =
+        options_.cross_component_view_transfer
+            ? std::nullopt
+            : std::optional<Component>{locs_->component(loc)};
+    merge_view_into(tview_[t], ops_[*sync_with].mview, only);
+  }
+  tview_[t][loc] = id;
+  ops_[id].mview = tview_[t];
+  return id;
+}
+
+void MemState::consume(ThreadId t, LocId loc, OpId w, bool sync) {
+  RC11_REQUIRE(ops_[w].loc == loc, "consume target on wrong location");
+  ops_[w].covered = true;
+  if (sync) {
+    const std::optional<Component> only =
+        options_.cross_component_view_transfer
+            ? std::nullopt
+            : std::optional<Component>{locs_->component(loc)};
+    merge_view_into(tview_[t], ops_[w].mview, only);
+  }
+  if (ops_[w].mo_pos > ops_[tview_[t][loc]].mo_pos) {
+    tview_[t][loc] = w;
+  }
+}
+
+void MemState::encode(std::vector<std::uint64_t>& out) const {
+  const auto num_locs = locs_->size();
+  for (LocId loc = 0; loc < num_locs; ++loc) {
+    const auto& order = mo_[loc];
+    out.push_back(order.size());
+    for (const OpId id : order) {
+      const Op& op = ops_[id];
+      std::uint64_t tag = static_cast<std::uint64_t>(op.kind);
+      tag |= static_cast<std::uint64_t>(op.thread) << 8;
+      tag |= static_cast<std::uint64_t>(op.releasing) << 40;
+      tag |= static_cast<std::uint64_t>(op.covered) << 41;
+      out.push_back(tag);
+      out.push_back(static_cast<std::uint64_t>(op.value));
+      out.push_back(static_cast<std::uint64_t>(op.read_value));
+      if (!options_.canonical_timestamps) {
+        out.push_back(static_cast<std::uint64_t>(op.ts.numerator()));
+        out.push_back(static_cast<std::uint64_t>(op.ts.denominator()));
+      }
+    }
+  }
+  for (ThreadId t = 0; t < num_threads_; ++t) {
+    for (LocId loc = 0; loc < num_locs; ++loc) {
+      out.push_back(ops_[tview_[t][loc]].mo_pos);
+    }
+  }
+  for (LocId loc = 0; loc < num_locs; ++loc) {
+    for (const OpId id : mo_[loc]) {
+      for (LocId l2 = 0; l2 < num_locs; ++l2) {
+        out.push_back(ops_[ops_[id].mview[l2]].mo_pos);
+      }
+    }
+  }
+}
+
+std::uint64_t MemState::hash() const {
+  std::vector<std::uint64_t> words;
+  words.reserve(64);
+  encode(words);
+  support::WordHasher h;
+  for (const auto w : words) h.add(w);
+  return h.digest();
+}
+
+std::string MemState::to_string() const {
+  std::ostringstream os;
+  const auto num_locs = locs_->size();
+  for (LocId loc = 0; loc < num_locs; ++loc) {
+    os << locs_->name(loc) << " ["
+       << (locs_->component(loc) == Component::Client ? "client" : "library")
+       << "]: ";
+    for (const OpId id : mo_[loc]) {
+      const Op& op = ops_[id];
+      switch (op.kind) {
+        case OpKind::Init: os << "init(" << op.value << ")"; break;
+        case OpKind::Write: os << "wr(" << op.value << ")"; break;
+        case OpKind::WriteRel: os << "wrR(" << op.value << ")"; break;
+        case OpKind::Update:
+          os << "upd(" << op.read_value << "->" << op.value << ")";
+          break;
+        case OpKind::LockAcquire: os << "acq_" << op.value; break;
+        case OpKind::LockRelease: os << "rel_" << op.value; break;
+        case OpKind::StackPush: os << "push(" << op.value << ")"; break;
+        case OpKind::QueueEnqueue: os << "enq(" << op.value << ")"; break;
+      }
+      os << "@t" << op.thread << "/ts=" << op.ts.to_string();
+      if (op.covered) os << "/cvd";
+      os << " ";
+    }
+    os << "| views:";
+    for (ThreadId t = 0; t < num_threads_; ++t) {
+      os << " t" << t << "->" << ops_[tview_[t][loc]].mo_pos;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace rc11::memsem

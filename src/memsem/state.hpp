@@ -1,0 +1,236 @@
+// rc11lib/memsem/state.hpp
+//
+// The weak-memory state of a combined client-library system and the
+// transition rules of the paper:
+//
+//   * Section 3.3 / Figure 5: READ, WRITE and UPDATE transitions over
+//     timestamped operation sets (ops), thread view fronts (tview),
+//     per-write modification views (mview) and the covered set (cvd),
+//     including the cross-component view transfer (ctview) that lets
+//     synchronisation inside one component update a thread's view of the
+//     other component.
+//
+//   * Section 4 / Figure 6: abstract object operations (lock acquire /
+//     release; our stack push / pop) realised through the generic
+//     append-at-maximal-timestamp + synchronise + cover primitives that
+//     both rules of Fig. 6 instantiate.
+//
+// Representation notes (see DESIGN.md Section 4):
+//
+//   * The paper splits the state into a client state γ and a library state β
+//     whose tviews range over their own component's variables, while mviews
+//     range over *all* variables.  We store one operation arena and, per
+//     thread, one view vector over all locations; entries at client locations
+//     are exactly γ.tview_t and entries at library locations are β.tview_t.
+//     With that representation the paper's two-sided rules (tview' and
+//     ctview' computed separately) collapse into a single pointwise view
+//     merge, which is easy to see equivalent and much harder to get wrong.
+//
+//   * Timestamps.  Modification order per location is an explicit sequence
+//     (so the canonical "rank" of an operation is its position), and every
+//     operation additionally carries a faithful rational timestamp assigned
+//     by the paper's fresh-timestamp rule (midpoint insertion / successor at
+//     the end).  State equality and hashing use the canonical ranks by
+//     default; the A3 ablation switches to raw rationals to demonstrate why
+//     canonicalisation is needed for finite exploration.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "memsem/location.hpp"
+#include "memsem/types.hpp"
+#include "support/rational.hpp"
+
+namespace rc11::memsem {
+
+/// A view: one operation per location ("viewfront").  Used both for thread
+/// views (tview) and per-operation modification views (mview).
+using View = std::vector<OpId>;
+
+/// One modifying operation: the paper's (action, timestamp) pair plus the
+/// modification view attached to it at creation time.
+struct Op {
+  LocId loc = 0;
+  ThreadId thread = 0;     ///< executing thread (part of the action identity)
+  OpKind kind = OpKind::Init;
+  Value value = 0;         ///< written value / lock version / pushed value
+  Value read_value = 0;    ///< for Update: the value read (m in upd(x, m, n))
+  bool releasing = false;  ///< member of W_R: a later acquiring read of this
+                           ///  operation synchronises (merges mview)
+  bool covered = false;    ///< member of cvd
+  std::uint32_t mo_pos = 0;  ///< current rank in the location's mo sequence
+  support::Rational ts;      ///< faithful rational timestamp
+  View mview;                ///< viewfront of the writer just after this op
+};
+
+/// Which memory model the transitions implement.
+enum class MemoryModel : std::uint8_t {
+  /// The paper's model: per-thread views, relaxed and release/acquire
+  /// accesses, stale reads allowed.
+  RC11RAR,
+  /// Sequential consistency as a baseline comparator: every read returns the
+  /// mo-maximal write and every access synchronises, so all threads share
+  /// one up-to-date view.  Implemented in the *same* engine by restricting
+  /// observability to the maximal write and forcing synchronisation — weak
+  /// behaviours are exactly the outcomes RC11RAR adds over this mode.
+  SC,
+};
+
+/// Tunable semantics switches.  The defaults implement the paper exactly;
+/// the alternatives exist solely for the ablation experiments (DESIGN.md
+/// experiments A1-A3) that demonstrate why each mechanism is necessary.
+struct SemanticsOptions {
+  /// A1: when false, a synchronising read merges the releasing write's mview
+  /// into the executing component's locations only — the context component's
+  /// thread view (the paper's ctview) is left unchanged.  Message passing
+  /// through a library then fails to transfer client views.
+  bool cross_component_view_transfer = true;
+
+  /// A2: when false, the covered set is ignored when choosing the write an
+  /// operation is placed after, breaking update atomicity (two CASes can both
+  /// succeed on the same write).
+  bool enforce_covered = true;
+
+  /// Baseline selector (see MemoryModel).
+  MemoryModel model = MemoryModel::RC11RAR;
+
+  /// A3: when false, state encodings embed raw rational timestamps instead of
+  /// canonical modification-order ranks, so order-isomorphic states are no
+  /// longer identified and exploration blows up.
+  bool canonical_timestamps = true;
+
+  friend bool operator==(const SemanticsOptions&, const SemanticsOptions&) = default;
+};
+
+/// The combined client-library weak-memory state (γ and β of the paper).
+class MemState {
+ public:
+  /// Builds the initial state Γ_Init of Section 3.3: one initialising write
+  /// (timestamp 0) per variable and one init operation per object; every
+  /// thread's view of every location is its init operation; every init
+  /// operation's mview is the full initial viewfront; cvd is empty.
+  MemState(const LocationTable& locs, ThreadId num_threads,
+           SemanticsOptions options = {});
+
+  // ------------------------------------------------------------------
+  // Queries
+  // ------------------------------------------------------------------
+
+  [[nodiscard]] const LocationTable& locations() const { return *locs_; }
+  [[nodiscard]] ThreadId num_threads() const { return num_threads_; }
+  [[nodiscard]] const SemanticsOptions& options() const { return options_; }
+
+  [[nodiscard]] const Op& op(OpId id) const { return ops_[id]; }
+  [[nodiscard]] std::size_t num_ops() const noexcept { return ops_.size(); }
+
+  /// Modification order of a location, ascending by timestamp.
+  [[nodiscard]] std::span<const OpId> mo(LocId loc) const { return mo_[loc]; }
+
+  /// The operation a thread's viewfront designates for a location
+  /// (tview_t(x), resp. β.tview_t(y) — component determined by the location).
+  [[nodiscard]] OpId view_front(ThreadId t, LocId loc) const {
+    return tview_[t][loc];
+  }
+
+  /// Obs(t, x): the operations on `loc` that thread `t` may read from — all
+  /// operations whose timestamp is at least the thread's viewfront (§3.3).
+  [[nodiscard]] std::vector<OpId> observable(ThreadId t, LocId loc) const;
+
+  /// Obs(t, x) \ cvd: the operations a new write/update may be placed after.
+  [[nodiscard]] std::vector<OpId> observable_uncovered(ThreadId t, LocId loc) const;
+
+  /// The last (maximal-timestamp) operation of a location; maxTS of §4.
+  [[nodiscard]] OpId last_op(LocId loc) const;
+
+  /// The value a read of `w` returns (wrval: written value; for updates the
+  /// value written, for a stack push the pushed value).
+  [[nodiscard]] Value read_value_of(OpId w) const { return ops_[w].value; }
+
+  /// Rank of `w` in its location's modification order.
+  [[nodiscard]] std::uint32_t rank(OpId w) const { return ops_[w].mo_pos; }
+
+  // ------------------------------------------------------------------
+  // Figure 5 transitions
+  // ------------------------------------------------------------------
+
+  /// READ: thread `t` reads operation `w` (must be in Obs(t, loc)) with
+  /// order `Relaxed` or `Acquire`.  Returns the value read.  If `w` is
+  /// releasing and the read acquires, the thread's view of *all* locations is
+  /// merged with mview_w (this is simultaneously the paper's tview' ⊗ and
+  /// ctview' ⊗ updates); otherwise only the viewfront of `loc` advances.
+  Value read(ThreadId t, LocId loc, OpId w, MemOrder order);
+
+  /// WRITE: thread `t` writes `v` immediately after `after` (must be in
+  /// Obs(t, loc) \ cvd) with order `Relaxed` or `Release`.  Returns the new
+  /// operation.
+  OpId write(ThreadId t, LocId loc, Value v, MemOrder order, OpId after);
+
+  /// UPDATE: thread `t` performs upd^RA(loc, read_value_of(w), v): reads `w`
+  /// (must be in Obs(t, loc) \ cvd), writes `v` immediately after it, covers
+  /// `w`, and synchronises if `w` is releasing.  The new operation is
+  /// releasing.  Returns the new operation.
+  OpId update(ThreadId t, LocId loc, OpId w, Value v);
+
+  // ------------------------------------------------------------------
+  // Abstract object primitive (Section 4)
+  // ------------------------------------------------------------------
+
+  /// Appends an object operation with a maximal timestamp for `loc`
+  /// (the ordering discipline of Fig. 6: "each new lock acquire and release
+  /// must have a larger timestamp than all other existing operations").
+  ///
+  /// If `sync_with` is set, the executing thread first synchronises with that
+  /// operation (merging its mview into the thread's view — the acquire case);
+  /// if `cover` is additionally true, `sync_with` is added to cvd.  The new
+  /// operation's mview is the thread's resulting viewfront (tview' ∪ ctview'
+  /// in Fig. 6).
+  OpId object_op(ThreadId t, LocId loc, OpKind kind, Value value,
+                 bool releasing, std::optional<OpId> sync_with, bool cover);
+
+  /// Covers an existing operation without adding a new one (used by the
+  /// stack's pop, which consumes its matched push).  If `sync` is true the
+  /// executing thread synchronises with `w` first.
+  void consume(ThreadId t, LocId loc, OpId w, bool sync);
+
+  // ------------------------------------------------------------------
+  // Encoding, equality, hashing
+  // ------------------------------------------------------------------
+
+  /// Appends a canonical encoding of this state to `out`.  Two states have
+  /// equal encodings iff they are equal up to order-isomorphism of
+  /// timestamps (with options().canonical_timestamps; otherwise raw rational
+  /// timestamps are embedded, distinguishing isomorphic states).
+  void encode(std::vector<std::uint64_t>& out) const;
+
+  [[nodiscard]] std::uint64_t hash() const;
+
+  /// Human-readable dump for diagnostics and counterexamples.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  /// Pointwise-later merge: the paper's V1 ⊗ V2 (keeps the operation with the
+  /// larger timestamp per location).  If `only` is set, locations of other
+  /// components are skipped — this is the A1 ablation's crippled transfer
+  /// that suppresses the paper's ctview update.
+  void merge_view_into(View& target, const View& source,
+                       std::optional<Component> only) const;
+
+  /// Inserts a fresh operation right after `after` in `loc`'s modification
+  /// order, assigning a fresh rational timestamp per fresh_γ(q, q').
+  OpId insert_after(LocId loc, Op op, OpId after);
+
+  const LocationTable* locs_;
+  ThreadId num_threads_;
+  SemanticsOptions options_;
+
+  std::vector<Op> ops_;               // arena; OpId indexes this
+  std::vector<std::vector<OpId>> mo_;  // per location, ascending timestamp
+  std::vector<View> tview_;            // per thread, over all locations
+};
+
+}  // namespace rc11::memsem

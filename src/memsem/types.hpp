@@ -1,0 +1,66 @@
+// rc11lib/memsem/types.hpp
+//
+// Fundamental identifier and enumeration types for the RC11 RAR memory
+// semantics (paper Section 3.3).
+
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace rc11::memsem {
+
+/// Values stored in global variables and registers.
+using Value = std::int64_t;
+
+/// Thread identifier (dense, 0-based).
+using ThreadId = std::uint32_t;
+
+/// Location identifier: a global variable *or* an abstract object.  The
+/// paper's views (tview, mview) are functions from global variables to
+/// operations, extended in Section 4 so that abstract objects are also view
+/// domain elements (tview_t(l) for a lock l).  We therefore unify both under
+/// one dense id space per System.
+using LocId = std::uint32_t;
+
+/// Operation identifier: index into the MemState operation arena.  The
+/// paper's (action, timestamp) pairs are realised as Op records; OpIds are
+/// allocation-ordered, while modification order is kept per location.
+using OpId = std::uint32_t;
+
+inline constexpr OpId kNoOp = std::numeric_limits<OpId>::max();
+
+/// Which component of the combined client-library state a location belongs
+/// to (GVar_C vs GVar_L in the paper).
+enum class Component : std::uint8_t { Client = 0, Library = 1 };
+
+/// What a location is.
+enum class LocKind : std::uint8_t {
+  Var,    ///< plain C11 global variable (read/write/update)
+  Lock,   ///< abstract lock object (Fig. 6)
+  Stack,  ///< abstract synchronising stack object (Figs. 1-3; our semantics)
+  Queue,  ///< abstract synchronising FIFO queue (extension; same discipline)
+};
+
+/// Kind of a modifying operation in the ops set.
+enum class OpKind : std::uint8_t {
+  Init,         ///< initialising write (timestamp 0) — also object init
+  Write,        ///< relaxed write wr(x, n)
+  WriteRel,     ///< releasing write wr^R(x, n)
+  Update,       ///< update upd^RA(x, m, n): atomic read-modify-write
+  LockAcquire,  ///< abstract lock acquire_n (Fig. 6)
+  LockRelease,  ///< abstract lock release_n (Fig. 6)
+  StackPush,    ///< abstract stack push (releasing)
+  QueueEnqueue, ///< abstract queue enqueue (releasing)
+};
+
+/// Memory-order annotation on program accesses ([A] / [R] / none in the
+/// grammar of Section 3.1; CAS and FAI are always RA).
+enum class MemOrder : std::uint8_t { Relaxed, Acquire, Release, AcqRel };
+
+/// The distinguished value returned by a pop on an empty stack or a dequeue
+/// on an empty queue (Empty in the paper's [s.pop_emp] assertions).
+inline constexpr Value kStackEmpty = -1;
+inline constexpr Value kQueueEmpty = -1;
+
+}  // namespace rc11::memsem

@@ -1,0 +1,63 @@
+#include "objects/lock.hpp"
+
+#include "support/diagnostics.hpp"
+
+namespace rc11::objects {
+
+using memsem::LocKind;
+using memsem::OpKind;
+
+namespace {
+
+void check_is_lock(const MemState& mem, LocId lock) {
+  RC11_REQUIRE(mem.locations().kind(lock) == LocKind::Lock,
+               "lock operation on non-lock location");
+}
+
+}  // namespace
+
+bool lock_acquire_enabled(const MemState& mem, LocId lock) {
+  check_is_lock(mem, lock);
+  const auto& w = mem.op(mem.last_op(lock));
+  return w.kind == OpKind::Init || w.kind == OpKind::LockRelease;
+}
+
+OpId lock_acquire(MemState& mem, ThreadId t, LocId lock) {
+  RC11_REQUIRE(lock_acquire_enabled(mem, lock), "acquire on a held lock");
+  const OpId w = mem.last_op(lock);
+  const auto version = static_cast<Value>(mem.mo(lock).size());
+  // The acquire operation itself is not a synchronisation *source* (only
+  // init and release are observed by later acquires), so it is not marked
+  // releasing; it synchronises as a *reader* with w here.
+  return mem.object_op(t, lock, OpKind::LockAcquire, version,
+                       /*releasing=*/false, /*sync_with=*/w, /*cover=*/true);
+}
+
+bool lock_release_enabled(const MemState& mem, ThreadId t, LocId lock) {
+  check_is_lock(mem, lock);
+  const auto& w = mem.op(mem.last_op(lock));
+  return w.kind == OpKind::LockAcquire && w.thread == t;
+}
+
+OpId lock_release(MemState& mem, ThreadId t, LocId lock) {
+  RC11_REQUIRE(lock_release_enabled(mem, t, lock),
+               "release by a thread that does not hold the lock");
+  const auto version = static_cast<Value>(mem.mo(lock).size());
+  return mem.object_op(t, lock, OpKind::LockRelease, version,
+                       /*releasing=*/true, /*sync_with=*/std::nullopt,
+                       /*cover=*/false);
+}
+
+std::optional<ThreadId> lock_holder(const MemState& mem, LocId lock) {
+  check_is_lock(mem, lock);
+  const auto& w = mem.op(mem.last_op(lock));
+  if (w.kind == OpKind::LockAcquire) return w.thread;
+  return std::nullopt;
+}
+
+Value lock_version(const MemState& mem, LocId lock) {
+  check_is_lock(mem, lock);
+  return mem.op(mem.last_op(lock)).value;
+}
+
+}  // namespace rc11::objects

@@ -1,0 +1,61 @@
+// rc11lib/objects/lock.hpp
+//
+// The abstract lock object of Section 4 (Example 1, Figure 6).
+//
+// The lock's operation history lives directly in the weak-memory state as
+// timestamped operations on the lock's location: l.init_0, l.acquire_n,
+// l.release_n, where the version subscript n counts how many lock operations
+// have been executed (init is version 0).  The ordering discipline is total:
+// every new operation takes a maximal timestamp.
+//
+//   * acquire (Fig. 6, ACQUIRE): enabled iff the maximal-timestamp operation
+//     w is l.init_0 or l.release_{n-1}; the new l.acquire_n operation is
+//     appended, the executing thread synchronises with w (merging mview_w
+//     into its view of both components — the rule's tview' and ctview'), and
+//     w becomes covered so that no later operation can be inserted between w
+//     and the acquire.  The method returns true.
+//
+//   * release: enabled iff the executing thread holds the lock (the maximal
+//     operation is its own acquire); appends a releasing l.release_{n+1}
+//     whose mview is the releasing thread's full viewfront, which is what a
+//     later acquire synchronises with.
+
+#pragma once
+
+#include <optional>
+
+#include "memsem/state.hpp"
+
+namespace rc11::objects {
+
+using memsem::LocId;
+using memsem::MemState;
+using memsem::OpId;
+using memsem::ThreadId;
+using memsem::Value;
+
+/// True iff an acquire on `lock` can fire (the lock is free: the maximal
+/// operation is init or a release).  Acquire is blocking at the abstract
+/// level: when the lock is held the thread simply has no transition.
+[[nodiscard]] bool lock_acquire_enabled(const MemState& mem, LocId lock);
+
+/// Fires Fig. 6's ACQUIRE: appends l.acquire_n (n = current history length),
+/// synchronises with and covers the observed operation.  Returns the new
+/// operation; its version is op(id).value.  Precondition: enabled.
+OpId lock_acquire(MemState& mem, ThreadId t, LocId lock);
+
+/// True iff `t` currently holds `lock` (the maximal operation is an acquire
+/// executed by `t`).
+[[nodiscard]] bool lock_release_enabled(const MemState& mem, ThreadId t, LocId lock);
+
+/// Fires Fig. 6's RELEASE: appends a releasing l.release_{n+1}.
+/// Precondition: enabled.
+OpId lock_release(MemState& mem, ThreadId t, LocId lock);
+
+/// The thread currently holding the lock, if any.
+[[nodiscard]] std::optional<ThreadId> lock_holder(const MemState& mem, LocId lock);
+
+/// The version (operation count) of the lock's maximal operation.
+[[nodiscard]] Value lock_version(const MemState& mem, LocId lock);
+
+}  // namespace rc11::objects

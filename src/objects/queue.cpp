@@ -1,0 +1,59 @@
+#include "objects/queue.hpp"
+
+#include "support/diagnostics.hpp"
+
+namespace rc11::objects {
+
+using memsem::kQueueEmpty;
+using memsem::LocKind;
+using memsem::OpKind;
+
+namespace {
+
+void check_is_queue(const MemState& mem, LocId queue) {
+  RC11_REQUIRE(mem.locations().kind(queue) == LocKind::Queue,
+               "queue operation on non-queue location");
+}
+
+}  // namespace
+
+std::optional<OpId> queue_front(const MemState& mem, LocId queue) {
+  check_is_queue(mem, queue);
+  for (const OpId id : mem.mo(queue)) {
+    const auto& op = mem.op(id);
+    if (op.kind == OpKind::QueueEnqueue && !op.covered) return id;
+  }
+  return std::nullopt;
+}
+
+bool queue_empty(const MemState& mem, LocId queue) {
+  return !queue_front(mem, queue).has_value();
+}
+
+OpId queue_enqueue(MemState& mem, ThreadId t, LocId queue, Value v,
+                   bool releasing) {
+  check_is_queue(mem, queue);
+  return mem.object_op(t, queue, OpKind::QueueEnqueue, v, releasing,
+                       /*sync_with=*/std::nullopt, /*cover=*/false);
+}
+
+Value queue_dequeue(MemState& mem, ThreadId t, LocId queue, bool acquiring) {
+  const auto front = queue_front(mem, queue);
+  if (!front) return kQueueEmpty;
+  const Value v = mem.op(*front).value;
+  const bool sync = acquiring && mem.op(*front).releasing;
+  mem.consume(t, queue, *front, sync);
+  return v;
+}
+
+std::size_t queue_size(const MemState& mem, LocId queue) {
+  check_is_queue(mem, queue);
+  std::size_t n = 0;
+  for (const OpId id : mem.mo(queue)) {
+    const auto& op = mem.op(id);
+    if (op.kind == OpKind::QueueEnqueue && !op.covered) ++n;
+  }
+  return n;
+}
+
+}  // namespace rc11::objects

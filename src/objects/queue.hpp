@@ -1,0 +1,49 @@
+// rc11lib/objects/queue.hpp
+//
+// An abstract synchronising FIFO queue — the third object type built on the
+// Section 4 discipline (after the Fig. 6 lock and the stack of Figs. 1-3):
+//
+//   * every enqueue takes a maximal timestamp on the queue's location
+//     (totally ordered history);
+//   * a dequeue consumes (covers) the *oldest uncovered* enqueue — FIFO over
+//     the total order — and, when the dequeue is acquiring and the matched
+//     enqueue releasing, synchronises with the enqueue's modification view;
+//   * a dequeue on an empty queue returns kQueueEmpty without mutating.
+//
+// The queue exists to demonstrate that the object framework and the
+// refinement machinery are order-discipline-agnostic: the only difference
+// from the stack is *which* uncovered entry a consume matches.
+
+#pragma once
+
+#include <optional>
+
+#include "memsem/state.hpp"
+
+namespace rc11::objects {
+
+using memsem::LocId;
+using memsem::MemState;
+using memsem::OpId;
+using memsem::ThreadId;
+using memsem::Value;
+
+/// The oldest uncovered enqueue (the element a dequeue returns), if any.
+[[nodiscard]] std::optional<OpId> queue_front(const MemState& mem, LocId queue);
+
+/// True iff a dequeue would return kQueueEmpty.
+[[nodiscard]] bool queue_empty(const MemState& mem, LocId queue);
+
+/// Enqueues `v` (releasing when `releasing` — enq^R).
+OpId queue_enqueue(MemState& mem, ThreadId t, LocId queue, Value v,
+                   bool releasing);
+
+/// Dequeues: consumes the front enqueue and returns its value, synchronising
+/// when the dequeue acquires and the enqueue releases; returns kQueueEmpty on
+/// an empty queue (state unchanged).
+Value queue_dequeue(MemState& mem, ThreadId t, LocId queue, bool acquiring);
+
+/// Number of uncovered enqueues.
+[[nodiscard]] std::size_t queue_size(const MemState& mem, LocId queue);
+
+}  // namespace rc11::objects

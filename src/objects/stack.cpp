@@ -1,0 +1,59 @@
+#include "objects/stack.hpp"
+
+#include "support/diagnostics.hpp"
+
+namespace rc11::objects {
+
+using memsem::kStackEmpty;
+using memsem::LocKind;
+using memsem::OpKind;
+
+namespace {
+
+void check_is_stack(const MemState& mem, LocId stack) {
+  RC11_REQUIRE(mem.locations().kind(stack) == LocKind::Stack,
+               "stack operation on non-stack location");
+}
+
+}  // namespace
+
+std::optional<OpId> stack_top(const MemState& mem, LocId stack) {
+  check_is_stack(mem, stack);
+  const auto order = mem.mo(stack);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const auto& op = mem.op(*it);
+    if (op.kind == OpKind::StackPush && !op.covered) return *it;
+  }
+  return std::nullopt;
+}
+
+bool stack_empty(const MemState& mem, LocId stack) {
+  return !stack_top(mem, stack).has_value();
+}
+
+OpId stack_push(MemState& mem, ThreadId t, LocId stack, Value v, bool releasing) {
+  check_is_stack(mem, stack);
+  return mem.object_op(t, stack, OpKind::StackPush, v, releasing,
+                       /*sync_with=*/std::nullopt, /*cover=*/false);
+}
+
+Value stack_pop(MemState& mem, ThreadId t, LocId stack, bool acquiring) {
+  const auto top = stack_top(mem, stack);
+  if (!top) return kStackEmpty;
+  const Value v = mem.op(*top).value;
+  const bool sync = acquiring && mem.op(*top).releasing;
+  mem.consume(t, stack, *top, sync);
+  return v;
+}
+
+std::size_t stack_size(const MemState& mem, LocId stack) {
+  check_is_stack(mem, stack);
+  std::size_t n = 0;
+  for (const OpId id : mem.mo(stack)) {
+    const auto& op = mem.op(id);
+    if (op.kind == OpKind::StackPush && !op.covered) ++n;
+  }
+  return n;
+}
+
+}  // namespace rc11::objects

@@ -1,0 +1,57 @@
+// rc11lib/objects/stack.hpp
+//
+// The abstract synchronising stack used by the paper's motivating examples
+// (Figures 1-3): push^R publishes, pop^A synchronises with the matched push.
+//
+// The paper motivates this object but formalises only the lock, so the
+// ordering semantics here is our design (documented in DESIGN.md), chosen to
+// mirror Fig. 6's discipline:
+//
+//   * Every push takes a maximal timestamp on the stack's location, so the
+//     push history is totally ordered (like the lock history).
+//   * A pop consumes (covers) the *latest uncovered* push — LIFO over the
+//     total order.  If the pop is acquiring and the matched push releasing,
+//     the popping thread synchronises with the push's modification view: this
+//     is exactly what makes Fig. 2/3's message passing work and what is
+//     missing in Fig. 1 (relaxed operations).
+//   * A pop on an empty stack (all pushes covered or none exist) returns
+//     kStackEmpty and does not change the state, so retry loops do not grow
+//     the operation history.
+//
+// Unlike the lock, a pop does not append an operation of its own: the
+// observability assertions of Section 5.1 (⟨s.pop_v⟩, [s.pop_emp]) are about
+// which values *can be popped*, which this representation answers directly
+// from the set of uncovered pushes.
+
+#pragma once
+
+#include <optional>
+
+#include "memsem/state.hpp"
+
+namespace rc11::objects {
+
+using memsem::LocId;
+using memsem::MemState;
+using memsem::OpId;
+using memsem::ThreadId;
+using memsem::Value;
+
+/// The latest uncovered push on `stack`, if any (the element a pop returns).
+[[nodiscard]] std::optional<OpId> stack_top(const MemState& mem, LocId stack);
+
+/// True iff a pop would return kStackEmpty.
+[[nodiscard]] bool stack_empty(const MemState& mem, LocId stack);
+
+/// Pushes `v` (releasing when `releasing` — the paper's push^R).
+OpId stack_push(MemState& mem, ThreadId t, LocId stack, Value v, bool releasing);
+
+/// Pops: consumes the top push and returns its value, synchronising when the
+/// pop acquires and the push releases; returns kStackEmpty on an empty stack
+/// (state unchanged).
+Value stack_pop(MemState& mem, ThreadId t, LocId stack, bool acquiring);
+
+/// Number of uncovered pushes.
+[[nodiscard]] std::size_t stack_size(const MemState& mem, LocId stack);
+
+}  // namespace rc11::objects

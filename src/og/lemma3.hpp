@@ -1,0 +1,30 @@
+// rc11lib/og/lemma3.hpp
+//
+// The six Hoare rules of Lemma 3 for abstract-lock method calls, packaged as
+// checkable experiments over a configurable lock-client harness.  The paper
+// verifies these rules once and for all in Isabelle/HOL; here each rule is
+// checked against every reachable instance in the harness (the substitution
+// documented in DESIGN.md), with vacuity guarded by instance counts.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "og/proof_outline.hpp"
+
+namespace rc11::og {
+
+struct Lemma3RuleResult {
+  int rule = 0;               ///< 1..6, numbering of Lemma 3
+  std::string description;    ///< the triple, paper notation
+  bool valid = false;
+  std::uint64_t instances = 0;  ///< non-vacuous (state, step) pairs checked
+};
+
+/// The harness: `writer_rounds` lock-protected writes by thread 0 and one
+/// lock-protected read by thread 1 (two threads; richer histories with more
+/// rounds).  Returns one result per rule, in paper order.
+std::vector<Lemma3RuleResult> check_lemma3_rules(unsigned writer_rounds = 2);
+
+}  // namespace rc11::og

@@ -1,0 +1,54 @@
+// rc11lib/og/memrules.hpp
+//
+// Hoare rules for plain memory operations over the observability assertions
+// of Section 5.1.  The paper inherits these from its ECOOP'20 predecessor
+// ("a collection of rules for reads, writes and updates have been given in
+// prior work [6, 5]") and uses them alongside the lock rules of Lemma 3.
+// As with Lemma 3, each rule is checked against every reachable instance of
+// a configurable harness (DESIGN.md's proof-to-exhaustive-checking
+// substitution), with vacuity guarded by instance counts.
+//
+// The catalogue (t executes the statement, t' is a different thread):
+//
+//   M1  {[x = u]_t}                x :=[R] v (t)      {[x = v]_t}
+//   M2  {[x = u]_t}                r <- x (t)         {r = u}
+//   M3  {<x = u>[y = v]_t}         r <-A x (t)        {r = u ==> [y = v]_t}
+//   M4  {[y = v]_t && x-pristine}  x :=R u (t)        {<x = u>[y = v]_t'}
+//   M5  {[x = u]_t}                any step by t' that does not modify x
+//                                                     {[x = u]_t}
+//   M6  {<x = u>_t}                any step by t'     {<x = u>_t}
+//   M7  {C_x^u}                    r <- CAS(x, u, v) (t), success
+//                                                     {[x = v]_t}
+//   M8  {true}                     r <- FAI(x) (t)    {<x = r + 1>_t}
+//   M9  {H_x^u}                    any step that cannot modify x
+//                                                     {H_x^u}
+//
+// where "x-pristine" for M4 means no write of u to x exists yet (the
+// publication must be unambiguous, cf. ¬<l.release_u>_t' in Lemma 3 rule 6).
+// M8 is a *possible* observation because an update may interact with a
+// stale (non-maximal) write, in which case the new value is observable but
+// not definite — the harness exercises exactly that subtlety.  "Cannot
+// modify x" in M5/M9 is the instruction-level approximation: any Store, CAS
+// or FAI targeting x is excluded, reads and foreign-variable operations are
+// included.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "og/proof_outline.hpp"
+
+namespace rc11::og {
+
+struct MemoryRuleResult {
+  std::string rule;         ///< M1..M9
+  std::string description;  ///< the triple, paper-style notation
+  bool valid = false;
+  std::uint64_t instances = 0;
+};
+
+/// Checks the whole catalogue over a message-passing + RMW harness.
+std::vector<MemoryRuleResult> check_memory_rules();
+
+}  // namespace rc11::og

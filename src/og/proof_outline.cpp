@@ -1,0 +1,234 @@
+#include "og/proof_outline.hpp"
+
+#include <deque>
+#include <unordered_map>
+
+#include "support/diagnostics.hpp"
+#include "support/hash.hpp"
+
+namespace rc11::og {
+
+using lang::Step;
+
+ProofOutline::ProofOutline(const System& sys) {
+  annotations_.resize(sys.num_threads());
+  for (ThreadId t = 0; t < sys.num_threads(); ++t) {
+    annotations_[t].assign(sys.code(t).size() + 1, Assertion::always());
+  }
+}
+
+void ProofOutline::annotate(ThreadId t, std::uint32_t pc, Assertion a) {
+  support::require(t < annotations_.size(), "annotate: thread out of range");
+  support::require(pc < annotations_[t].size(),
+                   "annotate: pc out of range for thread ", t);
+  annotations_[t][pc] = std::move(a);
+}
+
+void ProofOutline::postcondition(ThreadId t, Assertion a) {
+  annotate(t, terminal_pc(t), std::move(a));
+}
+
+const Assertion& ProofOutline::at(ThreadId t, std::uint32_t pc) const {
+  const auto& anns = annotations_.at(t);
+  // Control never moves past the terminal pc, but clamp defensively.
+  return anns[pc < anns.size() ? pc : anns.size() - 1];
+}
+
+std::uint32_t ProofOutline::terminal_pc(ThreadId t) const {
+  return static_cast<std::uint32_t>(annotations_.at(t).size() - 1);
+}
+
+namespace {
+
+/// Minimal visited set over canonical encodings (same scheme as the
+/// explorer's, kept local to avoid exposing its internals).
+class Visited {
+ public:
+  bool insert(const std::vector<std::uint64_t>& enc) {
+    support::WordHasher h;
+    for (const auto w : enc) h.add(w);
+    auto& bucket = buckets_[h.digest()];
+    for (const auto idx : bucket) {
+      if (store_[idx] == enc) return false;
+    }
+    bucket.push_back(store_.size());
+    store_.push_back(enc);
+    return true;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return store_.size(); }
+
+ private:
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> buckets_;
+  std::vector<std::vector<std::uint64_t>> store_;
+};
+
+struct TraceNode {
+  std::int64_t parent = -1;
+  std::string label;
+};
+
+std::vector<std::string> rebuild_trace(const std::vector<TraceNode>& nodes,
+                                       std::int64_t node) {
+  std::vector<std::string> labels;
+  for (std::int64_t n = node; n >= 0;
+       n = nodes[static_cast<std::size_t>(n)].parent) {
+    labels.push_back(nodes[static_cast<std::size_t>(n)].label);
+  }
+  std::reverse(labels.begin(), labels.end());
+  return labels;
+}
+
+}  // namespace
+
+OutlineCheckResult check_outline(const System& sys, const ProofOutline& outline,
+                                 OutlineCheckOptions options) {
+  OutlineCheckResult result;
+  Visited visited;
+  struct Item {
+    Config cfg;
+    std::int64_t trace_node;
+  };
+  std::deque<Item> frontier;
+  std::vector<TraceNode> trace_nodes;
+  std::int64_t current_node = -1;
+
+  const auto fail = [&](std::string obligation, const Config& cfg) {
+    result.valid = false;
+    result.failures.push_back(
+        {std::move(obligation), cfg.to_string(sys),
+         options.track_traces ? rebuild_trace(trace_nodes, current_node)
+                              : std::vector<std::string>{}});
+  };
+
+  {
+    Config init = lang::initial_config(sys);
+    visited.insert(init.encode());
+    if (options.track_traces) trace_nodes.push_back({-1, "init"});
+    frontier.push_back({std::move(init), options.track_traces ? 0 : -1});
+  }
+
+  while (!frontier.empty()) {
+    if (result.stats.states >= options.max_states) break;
+    if (!result.valid && options.stop_at_first_failure) break;
+    Item item = std::move(frontier.back());
+    frontier.pop_back();
+    const Config& cfg = item.cfg;
+    current_node = item.trace_node;
+    result.stats.states += 1;
+
+    // Validity at this configuration: global invariant plus the annotation
+    // at every thread's current pc.
+    result.obligations_checked += 1;
+    if (!outline.global_invariant().eval(sys, cfg)) {
+      fail("global invariant " + outline.global_invariant().name(), cfg);
+      if (options.stop_at_first_failure) break;
+    }
+    for (ThreadId t = 0; t < sys.num_threads(); ++t) {
+      result.obligations_checked += 1;
+      const Assertion& ann = outline.at(t, cfg.pc[t]);
+      if (!ann.eval(sys, cfg)) {
+        fail(support::concat("annotation at t", t, " pc=", cfg.pc[t], ": ",
+                             ann.name()),
+             cfg);
+        if (options.stop_at_first_failure) break;
+      }
+    }
+    if (!result.valid && options.stop_at_first_failure) break;
+
+    auto steps = lang::successors(sys, cfg, /*want_labels=*/true);
+
+    // Interference freedom: every annotation of thread t that holds here must
+    // be preserved by every enabled step of every other thread t'.  (The
+    // step's precondition — the t' annotation at its current pc — holds by
+    // the validity check above, so this is {A ∧ pre(S)} S {A} on reachable
+    // states.)
+    if (options.check_interference) {
+      for (const auto& step : steps) {
+        for (ThreadId t = 0; t < sys.num_threads(); ++t) {
+          if (t == step.thread) continue;
+          for (std::uint32_t pc = 0; pc <= outline.terminal_pc(t); ++pc) {
+            const Assertion& ann = outline.at(t, pc);
+            result.obligations_checked += 1;
+            if (ann.eval(sys, cfg) && !ann.eval(sys, step.after)) {
+              fail(support::concat("interference: step [", step.label,
+                                   "] breaks t", t, " pc=", pc, ": ",
+                                   ann.name()),
+                   cfg);
+              if (options.stop_at_first_failure) break;
+            }
+          }
+          if (!result.valid && options.stop_at_first_failure) break;
+        }
+        if (!result.valid && options.stop_at_first_failure) break;
+      }
+    }
+
+    if (steps.empty()) {
+      if (cfg.all_done(sys)) {
+        result.stats.finals += 1;
+      } else {
+        result.stats.blocked += 1;
+      }
+      continue;
+    }
+    for (auto& step : steps) {
+      result.stats.transitions += 1;
+      if (visited.insert(step.after.encode())) {
+        std::int64_t node = -1;
+        if (options.track_traces) {
+          node = static_cast<std::int64_t>(trace_nodes.size());
+          trace_nodes.push_back({item.trace_node, std::move(step.label)});
+        }
+        frontier.push_back({std::move(step.after), node});
+      }
+    }
+  }
+
+  return result;
+}
+
+TripleCheckResult check_triple(const System& sys, const Assertion& pre,
+                               const StatementFilter& filter,
+                               const TriplePost& post,
+                               std::uint64_t max_states) {
+  TripleCheckResult result;
+  Visited visited;
+  std::deque<Config> frontier;
+  std::uint64_t states = 0;
+
+  {
+    Config init = lang::initial_config(sys);
+    visited.insert(init.encode());
+    frontier.push_back(std::move(init));
+  }
+
+  while (!frontier.empty() && states < max_states) {
+    Config cfg = std::move(frontier.back());
+    frontier.pop_back();
+    states += 1;
+
+    const bool pre_holds = pre.eval(sys, cfg);
+    auto steps = lang::successors(sys, cfg, /*want_labels=*/true);
+    for (auto& step : steps) {
+      const Instr& in = sys.code(step.thread)[cfg.pc[step.thread]];
+      if (pre_holds && filter(step.thread, in)) {
+        result.instances_checked += 1;
+        if (!post(sys, cfg, step.after)) {
+          result.valid = false;
+          result.failures.push_back(
+              {support::concat("triple violated by step [", step.label, "]"),
+               cfg.to_string(sys) + "-- after --\n" + step.after.to_string(sys),
+               {}});
+        }
+      }
+      if (visited.insert(step.after.encode())) {
+        frontier.push_back(std::move(step.after));
+      }
+    }
+  }
+
+  return result;
+}
+
+}  // namespace rc11::og

@@ -1,0 +1,125 @@
+// rc11lib/og/proof_outline.hpp
+//
+// Owicki-Gries proof outlines and their checking (Sections 5.2-5.3).
+//
+// A proof outline annotates every program point of every thread (plus the
+// terminal point) with an assertion, optionally together with a global
+// invariant.  The paper establishes outline validity deductively (local
+// correctness + interference freedom, mechanised in Isabelle/HOL); per the
+// substitution documented in DESIGN.md we *check* the same obligations over
+// the reachable state space of the finite instantiation:
+//
+//   * validity: the initial configuration satisfies all initial annotations,
+//     and every reachable configuration satisfies the global invariant and,
+//     for every thread, the annotation at that thread's current pc;
+//   * interference freedom (the classic Owicki-Gries side condition
+//     {A ∧ pre(S)} S {A}, restricted to reachable states): for every
+//     reachable configuration, every annotation A of thread t that holds
+//     there must still hold after any enabled step of any other thread.
+//
+// Validity of the conjunction-at-current-pc is what Lemma 4 / Fig. 7 assert;
+// the interference check is strictly stronger (it also tests annotations at
+// non-current program points) and corresponds to the actual OG obligations.
+//
+// The module also provides a Hoare-triple checker for single statements,
+// used to reproduce the per-rule properties of Lemma 3.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "assertions/assertions.hpp"
+#include "explore/explorer.hpp"
+
+namespace rc11::og {
+
+using assertions::Assertion;
+using lang::Config;
+using lang::Instr;
+using lang::System;
+using lang::ThreadId;
+
+/// A proof outline: annotations[t][pc] for pc in [0, code-size], where index
+/// code-size is the thread's postcondition.  Missing entries default to true.
+class ProofOutline {
+ public:
+  explicit ProofOutline(const System& sys);
+
+  /// Sets the assertion at one program point (fails on out-of-range pc).
+  void annotate(ThreadId t, std::uint32_t pc, Assertion a);
+
+  /// Sets the thread's postcondition (annotation at its terminal pc).
+  void postcondition(ThreadId t, Assertion a);
+
+  /// Sets the global invariant (Inv of Section 5.3), checked at every state.
+  void invariant(Assertion a) { invariant_ = std::move(a); }
+
+  [[nodiscard]] const Assertion& at(ThreadId t, std::uint32_t pc) const;
+  [[nodiscard]] const Assertion& global_invariant() const { return invariant_; }
+  [[nodiscard]] std::uint32_t terminal_pc(ThreadId t) const;
+
+ private:
+  std::vector<std::vector<Assertion>> annotations_;
+  Assertion invariant_;
+};
+
+/// One failed proof obligation.
+struct ObligationFailure {
+  std::string obligation;  ///< which check failed, human-readable
+  std::string state_dump;
+  std::vector<std::string> trace;  ///< when trace tracking is enabled
+};
+
+struct OutlineCheckResult {
+  bool valid = true;
+  std::vector<ObligationFailure> failures;
+  explore::ExploreStats stats;  ///< size of the examined state space
+  std::uint64_t obligations_checked = 0;
+};
+
+struct OutlineCheckOptions {
+  std::uint64_t max_states = 1'000'000;
+  bool check_interference = true;  ///< also run the pairwise OG side condition
+  bool stop_at_first_failure = true;
+  bool track_traces = false;
+};
+
+/// Checks outline validity (and, optionally, interference freedom) over the
+/// reachable state space.
+[[nodiscard]] OutlineCheckResult check_outline(const System& sys,
+                                               const ProofOutline& outline,
+                                               OutlineCheckOptions options = {});
+
+// --- Hoare triples for single statements (Lemma 3) ---------------------------
+
+/// Selects the statements a triple is about, e.g. "any lock-acquire by
+/// thread t on location l".
+using StatementFilter = std::function<bool(ThreadId t, const Instr&)>;
+
+/// Postcondition over (configuration before, configuration after) — binding
+/// the paper's version variable v is done by inspecting `after` (e.g. the
+/// version of the operation the statement created).
+using TriplePost =
+    std::function<bool(const System&, const Config& before, const Config& after)>;
+
+struct TripleCheckResult {
+  bool valid = true;
+  std::uint64_t instances_checked = 0;  ///< (state, step) pairs examined
+  std::vector<ObligationFailure> failures;
+};
+
+/// Checks {pre} S {post} for every reachable configuration of `sys` where
+/// `pre` holds and an enabled step matches `filter`: every such step must
+/// lead to a configuration satisfying `post`.  Vacuously valid (but reported
+/// via instances_checked == 0) if no instance arises — callers should assert
+/// on instances_checked to guard against vacuity.
+[[nodiscard]] TripleCheckResult check_triple(const System& sys,
+                                             const Assertion& pre,
+                                             const StatementFilter& filter,
+                                             const TriplePost& post,
+                                             std::uint64_t max_states = 1'000'000);
+
+}  // namespace rc11::og

@@ -1,0 +1,95 @@
+// rc11lib/parser/parser.hpp
+//
+// A text front end for the programming language of Section 3.1, so that
+// litmus tests and client-library programs can be written as plain files
+// instead of builder code.  The concrete syntax mirrors the paper's
+// notation:
+//
+//   // declarations (client is the default component)
+//   var d = 0;
+//   var library glb = 0;
+//   lock library l;
+//   stack library s;
+//
+//   thread producer {
+//     d := 5;              // relaxed write
+//     s.pushR(1);          // releasing push
+//   }
+//
+//   thread consumer {
+//     reg r1;              // local register (initial value 0)
+//     reg r2 = 7;          // ... or with an initial value
+//     reg library tmp;     // implementation-internal register (invisible
+//                          // to refinement's client projection)
+//     do { r1 <-A s.pop(); } until (r1 == 1);
+//     r2 <- d;             // relaxed read
+//   }
+//
+// Statements:
+//   x := e;        x :=R e;          relaxed / releasing write
+//   r <- x;        r <-A x;          relaxed / acquiring read
+//   r := e;                          local assignment (r a register)
+//   r <- CAS(x, e1, e2);             compare-and-swap (RA)
+//   r <- FAI(x);                     fetch-and-increment (RA)
+//   l.acquire();   r <- l.acquire(); abstract lock methods
+//   l.release();
+//   s.push(e);     s.pushR(e);       abstract stack methods
+//   r <- s.pop();  r <-A s.pop();
+//   if (b) { ... } [else { ... }]
+//   while (b) { ... }
+//   do { ... } until (b);
+//
+// Expressions range over registers and literals with the usual C operator
+// precedence plus the paper's even(e) predicate.  Register names must be
+// unique across the whole program so results can be queried by name.
+
+// An optional `outline { ... }` block after the threads attaches a proof
+// outline (Section 5.2) to the program, checkable with og::check_outline or
+// the rc11-verify tool:
+//
+//   outline {
+//     invariant !(pc(writer) in {1, 2, 3} && pc(reader) in {1, 2, 3});
+//     at reader 1: held(reader, l) && definite(reader, d1, 5);
+//     post reader: r1 == 0 || r1 == 5;
+//   }
+//
+// Assertion atoms: true, false, possible(T, x, v), definite(T, x, v),
+// cond(T, x, u, y, v), covered(x, v), hidden(x, v), held(T, l),
+// canpop(s, v), popempty(s), pc(T) == n, pc(T) in {..}, done(T), and
+// register comparisons r == n / r != n / r in {..}.  Connectives:
+// ! && || ==> with the usual precedence.
+
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "og/proof_outline.hpp"
+#include "lang/system.hpp"
+
+namespace rc11::parser {
+
+/// The result of parsing: the system plus name lookup tables.
+struct ParsedProgram {
+  lang::System sys;
+  std::unordered_map<std::string, lang::LocId> locations;
+  std::unordered_map<std::string, lang::Reg> registers;  ///< globally unique
+  std::vector<std::string> thread_names;                 ///< in thread order
+  /// The program's outline block, if it has one.
+  std::optional<og::ProofOutline> outline;
+
+  [[nodiscard]] lang::LocId loc(std::string_view name) const;
+  [[nodiscard]] lang::Reg reg(std::string_view name) const;
+};
+
+/// Parses a program text.  Throws support::Error with a line:column position
+/// on syntax or semantic errors (unknown names, duplicate declarations,
+/// kind mismatches such as pushing to a lock).
+[[nodiscard]] ParsedProgram parse_program(std::string_view source);
+
+/// Reads and parses a file.
+[[nodiscard]] ParsedProgram parse_file(const std::string& path);
+
+}  // namespace rc11::parser

@@ -1,0 +1,358 @@
+#include "refinement/refinement.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "support/diagnostics.hpp"
+#include "support/hash.hpp"
+
+namespace rc11::refinement {
+
+using memsem::Component;
+using memsem::LocId;
+using memsem::OpId;
+
+ClientProjection project_client(const System& sys, const Config& cfg) {
+  ClientProjection proj;
+  // Client registers (Def. 5's ls_|C, including the rval of every method).
+  for (ThreadId t = 0; t < sys.num_threads(); ++t) {
+    for (lang::RegId r = 0; r < cfg.regs[t].size(); ++r) {
+      if (sys.reg_component(t, r) == Component::Client) {
+        proj.exact.push_back(static_cast<std::uint64_t>(cfg.regs[t][r]));
+      }
+    }
+  }
+  // Client-variable histories: kind, writer, value, covered, in mo order.
+  const auto& locs = sys.locations();
+  for (LocId loc = 0; loc < locs.size(); ++loc) {
+    if (locs.component(loc) != Component::Client) continue;
+    const auto order = cfg.mem.mo(loc);
+    proj.exact.push_back(order.size());
+    for (const OpId w : order) {
+      const auto& op = cfg.mem.op(w);
+      std::uint64_t tag = static_cast<std::uint64_t>(op.kind);
+      tag |= static_cast<std::uint64_t>(op.thread) << 8;
+      tag |= static_cast<std::uint64_t>(op.covered) << 40;
+      tag |= static_cast<std::uint64_t>(op.releasing) << 41;
+      proj.exact.push_back(tag);
+      proj.exact.push_back(static_cast<std::uint64_t>(op.value));
+    }
+    for (ThreadId t = 0; t < sys.num_threads(); ++t) {
+      proj.view_ranks.push_back(cfg.mem.rank(cfg.mem.view_front(t, loc)));
+    }
+  }
+  return proj;
+}
+
+bool client_refines(const ClientProjection& abs, const ClientProjection& conc) {
+  if (abs.exact != conc.exact) return false;
+  RC11_REQUIRE(abs.view_ranks.size() == conc.view_ranks.size(),
+               "client projections over different systems");
+  for (std::size_t i = 0; i < abs.view_ranks.size(); ++i) {
+    // Obs_C(t, x) ⊆ Obs_A(t, x): the concrete viewfront is at least as far
+    // along modification order.
+    if (conc.view_ranks[i] < abs.view_ranks[i]) return false;
+  }
+  return true;
+}
+
+namespace {
+
+std::uint64_t hash_words(const std::vector<std::uint64_t>& words) {
+  support::WordHasher h;
+  for (const auto w : words) h.add(w);
+  return h.digest();
+}
+
+}  // namespace
+
+StateGraph build_graph(const System& sys, std::uint64_t max_states,
+                       bool want_labels) {
+  StateGraph graph;
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> index;
+
+  const auto lookup_or_insert = [&](Config cfg) -> std::pair<std::uint32_t, bool> {
+    const auto enc = cfg.encode();
+    auto& bucket = index[hash_words(enc)];
+    for (const auto idx : bucket) {
+      if (graph.states[idx].encode() == enc) return {idx, false};
+    }
+    const auto idx = static_cast<std::uint32_t>(graph.states.size());
+    graph.states.push_back(std::move(cfg));
+    graph.succ.emplace_back();
+    if (want_labels) graph.labels.emplace_back();
+    bucket.push_back(idx);
+    return {idx, true};
+  };
+
+  lookup_or_insert(lang::initial_config(sys));
+  for (std::uint32_t next = 0; next < graph.states.size(); ++next) {
+    if (graph.states.size() >= max_states) {
+      graph.truncated = true;
+      break;
+    }
+    // NOTE: states vector may reallocate while expanding, so copy the config.
+    const Config cfg = graph.states[next];
+    for (auto& step : lang::successors(sys, cfg, want_labels)) {
+      const auto [idx, fresh] = lookup_or_insert(std::move(step.after));
+      graph.succ[next].push_back(idx);
+      if (want_labels) graph.labels[next].push_back(std::move(step.label));
+    }
+  }
+  return graph;
+}
+
+SimulationResult check_forward_simulation(const System& abstract_sys,
+                                          const System& concrete_sys,
+                                          const SimulationOptions& options) {
+  SimulationResult result;
+  const StateGraph abs = build_graph(abstract_sys, options.max_states);
+  const StateGraph conc =
+      build_graph(concrete_sys, options.max_states, /*want_labels=*/true);
+  result.abstract_states = abs.num_states();
+  result.concrete_states = conc.num_states();
+  result.truncated = abs.truncated || conc.truncated;
+  if (result.truncated) {
+    result.diagnosis = "state graph truncated; increase max_states";
+    return result;
+  }
+
+  // Project every state once.
+  std::vector<ClientProjection> abs_proj;
+  abs_proj.reserve(abs.num_states());
+  for (const auto& s : abs.states) {
+    abs_proj.push_back(project_client(abstract_sys, s));
+  }
+  std::vector<ClientProjection> conc_proj;
+  conc_proj.reserve(conc.num_states());
+  for (const auto& s : conc.states) {
+    conc_proj.push_back(project_client(concrete_sys, s));
+  }
+
+  // Group abstract states by the exact-match part so candidate generation is
+  // linear in matching states rather than quadratic overall.
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> abs_by_key;
+  for (std::uint32_t a = 0; a < abs_proj.size(); ++a) {
+    abs_by_key[hash_words(abs_proj[a].exact)].push_back(a);
+  }
+
+  // Candidate pairs, stored per concrete state.
+  std::vector<std::vector<std::uint32_t>> pairs_of(conc.num_states());
+  const auto pair_key = [&](std::uint32_t a, std::uint32_t cidx) {
+    return static_cast<std::uint64_t>(a) * conc.num_states() + cidx;
+  };
+  std::unordered_set<std::uint64_t> alive;
+  for (std::uint32_t cidx = 0; cidx < conc_proj.size(); ++cidx) {
+    const auto it = abs_by_key.find(hash_words(conc_proj[cidx].exact));
+    if (it == abs_by_key.end()) continue;
+    for (const auto a : it->second) {
+      if (client_refines(abs_proj[a], conc_proj[cidx])) {
+        pairs_of[cidx].push_back(a);
+        alive.insert(pair_key(a, cidx));
+      }
+    }
+  }
+  result.candidate_pairs = alive.size();
+
+  // Greatest fixpoint: repeatedly delete pairs with an unmatchable concrete
+  // step.  (Simple sweep iteration; graphs are small.)  For diagnosis, the
+  // concrete edge that killed each pair is recorded so a failure can be
+  // replayed as a step chain from the initial pair.
+  std::unordered_set<std::uint64_t> ever_candidate = alive;
+  std::unordered_map<std::uint64_t, std::uint32_t> killer_edge;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    result.refinement_iterations += 1;
+    for (std::uint32_t cidx = 0; cidx < conc_proj.size(); ++cidx) {
+      auto& candidates = pairs_of[cidx];
+      for (std::size_t i = 0; i < candidates.size();) {
+        const auto a = candidates[i];
+        bool ok = true;
+        std::uint32_t offending_edge = 0;
+        for (std::uint32_t e = 0; e < conc.succ[cidx].size(); ++e) {
+          const auto csucc = conc.succ[cidx][e];
+          // Stuttering: same abstract state still paired with the successor.
+          if (alive.count(pair_key(a, csucc)) > 0) continue;
+          // Non-stuttering: one abstract step.
+          bool matched = false;
+          for (const auto asucc : abs.succ[a]) {
+            if (alive.count(pair_key(asucc, csucc)) > 0) {
+              matched = true;
+              break;
+            }
+          }
+          if (!matched) {
+            ok = false;
+            offending_edge = e;
+            break;
+          }
+        }
+        if (ok) {
+          ++i;
+        } else {
+          alive.erase(pair_key(a, cidx));
+          killer_edge.emplace(pair_key(a, cidx), offending_edge);
+          candidates[i] = candidates.back();
+          candidates.pop_back();
+          changed = true;
+        }
+      }
+    }
+  }
+  result.surviving_pairs = alive.size();
+
+  result.holds = alive.count(pair_key(abs.initial, conc.initial)) > 0;
+  if (!result.holds) {
+    result.diagnosis =
+        result.candidate_pairs == 0
+            ? "no client-compatible state pairs at all"
+            : "initial pair eliminated: some concrete client step cannot be "
+              "matched by the abstract object";
+    // Replay the elimination chain: each eliminated pair knows the concrete
+    // step none of the abstract responses could match; following such steps
+    // bottoms out at a concrete state that is client-incompatible with every
+    // abstract option — the real divergence.
+    if (ever_candidate.count(pair_key(abs.initial, conc.initial)) > 0) {
+      std::uint32_t a = abs.initial;
+      std::uint32_t cidx = conc.initial;
+      for (int guard = 0; guard < 10000; ++guard) {
+        const auto it = killer_edge.find(pair_key(a, cidx));
+        if (it == killer_edge.end()) break;  // pair survived: chain complete
+        const auto edge = it->second;
+        const auto csucc = conc.succ[cidx][edge];
+        result.counterexample.push_back(conc.labels[cidx][edge]);
+        // Continue through an abstract response that was once a candidate
+        // (its own elimination explains why the response fails), preferring
+        // the stutter.
+        std::int64_t next_a = -1;
+        if (ever_candidate.count(pair_key(a, csucc)) > 0) {
+          next_a = a;
+        } else {
+          for (const auto asucc : abs.succ[a]) {
+            if (ever_candidate.count(pair_key(asucc, csucc)) > 0) {
+              next_a = asucc;
+              break;
+            }
+          }
+        }
+        if (next_a < 0) {
+          result.counterexample.push_back(
+              "-- divergence: this concrete state is client-incompatible "
+              "with every abstract continuation");
+          break;
+        }
+        a = static_cast<std::uint32_t>(next_a);
+        cidx = csucc;
+      }
+    }
+  }
+  return result;
+}
+
+TraceInclusionResult check_trace_inclusion(const System& abstract_sys,
+                                           const System& concrete_sys,
+                                           const TraceInclusionOptions& options) {
+  TraceInclusionResult result;
+  const StateGraph abs = build_graph(abstract_sys, options.max_states);
+  const StateGraph conc = build_graph(concrete_sys, options.max_states);
+  if (abs.truncated || conc.truncated) {
+    result.truncated = true;
+    result.witness = "state graph truncated; increase max_states";
+    return result;
+  }
+
+  std::vector<ClientProjection> abs_proj;
+  abs_proj.reserve(abs.num_states());
+  for (const auto& s : abs.states) {
+    abs_proj.push_back(project_client(abstract_sys, s));
+  }
+  std::vector<ClientProjection> conc_proj;
+  conc_proj.reserve(conc.num_states());
+  for (const auto& s : conc.states) {
+    conc_proj.push_back(project_client(concrete_sys, s));
+  }
+
+  // Subset construction: a node is (concrete state, sorted set of abstract
+  // states whose runs pointwise refine the concrete prefix so far).
+  struct Node {
+    std::uint32_t c;
+    std::vector<std::uint32_t> match;  // sorted
+  };
+  const auto node_key = [](const Node& n) {
+    support::WordHasher h;
+    h.add(n.c);
+    for (const auto a : n.match) h.add(a);
+    return h.digest();
+  };
+  std::unordered_map<std::uint64_t, std::vector<Node>> visited;
+  const auto visit = [&](Node n) -> bool {
+    auto& bucket = visited[node_key(n)];
+    for (const auto& existing : bucket) {
+      if (existing.c == n.c && existing.match == n.match) return false;
+    }
+    bucket.push_back(std::move(n));
+    return true;
+  };
+
+  std::deque<Node> work;
+  {
+    Node init{conc.initial, {}};
+    if (client_refines(abs_proj[abs.initial], conc_proj[conc.initial])) {
+      init.match.push_back(abs.initial);
+    }
+    if (init.match.empty()) {
+      result.witness = "initial concrete state refines no abstract state";
+      return result;
+    }
+    visit(init);
+    work.push_back(std::move(init));
+  }
+
+  result.holds = true;
+  while (!work.empty()) {
+    if (result.product_nodes >= options.max_product_nodes) {
+      result.truncated = true;
+      result.witness = "product exploration truncated";
+      break;
+    }
+    const Node node = std::move(work.front());
+    work.pop_front();
+    result.product_nodes += 1;
+
+    for (const auto csucc : conc.succ[node.c]) {
+      Node next{csucc, {}};
+      for (const auto a : node.match) {
+        // Abstract stutter.
+        if (client_refines(abs_proj[a], conc_proj[csucc])) {
+          next.match.push_back(a);
+        }
+        // One abstract step.
+        for (const auto asucc : abs.succ[a]) {
+          if (client_refines(abs_proj[asucc], conc_proj[csucc])) {
+            next.match.push_back(asucc);
+          }
+        }
+      }
+      std::sort(next.match.begin(), next.match.end());
+      next.match.erase(std::unique(next.match.begin(), next.match.end()),
+                       next.match.end());
+      if (next.match.empty()) {
+        result.holds = false;
+        result.witness = support::concat(
+            "concrete step into state ", csucc,
+            " cannot be matched by any abstract run:\n",
+            conc.states[csucc].to_string(concrete_sys));
+        return result;
+      }
+      if (visit(next)) {
+        work.push_back(std::move(next));
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace rc11::refinement

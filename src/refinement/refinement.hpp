@@ -1,0 +1,140 @@
+// rc11lib/refinement/refinement.hpp
+//
+// Contextual refinement for weak-memory libraries (Section 6).
+//
+// Definition 5 (state refinement) compares *client projections*: the client
+// registers, the client variables' operation histories and covered set, and
+// per-thread observability — a concrete state refines an abstract state when
+// the local client states agree, the client covered sets agree, and every
+// thread's concrete observable-write set is a subset of its abstract one
+// (γ_C.Obs(t, x) ⊆ γ_A.Obs(t, x)).  Operationally we require the client
+// operation histories to be *equal* (the simulation game makes the abstract
+// client mirror concrete client steps one-for-one, which is how the paper's
+// simulations are constructed too) and Obs inclusion then reduces to a
+// pointwise viewfront-rank comparison.
+//
+// Definition 8 (forward simulation for synchronisation-free clients) is
+// decided as a simulation *game* on the product of the two finite state
+// graphs: candidate pairs are those satisfying the client-observation clause;
+// the greatest fixpoint removes every pair with a concrete step that can be
+// matched neither by an abstract stutter nor by a single abstract step.  The
+// simulation exists iff the initial pair survives (Theorem 8.1 then gives
+// C[AO] ⊑ C[CO]).
+//
+// A bounded trace-inclusion checker for Definitions 6/7 (stutter-free client
+// traces) doubles as an independent oracle on small instances.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "lang/config.hpp"
+
+namespace rc11::refinement {
+
+using lang::Config;
+using lang::System;
+using lang::ThreadId;
+
+/// The Definition 5 client projection of a configuration.
+struct ClientProjection {
+  /// Exact-match part: client registers and the full client-variable
+  /// operation histories including covered flags (equal histories ⇒ equal
+  /// cvd, which Def. 5 requires).
+  std::vector<std::uint64_t> exact;
+  /// Inclusion part: per (thread, client variable) viewfront ranks; the
+  /// concrete entry must be >= the abstract entry (higher viewfront = fewer
+  /// observable writes).
+  std::vector<std::uint32_t> view_ranks;
+
+  friend bool operator==(const ClientProjection&, const ClientProjection&) = default;
+};
+
+/// Extracts the client projection (client-tagged registers and locations
+/// only; library state and pcs are invisible to the client).
+[[nodiscard]] ClientProjection project_client(const System& sys, const Config& cfg);
+
+/// Definition 5: does `conc` refine `abs`?
+[[nodiscard]] bool client_refines(const ClientProjection& abs,
+                                  const ClientProjection& conc);
+
+/// An explicit reachable-state graph of a system.
+struct StateGraph {
+  std::vector<Config> states;
+  std::vector<std::vector<std::uint32_t>> succ;  ///< adjacency (state indices)
+  /// Per-edge human-readable step labels, parallel to `succ` (only when the
+  /// graph was built with want_labels; empty otherwise).
+  std::vector<std::vector<std::string>> labels;
+  std::uint32_t initial = 0;
+  bool truncated = false;
+
+  [[nodiscard]] std::size_t num_states() const { return states.size(); }
+  [[nodiscard]] std::size_t num_edges() const {
+    std::size_t n = 0;
+    for (const auto& e : succ) n += e.size();
+    return n;
+  }
+};
+
+/// Builds the full reachable graph (up to max_states).  With want_labels,
+/// edges carry step descriptions (costs time and memory; used for
+/// counterexample reporting and DOT export).
+[[nodiscard]] StateGraph build_graph(const System& sys,
+                                     std::uint64_t max_states = 1'000'000,
+                                     bool want_labels = false);
+
+struct SimulationOptions {
+  std::uint64_t max_states = 1'000'000;  ///< per system
+};
+
+struct SimulationResult {
+  bool holds = false;
+  bool truncated = false;  ///< a graph hit its bound: outcome unreliable
+  std::uint64_t abstract_states = 0;
+  std::uint64_t concrete_states = 0;
+  std::uint64_t candidate_pairs = 0;
+  std::uint64_t surviving_pairs = 0;
+  std::uint64_t refinement_iterations = 0;
+  std::string diagnosis;  ///< human-readable failure hint
+  /// On failure: step labels of a shortest concrete run into a state no
+  /// abstract state can be paired with (empty if the failure is only due to
+  /// cyclic matching constraints rather than a dead state).
+  std::vector<std::string> counterexample;
+};
+
+/// Decides whether a Definition 8 forward simulation exists between
+/// `abstract_sys` (the client using AO) and `concrete_sys` (the same client
+/// using CO).  `holds == true` establishes C[AO] ⊑ C[CO] for this client
+/// (Theorem 8.1).
+[[nodiscard]] SimulationResult check_forward_simulation(
+    const System& abstract_sys, const System& concrete_sys,
+    const SimulationOptions& options = {});
+
+struct TraceInclusionOptions {
+  std::uint64_t max_states = 200'000;       ///< per state graph
+  std::uint64_t max_product_nodes = 500'000;  ///< subset-construction bound
+};
+
+struct TraceInclusionResult {
+  bool holds = false;
+  bool truncated = false;
+  std::uint64_t product_nodes = 0;  ///< (concrete state, abstract set) nodes
+  std::string witness;  ///< description of an unmatchable concrete step
+};
+
+/// Definitions 6/7 as a trace-inclusion game, decided by subset construction:
+/// for every concrete run there must exist an abstract run that pointwise
+/// refines it (Def. 5's ⊑ per state, with the abstract side free to stutter).
+/// Tracks, for each concrete trace prefix, the set of abstract states that
+/// can match it; a reachable empty set is a refinement violation and its
+/// step is reported as the witness.  This is the direct (game) form of
+/// Definition 6; check_forward_simulation is the paper's sufficient
+/// condition (Def. 8 / Thm. 8.1) and implies it.
+[[nodiscard]] TraceInclusionResult check_trace_inclusion(
+    const System& abstract_sys, const System& concrete_sys,
+    const TraceInclusionOptions& options = {});
+
+}  // namespace rc11::refinement

@@ -1,0 +1,62 @@
+// rc11lib/support/diagnostics.hpp
+//
+// Error-reporting helpers.  The library reports *user* errors (ill-formed
+// programs, invalid proof outlines, misconfigured experiments) via
+// rc11::support::Error exceptions with contextual messages; *internal*
+// invariant violations use RC11_REQUIRE, which throws InternalError so that
+// tests can assert on them (the checker itself must never abort the process
+// of a host application).
+
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace rc11::support {
+
+/// A user-facing error: the input (program, outline, experiment config) is
+/// ill-formed.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(std::string msg) : std::runtime_error(std::move(msg)) {}
+};
+
+/// An internal invariant of the engine was violated (a bug in rc11lib).
+class InternalError : public std::logic_error {
+ public:
+  explicit InternalError(std::string msg) : std::logic_error(std::move(msg)) {}
+};
+
+/// Builds a message from stream-insertable pieces.
+template <typename... Parts>
+[[nodiscard]] std::string concat(const Parts&... parts) {
+  std::ostringstream os;
+  (os << ... << parts);
+  return os.str();
+}
+
+template <typename... Parts>
+[[noreturn]] void fail(const Parts&... parts) {
+  throw Error{concat(parts...)};
+}
+
+template <typename... Parts>
+void require(bool condition, const Parts&... parts) {
+  if (!condition) {
+    fail(parts...);
+  }
+}
+
+}  // namespace rc11::support
+
+/// Internal invariant check; cheap enough to keep enabled in release builds.
+#define RC11_REQUIRE(cond, msg)                                            \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      throw ::rc11::support::InternalError(                                \
+          ::rc11::support::concat("internal invariant violated at ",       \
+                                  __FILE__, ":", __LINE__, ": ", (msg)));  \
+    }                                                                      \
+  } while (false)

@@ -1,0 +1,55 @@
+// rc11lib/support/intern.hpp
+//
+// String interning for program identifiers (global variables, registers,
+// objects, method names).  The semantics engine works exclusively with dense
+// integer ids; names are kept only for diagnostics and pretty-printing.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace rc11::support {
+
+/// Dense id assigned by a SymbolTable.  Ids are table-local.
+using SymbolId = std::uint32_t;
+
+inline constexpr SymbolId kInvalidSymbol = UINT32_MAX;
+
+/// Bidirectional name <-> dense-id map.  Not thread-safe by design: each
+/// System (lang/program.hpp) owns its own tables, and exploration threads
+/// never mutate them after construction.
+class SymbolTable {
+ public:
+  /// Returns the id for `name`, interning it on first use.
+  SymbolId intern(std::string_view name) {
+    if (const auto it = ids_.find(std::string{name}); it != ids_.end()) {
+      return it->second;
+    }
+    const auto id = static_cast<SymbolId>(names_.size());
+    names_.emplace_back(name);
+    ids_.emplace(names_.back(), id);
+    return id;
+  }
+
+  /// Returns the id for `name` if already interned, kInvalidSymbol otherwise.
+  [[nodiscard]] SymbolId lookup(std::string_view name) const {
+    const auto it = ids_.find(std::string{name});
+    return it == ids_.end() ? kInvalidSymbol : it->second;
+  }
+
+  [[nodiscard]] const std::string& name(SymbolId id) const { return names_.at(id); }
+  [[nodiscard]] std::size_t size() const noexcept { return names_.size(); }
+  [[nodiscard]] bool contains(std::string_view name) const {
+    return lookup(name) != kInvalidSymbol;
+  }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, SymbolId> ids_;
+};
+
+}  // namespace rc11::support

@@ -1,0 +1,110 @@
+// rc11lib/support/rational.hpp
+//
+// Exact rational arithmetic used for the timestamp domain of the RC11 RAR
+// memory semantics (Dalvandi & Dongol, "Verifying C11-Style Weak Memory
+// Libraries", Section 3.3).  The paper models each global write as a pair
+// (a, q) in Act x Q, where q is a rational timestamp ordered by modification
+// order.  Fresh timestamps are chosen *between* existing ones
+// (fresh(q, q') requires q < q' and that no existing timestamp lies between
+// them), so the timestamp domain must be dense: integers do not suffice for a
+// faithful representation.
+//
+// The engine also keeps an order-canonical integer renumbering for state
+// hashing (see memsem/state.hpp); this class is the faithful representation
+// and is exercised directly by the A3 ablation benchmark.
+
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+namespace rc11::support {
+
+/// Exact rational number with 64-bit numerator/denominator.
+///
+/// Invariants (enforced by every constructor and operation):
+///   * denominator > 0
+///   * gcd(|numerator|, denominator) == 1  (fully reduced)
+///   * zero is represented as 0/1
+///
+/// All arithmetic is performed in 128-bit intermediates and the result is
+/// reduced before being narrowed back to 64 bits.  If a reduced result does
+/// not fit in 64 bits the operation throws RationalOverflow.  In practice the
+/// semantics only ever takes midpoints and successor values of timestamps,
+/// which keeps magnitudes tiny; the overflow check is a safety net, not a
+/// limitation that is hit.
+class Rational {
+ public:
+  /// Constructs zero.
+  constexpr Rational() noexcept : num_(0), den_(1) {}
+
+  /// Constructs the integer value n.
+  constexpr explicit Rational(std::int64_t n) noexcept : num_(n), den_(1) {}
+
+  /// Constructs num/den (den != 0); normalises sign and reduces.
+  Rational(std::int64_t num, std::int64_t den);
+
+  [[nodiscard]] constexpr std::int64_t numerator() const noexcept { return num_; }
+  [[nodiscard]] constexpr std::int64_t denominator() const noexcept { return den_; }
+
+  [[nodiscard]] bool is_integer() const noexcept { return den_ == 1; }
+
+  Rational operator+(const Rational& rhs) const;
+  Rational operator-(const Rational& rhs) const;
+  Rational operator*(const Rational& rhs) const;
+  Rational operator/(const Rational& rhs) const;  ///< throws on rhs == 0
+  Rational operator-() const;
+
+  Rational& operator+=(const Rational& rhs) { return *this = *this + rhs; }
+  Rational& operator-=(const Rational& rhs) { return *this = *this - rhs; }
+  Rational& operator*=(const Rational& rhs) { return *this = *this * rhs; }
+  Rational& operator/=(const Rational& rhs) { return *this = *this / rhs; }
+
+  /// Exact comparison via 128-bit cross multiplication (never overflows).
+  [[nodiscard]] std::strong_ordering operator<=>(const Rational& rhs) const noexcept;
+  [[nodiscard]] bool operator==(const Rational& rhs) const noexcept = default;
+
+  /// The arithmetic midpoint (a+b)/2 — strictly between a and b when a < b.
+  /// This is how the engine realises the paper's fresh-timestamp rule when a
+  /// write must be inserted between two existing modification-order
+  /// neighbours.
+  [[nodiscard]] static Rational midpoint(const Rational& a, const Rational& b);
+
+  /// The mediant (p1+p2)/(q1+q2) — also strictly between a and b, with
+  /// smaller magnitudes than repeated midpoints (Stern-Brocot insertion).
+  /// Used by the timestamp allocator to keep denominators small.
+  [[nodiscard]] static Rational mediant(const Rational& a, const Rational& b);
+
+  /// a + 1: a timestamp strictly after a with nothing required beyond it.
+  [[nodiscard]] Rational successor() const;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::int64_t num_;
+  std::int64_t den_;
+};
+
+/// Thrown when a reduced result exceeds 64-bit numerator/denominator range.
+class RationalOverflow : public std::exception {
+ public:
+  [[nodiscard]] const char* what() const noexcept override {
+    return "rc11::support::Rational: arithmetic overflow";
+  }
+};
+
+std::ostream& operator<<(std::ostream& os, const Rational& r);
+
+}  // namespace rc11::support
+
+template <>
+struct std::hash<rc11::support::Rational> {
+  std::size_t operator()(const rc11::support::Rational& r) const noexcept {
+    const std::size_t h1 = std::hash<std::int64_t>{}(r.numerator());
+    const std::size_t h2 = std::hash<std::int64_t>{}(r.denominator());
+    return h1 ^ (h2 + 0x9e3779b97f4a7c15ULL + (h1 << 6) + (h1 >> 2));
+  }
+};

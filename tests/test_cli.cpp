@@ -1,0 +1,110 @@
+// End-to-end tests of the command-line tools (rc11-run, rc11-refine) against
+// the sample programs in tools/programs/, driven through std::system.  Paths
+// are injected by CMake compile definitions.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace {
+
+std::string bin(const std::string& name) {
+  return std::string(RC11_BIN_DIR) + "/tools/" + name;
+}
+
+std::string prog(const std::string& name) {
+  return std::string(RC11_SRC_DIR) + "/tools/programs/" + name;
+}
+
+int run(const std::string& cmd, std::string* output = nullptr) {
+  const std::string redirected = cmd + " > /tmp/rc11_cli_test.out 2>&1";
+  const int status = std::system(redirected.c_str());
+  if (output != nullptr) {
+    std::ifstream in{"/tmp/rc11_cli_test.out"};
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    *output = buffer.str();
+  }
+  return WEXITSTATUS(status);
+}
+
+TEST(Cli, RunExploresSampleProgram) {
+  std::string out;
+  EXPECT_EQ(run(bin("rc11-run") + " " + prog("mp_stack.rc11"), &out), 0);
+  EXPECT_NE(out.find("states:"), std::string::npos);
+  EXPECT_NE(out.find("r1=1, r2=5"), std::string::npos)
+      << "publication outcome expected:\n" << out;
+}
+
+TEST(Cli, RunAblationChangesOutcomes) {
+  std::string out;
+  EXPECT_EQ(run(bin("rc11-run") + " --no-ctview " + prog("mp_stack.rc11"), &out),
+            0);
+  EXPECT_NE(out.find("r1=1, r2=0"), std::string::npos)
+      << "A1 ablation must expose the stale read:\n" << out;
+}
+
+TEST(Cli, RunRejectsBadUsage) {
+  EXPECT_EQ(run(bin("rc11-run") + " --bogus-flag whatever"), 1);
+  EXPECT_EQ(run(bin("rc11-run") + " /nonexistent/file.rc11"), 1);
+}
+
+TEST(Cli, RunWritesDotFile) {
+  std::string out;
+  EXPECT_EQ(run(bin("rc11-run") + " --dot /tmp/rc11_cli_graph.dot " +
+                    prog("sb.rc11"),
+                &out),
+            0);
+  std::ifstream dot{"/tmp/rc11_cli_graph.dot"};
+  std::ostringstream buffer;
+  buffer << dot.rdbuf();
+  EXPECT_NE(buffer.str().find("digraph"), std::string::npos);
+}
+
+TEST(Cli, RefineAcceptsSeqlockPair) {
+  std::string out;
+  EXPECT_EQ(run(bin("rc11-refine") + " " + prog("lock_client_abstract.rc11") +
+                    " " + prog("lock_client_seqlock.rc11"),
+                &out),
+            0);
+  EXPECT_NE(out.find("REFINES"), std::string::npos);
+}
+
+TEST(Cli, RefineRejectsBrokenPair) {
+  std::string out;
+  EXPECT_EQ(run(bin("rc11-refine") + " " + prog("lock_client_abstract.rc11") +
+                    " " + prog("lock_client_broken.rc11"),
+                &out),
+            2);
+  EXPECT_NE(out.find("DOES NOT REFINE"), std::string::npos);
+}
+
+TEST(Cli, TicketLockSampleSerialises) {
+  std::string out;
+  EXPECT_EQ(run(bin("rc11-run") + " " + prog("ticket_lock.rc11"), &out), 0);
+  EXPECT_NE(out.find("finals:      2"), std::string::npos)
+      << "two serialisation orders expected:\n" << out;
+}
+
+
+TEST(Cli, VerifyAcceptsFig3Outline) {
+  std::string out;
+  EXPECT_EQ(run(bin("rc11-verify") + " " + prog("mp_verified.rc11"), &out), 0);
+  EXPECT_NE(out.find("outline VALID"), std::string::npos) << out;
+}
+
+TEST(Cli, VerifyRejectsBrokenOutline) {
+  std::string out;
+  EXPECT_EQ(run(bin("rc11-verify") + " " + prog("mp_broken_outline.rc11"), &out),
+            2);
+  EXPECT_NE(out.find("outline INVALID"), std::string::npos) << out;
+}
+
+TEST(Cli, VerifyNeedsAnOutline) {
+  EXPECT_EQ(run(bin("rc11-verify") + " " + prog("sb.rc11")), 1);
+}
+
+}  // namespace

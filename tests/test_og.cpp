@@ -1,0 +1,449 @@
+// Tests for the assertion language (Section 5.1) and the Owicki-Gries
+// proof-outline checker (Sections 5.2-5.3): the paper's Figure 3 and
+// Figure 7 outlines must check out (Lemma 4), broken outlines must be
+// rejected, and the six Hoare rules of Lemma 3 must hold over a lock-client
+// harness.
+
+#include <gtest/gtest.h>
+
+#include "assertions/assertions.hpp"
+#include "explore/explorer.hpp"
+#include "og/catalog.hpp"
+#include "og/memrules.hpp"
+#include "og/proof_outline.hpp"
+
+namespace {
+
+using namespace rc11;
+namespace asrt = rc11::assertions;
+using asrt::Assertion;
+using lang::c;
+using lang::Config;
+using lang::Expr;
+using lang::IKind;
+using lang::Instr;
+using lang::System;
+using lang::ThreadId;
+using memsem::OpKind;
+using og::check_outline;
+using og::check_triple;
+
+// --- assertion language basics ----------------------------------------------
+
+struct AssertFixture : ::testing::Test {
+  System sys;
+  lang::LocId x, f, l;
+  lang::Reg r0;
+
+  AssertFixture() : sys() {
+    x = sys.client_var("x", 0);
+    f = sys.client_var("f", 0);
+    l = sys.library_lock("l");
+    auto t0 = sys.thread();
+    r0 = t0.reg("r0");
+    t0.store(x, c(1), "x := 1");
+    t0.store_rel(f, c(1), "f :=R 1");
+    auto t1 = sys.thread();
+    auto rr = t1.reg("rr");
+    t1.load_acq(rr, f, "rr <-A f");
+  }
+};
+
+TEST_F(AssertFixture, PossibleAndDefiniteAtInit) {
+  const auto cfg = lang::initial_config(sys);
+  EXPECT_TRUE(asrt::possible_obs(0, x, 0).eval(sys, cfg));
+  EXPECT_FALSE(asrt::possible_obs(0, x, 1).eval(sys, cfg));
+  EXPECT_TRUE(asrt::definite_obs(1, x, 0).eval(sys, cfg));
+}
+
+TEST_F(AssertFixture, DefiniteBreaksOnConcurrentWrite) {
+  auto cfg = lang::initial_config(sys);
+  cfg = lang::thread_successors(sys, cfg, 0)[0].after;  // x := 1
+  EXPECT_FALSE(asrt::definite_obs(1, x, 0).eval(sys, cfg))
+      << "thread 1's view is stale but no longer definite";
+  EXPECT_TRUE(asrt::possible_obs(1, x, 0).eval(sys, cfg));
+  EXPECT_TRUE(asrt::possible_obs(1, x, 1).eval(sys, cfg));
+  EXPECT_TRUE(asrt::definite_obs(0, x, 1).eval(sys, cfg));
+}
+
+TEST_F(AssertFixture, ConditionalObservationTracksReleaseViews) {
+  auto cfg = lang::initial_config(sys);
+  // Initially vacuous (no write of 1 to f).
+  EXPECT_TRUE(asrt::cond_obs(1, f, 1, x, 1).eval(sys, cfg));
+  cfg = lang::thread_successors(sys, cfg, 0)[0].after;  // x := 1
+  cfg = lang::thread_successors(sys, cfg, 0)[0].after;  // f :=R 1
+  EXPECT_TRUE(asrt::cond_obs(1, f, 1, x, 1).eval(sys, cfg));
+  EXPECT_FALSE(asrt::cond_obs(1, f, 1, x, 0).eval(sys, cfg));
+}
+
+TEST_F(AssertFixture, BooleanCombinators) {
+  const auto cfg = lang::initial_config(sys);
+  const auto t = Assertion::always();
+  EXPECT_TRUE((t && t).eval(sys, cfg));
+  EXPECT_FALSE((t && !t).eval(sys, cfg));
+  EXPECT_TRUE((t || !t).eval(sys, cfg));
+  EXPECT_TRUE(asrt::implies(!t, t).eval(sys, cfg));
+  EXPECT_FALSE(asrt::implies(t, !t).eval(sys, cfg));
+  EXPECT_NE((t && !t).name().find("&&"), std::string::npos);
+}
+
+TEST_F(AssertFixture, PcAndRegPredicates) {
+  const auto cfg = lang::initial_config(sys);
+  EXPECT_TRUE(asrt::at_pc(0, 0).eval(sys, cfg));
+  EXPECT_FALSE(asrt::at_pc(0, 1).eval(sys, cfg));
+  EXPECT_TRUE(asrt::pc_in(0, {0, 5}).eval(sys, cfg));
+  EXPECT_FALSE(asrt::thread_done(0).eval(sys, cfg));
+  EXPECT_TRUE(asrt::reg_eq(r0, 0).eval(sys, cfg));
+  EXPECT_TRUE(asrt::reg_in(r0, {0, 9}).eval(sys, cfg));
+  EXPECT_FALSE(asrt::reg_in(r0, {1, 9}).eval(sys, cfg));
+}
+
+TEST_F(AssertFixture, CoveredAndHiddenVar) {
+  System s2;
+  const auto y = s2.client_var("y", 0);
+  auto t0 = s2.thread();
+  auto rr = t0.reg("rr");
+  t0.cas(rr, y, c(0), c(1), "CAS(y,0,1)");
+  auto cfg = lang::initial_config(s2);
+  EXPECT_FALSE(asrt::hidden_var(y, 0).eval(s2, cfg)) << "init not covered yet";
+  cfg = lang::thread_successors(s2, cfg, 0)[0].after;  // successful CAS
+  EXPECT_TRUE(asrt::hidden_var(y, 0).eval(s2, cfg));
+  EXPECT_TRUE(asrt::covered_var(y, 1).eval(s2, cfg))
+      << "only uncovered write is the CAS result 1, and it is maximal";
+  EXPECT_FALSE(asrt::covered_var(y, 0).eval(s2, cfg));
+}
+
+// --- outline checking: Figures 3 and 7 --------------------------------------
+
+TEST(Fig3Outline, IsValidWithInterferenceFreedom) {
+  auto ex = og::make_fig3();
+  og::OutlineCheckOptions opts;
+  opts.check_interference = true;
+  const auto result = check_outline(ex.sys, ex.outline, opts);
+  EXPECT_TRUE(result.valid) << (result.failures.empty()
+                                    ? ""
+                                    : result.failures[0].obligation + "\n" +
+                                          result.failures[0].state_dump);
+  EXPECT_GT(result.stats.states, 0u);
+  EXPECT_GT(result.obligations_checked, result.stats.states);
+}
+
+TEST(Fig3Outline, BrokenPostconditionIsRejected) {
+  auto ex = og::make_fig3_broken();
+  const auto result = check_outline(ex.sys, ex.outline);
+  EXPECT_FALSE(result.valid);
+  ASSERT_FALSE(result.failures.empty());
+}
+
+TEST(Fig7Outline, IsValidWithInterferenceFreedom) {
+  auto ex = og::make_fig7();
+  og::OutlineCheckOptions opts;
+  opts.check_interference = true;
+  const auto result = check_outline(ex.sys, ex.outline, opts);
+  EXPECT_TRUE(result.valid) << (result.failures.empty()
+                                    ? ""
+                                    : result.failures[0].obligation + "\n" +
+                                          result.failures[0].state_dump);
+}
+
+TEST(Fig7Outline, MutualExclusionAndAgreementHold) {
+  // Independent of the outline: explore and check the paper's target
+  // properties directly — mutual exclusion and r1 = r2 ∈ {0, 5}.
+  auto ex = og::make_fig7();
+  const auto result = explore::explore(
+      ex.sys, {},
+      [&](const System& sys, const Config& cfg) -> std::optional<std::string> {
+        const bool cs0 = cfg.pc[0] >= 1 && cfg.pc[0] <= 3;
+        const bool cs1 = cfg.pc[1] >= 1 && cfg.pc[1] <= 3;
+        (void)sys;
+        if (cs0 && cs1) return "mutual exclusion violated";
+        return std::nullopt;
+      });
+  EXPECT_TRUE(result.violations.empty());
+  const auto outcomes =
+      explore::final_register_values(ex.sys, result, {ex.r1, ex.r2});
+  const std::vector<std::vector<lang::Value>> expected{{0, 0}, {5, 5}};
+  EXPECT_EQ(outcomes, expected);
+}
+
+TEST(Fig7Outline, BrokenOutlineIsRejected) {
+  auto ex = og::make_fig7_broken();
+  const auto result = check_outline(ex.sys, ex.outline);
+  EXPECT_FALSE(result.valid);
+}
+
+TEST(OutlineChecker, DetectsInterferenceDistinctFromValidity) {
+  // x := 1 || (annotated) skip-like reader: the reader's annotation
+  // [x = 0]_1 at its current pc is broken *by thread 0's step*, so with
+  // interference checking on, the first reported failure is an interference
+  // obligation.
+  System sys;
+  const auto x = sys.client_var("x", 0);
+  auto t0 = sys.thread();
+  t0.store(x, c(1), "x := 1");
+  auto t1 = sys.thread();
+  auto r = t1.reg("r");
+  t1.load(r, x, "r <- x");
+
+  og::ProofOutline outline{sys};
+  outline.annotate(1, 0, asrt::definite_obs(1, x, 0));
+  og::OutlineCheckOptions opts;
+  opts.check_interference = true;
+  const auto result = check_outline(sys, outline, opts);
+  ASSERT_FALSE(result.valid);
+  EXPECT_NE(result.failures[0].obligation.find("interference"),
+            std::string::npos)
+      << result.failures[0].obligation;
+}
+
+TEST(OutlineChecker, GlobalInvariantViolationsAreReported) {
+  System sys;
+  const auto x = sys.client_var("x", 0);
+  auto t0 = sys.thread();
+  t0.store(x, c(1));
+  og::ProofOutline outline{sys};
+  outline.invariant(asrt::definite_obs(0, x, 0));
+  const auto result = check_outline(sys, outline);
+  ASSERT_FALSE(result.valid);
+  EXPECT_NE(result.failures[0].obligation.find("global invariant"),
+            std::string::npos);
+}
+
+// --- Lemma 3: Hoare rules for the abstract lock ------------------------------
+
+/// Harness generating a rich set of lock histories: thread 0 runs two
+/// acquire/write/release rounds, thread 1 one acquire/read/release round.
+struct Lemma3Fixture : ::testing::Test {
+  System sys;
+  lang::LocId x, l;
+  lang::Reg r1;
+
+  Lemma3Fixture() : sys() {
+    x = sys.client_var("x", 0);
+    l = sys.library_lock("l");
+    auto t0 = sys.thread();
+    t0.acquire(l, std::nullopt, "acquire");
+    t0.store(x, c(1), "x := 1");
+    t0.release(l, "release");
+    t0.acquire(l, std::nullopt, "acquire");
+    t0.store(x, c(2), "x := 2");
+    t0.release(l, "release");
+    auto t1 = sys.thread();
+    r1 = t1.reg("r1");
+    t1.acquire(l, std::nullopt, "acquire");
+    t1.load(r1, x, "r1 <- x");
+    t1.release(l, "release");
+  }
+
+  static bool is_acquire(ThreadId t, const Instr& in, ThreadId want) {
+    return t == want && in.kind == IKind::LockAcquire;
+  }
+  static bool is_lock_method(ThreadId t, const Instr& in, ThreadId want) {
+    return t == want && (in.kind == IKind::LockAcquire ||
+                         in.kind == IKind::LockRelease);
+  }
+};
+
+TEST_F(Lemma3Fixture, Rule1_HiddenReleaseForcesLaterVersion) {
+  // {H_{l.release_u}} Acquire(v) {v > u + 1} with u = 2.
+  const auto result = check_triple(
+      sys, asrt::lock_hidden(l, OpKind::LockRelease, 2),
+      [](ThreadId t, const Instr& in) {
+        return in.kind == IKind::LockAcquire && (void(t), true);
+      },
+      [&](const System&, const Config&, const Config& after) {
+        const auto v = after.mem.op(after.mem.last_op(l)).value;
+        return v > 3;
+      });
+  EXPECT_TRUE(result.valid);
+  EXPECT_GT(result.instances_checked, 0u) << "rule must not hold vacuously";
+}
+
+TEST_F(Lemma3Fixture, Rule2_HiddenIsStableUnderLockMethods) {
+  // {H_{l.release_u}} m(v) {H_{l.release_u}} with u = 2.
+  const auto hidden = asrt::lock_hidden(l, OpKind::LockRelease, 2);
+  const auto result = check_triple(
+      sys, hidden,
+      [](ThreadId, const Instr& in) {
+        return in.kind == IKind::LockAcquire || in.kind == IKind::LockRelease;
+      },
+      [&](const System& s, const Config&, const Config& after) {
+        return hidden.eval(s, after);
+      });
+  EXPECT_TRUE(result.valid);
+  EXPECT_GT(result.instances_checked, 0u);
+}
+
+TEST_F(Lemma3Fixture, Rule3_DefiniteReleaseYieldsNextAcquire) {
+  // {[l.release_u]_t} Acquire(v)_t {[l.acquire_{u+1}]_t} with t = 0, u = 2:
+  // thread 0's own view sits at its release_2 when it re-acquires (provided
+  // thread 1 has not intervened), and the next acquire is then acquire_3.
+  const auto result = check_triple(
+      sys, asrt::lock_definite(0, l, OpKind::LockRelease, 2),
+      [](ThreadId t, const Instr& in) { return is_acquire(t, in, 0); },
+      [&](const System& s, const Config&, const Config& after) {
+        return asrt::lock_definite(0, l, OpKind::LockAcquire, 3).eval(s, after);
+      });
+  EXPECT_TRUE(result.valid);
+  EXPECT_GT(result.instances_checked, 0u);
+}
+
+TEST_F(Lemma3Fixture, Rule4_DefiniteValueStableUnderForeignLockMethods) {
+  // {[x = u]_t} m(v)_{t'} {[x = u]_t} with t = 0, t' = 1, u = 1.
+  const auto def = asrt::definite_obs(0, x, 1);
+  const auto result = check_triple(
+      sys, def,
+      [](ThreadId t, const Instr& in) { return is_lock_method(t, in, 1); },
+      [&](const System& s, const Config&, const Config& after) {
+        return def.eval(s, after);
+      });
+  EXPECT_TRUE(result.valid);
+  EXPECT_GT(result.instances_checked, 0u);
+}
+
+TEST_F(Lemma3Fixture, Rule5_ConditionalBecomesDefiniteOnSync) {
+  // {⟨l.release_u⟩[x = n]_t} Acquire(v)_t {v = u + 1 ⇒ [x = n]_t}
+  // with t = 1, u = 2, n = 1.
+  const auto result = check_triple(
+      sys, asrt::lock_cond_obs(1, l, 2, x, 1),
+      [](ThreadId t, const Instr& in) { return is_acquire(t, in, 1); },
+      [&](const System& s, const Config&, const Config& after) {
+        const auto v = after.mem.op(after.mem.last_op(l)).value;
+        return v != 3 || asrt::definite_obs(1, x, 1).eval(s, after);
+      });
+  EXPECT_TRUE(result.valid);
+  EXPECT_GT(result.instances_checked, 0u);
+}
+
+TEST_F(Lemma3Fixture, Rule6_ReleasePublishesDefiniteValue) {
+  // {¬⟨l.release_u⟩_{t'} ∧ [x = v]_t} Release(u)_t {⟨l.release_u⟩[x = v]_{t'}}
+  // with t = 0, t' = 1, u = 2, v = 1.
+  const auto pre =
+      !asrt::lock_possible_release(1, l, 2) && asrt::definite_obs(0, x, 1);
+  const auto result = check_triple(
+      sys, pre,
+      [](ThreadId t, const Instr& in) {
+        return t == 0 && in.kind == IKind::LockRelease;
+      },
+      [&](const System& s, const Config&, const Config& after) {
+        const auto v = after.mem.op(after.mem.last_op(l)).value;
+        return v != 2 || asrt::lock_cond_obs(1, l, 2, x, 1).eval(s, after);
+      });
+  EXPECT_TRUE(result.valid);
+  EXPECT_GT(result.instances_checked, 0u);
+}
+
+TEST_F(Lemma3Fixture, SanityNegativeRuleFails) {
+  // A deliberately wrong rule: {true} Acquire(v) {v = 1} fails because the
+  // second and third acquires take larger versions.
+  const auto result = check_triple(
+      sys, Assertion::always(),
+      [](ThreadId, const Instr& in) { return in.kind == IKind::LockAcquire; },
+      [&](const System&, const Config&, const Config& after) {
+        return after.mem.op(after.mem.last_op(l)).value == 1;
+      });
+  EXPECT_FALSE(result.valid);
+}
+
+
+// --- Section 5.2 memory-operation rule catalogue (M1-M9) ---------------------
+
+TEST(MemoryRules, AllRulesHoldNonVacuously) {
+  const auto results = og::check_memory_rules();
+  ASSERT_EQ(results.size(), 9u);
+  for (const auto& r : results) {
+    EXPECT_TRUE(r.valid) << r.rule << ": " << r.description;
+    EXPECT_GT(r.instances, 0u) << r.rule << " held vacuously";
+  }
+}
+
+TEST(MemoryRules, CatalogueIsOrdered) {
+  const auto results = og::check_memory_rules();
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].rule, "M" + std::to_string(i + 1));
+    EXPECT_FALSE(results[i].description.empty());
+  }
+}
+
+
+// --- a further verified outline: the lock-protected counter -------------------
+
+TEST(CounterOutline, LockProtectedIncrementsVerify) {
+  // Two threads each perform acquire; r <- x; x := r + 1; release under the
+  // abstract lock, with the acquire version recorded (rl in {1, 3} as in
+  // Fig. 7).  The outline pins the counter value to the round: the first
+  // holder sees x = 0 and leaves x = 1, the second sees x = 1 and leaves 2.
+  System sys;
+  const auto x = sys.client_var("x", 0);
+  const auto l = sys.library_lock("l");
+  struct T {
+    lang::Reg rl, r;
+  };
+  std::vector<T> regs;
+  for (int i = 0; i < 2; ++i) {
+    auto tb = sys.thread();
+    T t{tb.reg("rl"), tb.reg("r")};
+    tb.acquire_version(l, t.rl, "rl <- acquire");
+    tb.load(t.r, x, "r <- x");
+    tb.store(x, Expr{t.r} + c(1), "x := r + 1");
+    tb.release(l, "release");
+    regs.push_back(t);
+  }
+
+  og::ProofOutline outline{sys};
+  outline.invariant(
+      !(asrt::pc_in(0, {1, 2, 3}) && asrt::pc_in(1, {1, 2, 3})) &&
+      asrt::implies(asrt::pc_in(0, {1, 2, 3, 4}),
+                    asrt::reg_in(regs[0].rl, {1, 3})) &&
+      asrt::implies(asrt::pc_in(1, {1, 2, 3, 4}),
+                    asrt::reg_in(regs[1].rl, {1, 3})));
+  for (ThreadId i = 0; i < 2; ++i) {
+    const auto first = asrt::reg_eq(regs[i].rl, 1);
+    const auto second = asrt::reg_eq(regs[i].rl, 3);
+    const auto held = asrt::lock_held_by(i, l);
+    outline.annotate(i, 1,
+                     held && asrt::implies(first, asrt::definite_obs(i, x, 0)) &&
+                         asrt::implies(second, asrt::definite_obs(i, x, 1)));
+    outline.annotate(
+        i, 2,
+        held &&
+            asrt::implies(first, asrt::definite_obs(i, x, 0) &&
+                                     asrt::reg_eq(regs[i].r, 0)) &&
+            asrt::implies(second, asrt::definite_obs(i, x, 1) &&
+                                      asrt::reg_eq(regs[i].r, 1)));
+    outline.annotate(i, 3,
+                     held && asrt::implies(first, asrt::definite_obs(i, x, 1)) &&
+                         asrt::implies(second, asrt::definite_obs(i, x, 2)));
+    outline.postcondition(
+        i, asrt::implies(second, asrt::definite_obs(i, x, 2)));
+  }
+
+  og::OutlineCheckOptions opts;
+  opts.check_interference = true;
+  const auto result = check_outline(sys, outline, opts);
+  EXPECT_TRUE(result.valid) << (result.failures.empty()
+                                    ? ""
+                                    : result.failures[0].obligation + "\n" +
+                                          result.failures[0].state_dump);
+
+  // Ground truth: both increments always land.
+  const auto run = explore::explore(sys);
+  for (const auto& cfg : run.final_configs) {
+    EXPECT_EQ(cfg.mem.op(cfg.mem.last_op(x)).value, 2);
+  }
+}
+
+
+TEST(OutlineChecker, FailureTracesWhenRequested) {
+  auto ex = og::make_fig3_broken();
+  og::OutlineCheckOptions opts;
+  opts.track_traces = true;
+  const auto result = check_outline(ex.sys, ex.outline, opts);
+  ASSERT_FALSE(result.valid);
+  ASSERT_FALSE(result.failures.empty());
+  ASSERT_FALSE(result.failures[0].trace.empty())
+      << "a counterexample run must accompany the failed obligation";
+  EXPECT_EQ(result.failures[0].trace.front(), "init");
+}
+
+}  // namespace

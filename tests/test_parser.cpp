@@ -1,0 +1,508 @@
+// Tests for the text front end: round-trips through the paper's program
+// syntax, semantic checks (unknown names, component/kind mismatches, the
+// Exp_L locality restriction), and end-to-end agreement with the builder API
+// on the litmus suite shapes.
+
+#include <gtest/gtest.h>
+
+#include "explore/explorer.hpp"
+#include "litmus/litmus.hpp"
+#include "locks/clients.hpp"
+#include "locks/lock_objects.hpp"
+#include "parser/parser.hpp"
+#include "refinement/refinement.hpp"
+
+namespace {
+
+using namespace rc11;
+using parser::parse_program;
+using rc11::support::Error;
+
+TEST(Parser, MinimalProgram) {
+  const auto p = parse_program(R"(
+    var x = 0;
+    thread t {
+      x := 1;
+    }
+  )");
+  EXPECT_EQ(p.sys.num_threads(), 1u);
+  EXPECT_EQ(p.thread_names, std::vector<std::string>{"t"});
+  EXPECT_EQ(p.sys.code(0).size(), 1u);
+  EXPECT_EQ(p.sys.locations().name(p.loc("x")), "x");
+}
+
+TEST(Parser, DeclarationsAndComponents) {
+  const auto p = parse_program(R"(
+    var client d = 5;
+    var library glb = 0;
+    lock library l;
+    stack library s;
+    thread t { d := 1; }
+  )");
+  EXPECT_EQ(p.sys.locations().component(p.loc("d")), memsem::Component::Client);
+  EXPECT_EQ(p.sys.locations().component(p.loc("glb")),
+            memsem::Component::Library);
+  EXPECT_EQ(p.sys.locations().kind(p.loc("l")), memsem::LocKind::Lock);
+  EXPECT_EQ(p.sys.locations().kind(p.loc("s")), memsem::LocKind::Stack);
+  EXPECT_EQ(p.sys.locations().info(p.loc("d")).initial, 5);
+}
+
+TEST(Parser, NegativeInitialValues) {
+  const auto p = parse_program(R"(
+    var x = -3;
+    thread t { reg r = -1; r := r + 1; }
+  )");
+  EXPECT_EQ(p.sys.locations().info(p.loc("x")).initial, -3);
+  EXPECT_EQ(p.sys.reg_initial(0, p.reg("r").id), -1);
+}
+
+TEST(Parser, MessagePassingEndToEnd) {
+  auto p = parse_program(R"(
+    var d = 0;
+    var f = 0;
+    thread producer {
+      d := 5;
+      f :=R 1;
+    }
+    thread consumer {
+      reg r1;
+      reg r2;
+      r1 <-A f;
+      r2 <- d;
+    }
+  )");
+  const auto result = explore::explore(p.sys);
+  const auto outcomes = explore::final_register_values(
+      p.sys, result, {p.reg("r1"), p.reg("r2")});
+  const std::vector<std::vector<lang::Value>> expected{{0, 0}, {0, 5}, {1, 5}};
+  EXPECT_EQ(outcomes, expected);
+}
+
+TEST(Parser, StackMessagePassingMatchesBuilderVersion) {
+  auto p = parse_program(R"(
+    var d = 0;
+    stack library s;
+    thread t1 {
+      d := 5;
+      s.pushR(1);
+    }
+    thread t2 {
+      reg r1;
+      reg r2;
+      do { r1 <-A s.pop(); } until (r1 == 1);
+      r2 <- d;
+    }
+  )");
+  const auto parsed = explore::explore(p.sys);
+  const auto parsed_outcomes = explore::final_register_values(
+      p.sys, parsed, {p.reg("r1"), p.reg("r2")});
+
+  auto builder_test = litmus::fig2_stack_mp_sync();
+  const auto built = explore::explore(builder_test.sys);
+  const auto built_outcomes = explore::final_register_values(
+      builder_test.sys, built, builder_test.observed);
+
+  EXPECT_EQ(parsed_outcomes, built_outcomes);
+  EXPECT_EQ(parsed.stats.states, built.stats.states)
+      << "parsed and built programs must induce identical state spaces";
+}
+
+TEST(Parser, CasAndFai) {
+  auto p = parse_program(R"(
+    var x = 0;
+    thread t1 {
+      reg ok;
+      ok <- CAS(x, 0, 7);
+    }
+    thread t2 {
+      reg old;
+      old <- FAI(x);
+    }
+  )");
+  const auto result = explore::explore(p.sys);
+  const auto outcomes = explore::final_register_values(
+      p.sys, result, {p.reg("ok"), p.reg("old")});
+  // CAS first: ok=1, FAI returns 7.  FAI first: FAI returns 0, then CAS
+  // fails (x=1).  Interleavings with failure reads of intermediate values.
+  EXPECT_TRUE(explore::outcome_reachable(p.sys, result, {p.reg("ok"), p.reg("old")},
+                                         {1, 7}));
+  EXPECT_TRUE(explore::outcome_reachable(p.sys, result, {p.reg("ok"), p.reg("old")},
+                                         {0, 0}));
+  for (const auto& o : outcomes) {
+    EXPECT_FALSE(o[0] == 1 && o[1] == 0)
+        << "CAS succeeded yet FAI saw the original 0 after it: impossible";
+  }
+}
+
+TEST(Parser, LockMethods) {
+  auto p = parse_program(R"(
+    var d = 0;
+    lock library l;
+    thread t1 {
+      l.acquire();
+      d := 5;
+      l.release();
+    }
+    thread t2 {
+      reg ok;
+      reg r;
+      ok <- l.acquire();
+      r <- d;
+      l.release();
+    }
+  )");
+  const auto result = explore::explore(p.sys);
+  EXPECT_EQ(result.stats.blocked, 0u);
+  const auto outcomes =
+      explore::final_register_values(p.sys, result, {p.reg("r")});
+  const std::vector<std::vector<lang::Value>> expected{{0}, {5}};
+  EXPECT_EQ(outcomes, expected);
+}
+
+TEST(Parser, ControlFlow) {
+  auto p = parse_program(R"(
+    var x = 0;
+    thread t {
+      reg i = 3;
+      reg sum;
+      while (i > 0) {
+        sum := sum + i;
+        i := i - 1;
+      }
+      if (sum == 6) { x := 1; } else { x := 2; }
+    }
+  )");
+  const auto result = explore::explore(p.sys);
+  ASSERT_EQ(result.final_configs.size(), 1u);
+  const auto& mem = result.final_configs[0].mem;
+  EXPECT_EQ(mem.op(mem.last_op(p.loc("x"))).value, 1);
+}
+
+TEST(Parser, IfWithoutElse) {
+  auto p = parse_program(R"(
+    var x = 0;
+    thread t {
+      reg r = 1;
+      if (r == 1) { x := 9; }
+      r := 0;
+    }
+  )");
+  const auto result = explore::explore(p.sys);
+  ASSERT_EQ(result.final_configs.size(), 1u);
+  const auto& mem = result.final_configs[0].mem;
+  EXPECT_EQ(mem.op(mem.last_op(p.loc("x"))).value, 9);
+}
+
+TEST(Parser, ExpressionPrecedence) {
+  auto p = parse_program(R"(
+    thread t {
+      reg a = 2;
+      reg b = 3;
+      reg r1;
+      reg r2;
+      reg r3;
+      r1 := a + b * 2;
+      r2 := (a + b) * 2;
+      r3 := even(a) && !(b == 2) || a > b;
+    }
+  )");
+  const auto result = explore::explore(p.sys);
+  ASSERT_EQ(result.final_configs.size(), 1u);
+  const auto& regs = result.final_configs[0].regs[0];
+  EXPECT_EQ(regs[p.reg("r1").id], 8);
+  EXPECT_EQ(regs[p.reg("r2").id], 10);
+  EXPECT_EQ(regs[p.reg("r3").id], 1);
+}
+
+TEST(Parser, CommentsAreIgnored) {
+  const auto p = parse_program(R"(
+    // leading comment
+    var x = 0;   // trailing comment
+    thread t {
+      x := 1;    // inside a thread
+    }
+  )");
+  EXPECT_EQ(p.sys.code(0).size(), 1u);
+}
+
+// --- error reporting ----------------------------------------------------------
+
+TEST(ParserErrors, UnknownRegister) {
+  EXPECT_THROW(parse_program("var x = 0; thread t { r <- x; }"), Error);
+}
+
+TEST(ParserErrors, UnknownLocation) {
+  EXPECT_THROW(parse_program("thread t { x := 1; }"), Error);
+}
+
+TEST(ParserErrors, DuplicateNames) {
+  EXPECT_THROW(parse_program("var x = 0; var x = 1; thread t { x := 1; }"),
+               Error);
+  EXPECT_THROW(parse_program("var x = 0; thread t { reg x; x := 1; }"), Error);
+}
+
+TEST(ParserErrors, SharedVariableInExpression) {
+  // The paper's Exp_L restriction: expressions are over locals only.
+  EXPECT_THROW(parse_program(R"(
+    var x = 0;
+    var y = 0;
+    thread t { y := x + 1; }
+  )"),
+               Error);
+}
+
+TEST(ParserErrors, KindMismatch) {
+  EXPECT_THROW(parse_program(R"(
+    lock library l;
+    thread t { l := 1; }
+  )"),
+               Error);
+  EXPECT_THROW(parse_program(R"(
+    var x = 0;
+    thread t { x.acquire(); }
+  )"),
+               Error);
+  EXPECT_THROW(parse_program(R"(
+    stack library s;
+    thread t { s.release(); }
+  )"),
+               Error);
+}
+
+TEST(ParserErrors, ReleasingWriteToRegister) {
+  EXPECT_THROW(parse_program("thread t { reg r; r :=R 1; }"), Error);
+}
+
+TEST(ParserErrors, PositionInMessage) {
+  try {
+    (void)parse_program("var x = 0;\nthread t {\n  x ::= 1;\n}");
+    FAIL() << "expected a parse error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("3:"), std::string::npos)
+        << "error should point at line 3: " << e.what();
+  }
+}
+
+TEST(ParserErrors, NoThreads) {
+  EXPECT_THROW(parse_program("var x = 0;"), Error);
+}
+
+TEST(ParserErrors, MissingUntil) {
+  EXPECT_THROW(parse_program(R"(
+    thread t { reg r; do { r := 1; } while (r == 0); }
+  )"),
+               Error);
+}
+
+
+// --- library registers and text-level refinement ------------------------------
+
+TEST(Parser, LibraryRegistersAreTagged) {
+  const auto p = parse_program(R"(
+    var x = 0;
+    thread t {
+      reg a;
+      reg library b;
+      a := 1;
+      b := 2;
+    }
+  )");
+  EXPECT_EQ(p.sys.reg_component(0, p.reg("a").id), memsem::Component::Client);
+  EXPECT_EQ(p.sys.reg_component(0, p.reg("b").id), memsem::Component::Library);
+}
+
+TEST(Parser, TextLevelRefinementMatchesBuilderLevel) {
+  // The same abstract-lock vs seqlock refinement question posed through the
+  // text front end must agree with the builder-level answer (and even the
+  // state counts, since the programs are instruction-for-instruction equal).
+  const auto abs = parse_program(R"(
+    var d1 = 0;
+    var d2 = 0;
+    lock library l;
+    thread writer {
+      reg ok0;
+      ok0 <- l.acquire();
+      d1 := 5;
+      d2 := 5;
+      l.release();
+    }
+    thread reader {
+      reg ok1;
+      reg r1;
+      reg r2;
+      ok1 <- l.acquire();
+      r1 <- d1;
+      r2 <- d2;
+      l.release();
+    }
+  )");
+  const auto conc = parse_program(R"(
+    var d1 = 0;
+    var d2 = 0;
+    var library glb = 0;
+    thread writer {
+      reg ok0;
+      reg library r0;
+      reg library loc0;
+      do {
+        do { r0 <-A glb; } until (even(r0));
+        loc0 <- CAS(glb, r0, r0 + 1);
+      } until (loc0);
+      ok0 := 1;
+      d1 := 5;
+      d2 := 5;
+      glb :=R r0 + 2;
+    }
+    thread reader {
+      reg ok1;
+      reg r1;
+      reg r2;
+      reg library rr;
+      reg library loc1;
+      do {
+        do { rr <-A glb; } until (even(rr));
+        loc1 <- CAS(glb, rr, rr + 1);
+      } until (loc1);
+      ok1 := 1;
+      r1 <- d1;
+      r2 <- d2;
+      glb :=R rr + 2;
+    }
+  )");
+  const auto sim = rc11::refinement::check_forward_simulation(abs.sys, conc.sys);
+  EXPECT_TRUE(sim.holds) << sim.diagnosis;
+
+  // Cross-check against the builder-level systems.
+  rc11::locks::AbstractLock abs_lock;
+  const auto abs_built =
+      rc11::locks::instantiate(rc11::locks::fig7_client(), abs_lock);
+  rc11::locks::SeqLock seq;
+  const auto conc_built =
+      rc11::locks::instantiate(rc11::locks::fig7_client(), seq);
+  const auto sim_built =
+      rc11::refinement::check_forward_simulation(abs_built, conc_built);
+  EXPECT_EQ(sim.abstract_states, sim_built.abstract_states);
+  EXPECT_EQ(sim.concrete_states, sim_built.concrete_states);
+  EXPECT_EQ(sim.candidate_pairs, sim_built.candidate_pairs);
+}
+
+
+// --- outline blocks -------------------------------------------------------------
+
+TEST(OutlineParser, Fig3OutlineFromTextIsValid) {
+  auto p = parse_program(R"(
+    var d = 0;
+    stack library s;
+    thread producer {
+      d := 5;
+      s.pushR(1);
+    }
+    thread consumer {
+      reg r1;
+      reg r2;
+      do { r1 <-A s.pop(); } until (r1 == 1);
+      r2 <- d;
+    }
+    outline {
+      at producer 0: !canpop(s, 1) && definite(producer, d, 0) && popempty(s);
+      at producer 1: !canpop(s, 1) && definite(producer, d, 5);
+      at consumer 1: r1 == 1 ==> definite(consumer, d, 5);
+      at consumer 2: definite(consumer, d, 5);
+      post consumer: r2 == 5;
+    }
+  )");
+  ASSERT_TRUE(p.outline.has_value());
+  og::OutlineCheckOptions opts;
+  opts.check_interference = true;
+  const auto result = og::check_outline(p.sys, *p.outline, opts);
+  EXPECT_TRUE(result.valid) << (result.failures.empty()
+                                    ? ""
+                                    : result.failures[0].obligation);
+}
+
+TEST(OutlineParser, BrokenOutlineFromTextIsRejected) {
+  auto p = parse_program(R"(
+    var d = 0;
+    thread t0 { d := 1; }
+    outline { post t0: done(t0) ==> false; }
+  )");
+  ASSERT_TRUE(p.outline.has_value());
+  const auto result = og::check_outline(p.sys, *p.outline);
+  EXPECT_FALSE(result.valid);
+}
+
+TEST(OutlineParser, InvariantAndPcAtoms) {
+  auto p = parse_program(R"(
+    var x = 0;
+    lock library l;
+    thread a {
+      l.acquire();
+      x := 1;
+      l.release();
+    }
+    thread b {
+      l.acquire();
+      x := 2;
+      l.release();
+    }
+    outline {
+      invariant !(pc(a) in {1, 2} && pc(b) in {1, 2});
+      at a 1: held(a, l);
+      at b 1: held(b, l);
+    }
+  )");
+  ASSERT_TRUE(p.outline.has_value());
+  const auto result = og::check_outline(p.sys, *p.outline);
+  EXPECT_TRUE(result.valid);
+}
+
+TEST(OutlineParser, CoveredHiddenAndCondAtoms) {
+  auto p = parse_program(R"(
+    var x = 0;
+    var y = 0;
+    thread w {
+      reg ok;
+      y := 7;
+      ok <- CAS(x, 0, 1);
+    }
+    outline {
+      at w 2: hidden(x, 0) && covered(x, 1);
+      invariant cond(w, x, 99, y, 0);  // vacuous: no write of 99
+    }
+  )");
+  ASSERT_TRUE(p.outline.has_value());
+  const auto result = og::check_outline(p.sys, *p.outline);
+  EXPECT_TRUE(result.valid) << (result.failures.empty()
+                                    ? ""
+                                    : result.failures[0].obligation);
+}
+
+TEST(OutlineParser, Errors) {
+  // unknown thread
+  EXPECT_THROW(parse_program(R"(
+    thread t { reg r; r := 1; }
+    outline { post ghost: true; }
+  )"),
+               Error);
+  // unknown atom
+  EXPECT_THROW(parse_program(R"(
+    thread t { reg r; r := 1; }
+    outline { post t: frobnicate(t); }
+  )"),
+               Error);
+  // statement after the outline block
+  EXPECT_THROW(parse_program(R"(
+    thread t { reg r; r := 1; }
+    outline { post t: true; }
+    thread late { reg q; q := 1; }
+  )"),
+               Error);
+  // pc annotation out of range
+  EXPECT_THROW(parse_program(R"(
+    thread t { reg r; r := 1; }
+    outline { at t 99: true; }
+  )"),
+               Error);
+}
+
+}  // namespace

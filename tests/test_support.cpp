@@ -1,0 +1,95 @@
+// Tests for interning, hashing and diagnostics helpers.
+
+#include <gtest/gtest.h>
+
+#include "support/diagnostics.hpp"
+#include "support/hash.hpp"
+#include "support/intern.hpp"
+
+namespace {
+
+using namespace rc11::support;
+
+TEST(SymbolTable, InternIsIdempotent) {
+  SymbolTable t;
+  const auto a = t.intern("x");
+  const auto b = t.intern("y");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(t.intern("x"), a);
+  EXPECT_EQ(t.size(), 2u);
+}
+
+TEST(SymbolTable, LookupAndNames) {
+  SymbolTable t;
+  const auto a = t.intern("alpha");
+  EXPECT_EQ(t.lookup("alpha"), a);
+  EXPECT_EQ(t.lookup("beta"), kInvalidSymbol);
+  EXPECT_EQ(t.name(a), "alpha");
+  EXPECT_TRUE(t.contains("alpha"));
+  EXPECT_FALSE(t.contains("beta"));
+}
+
+TEST(SymbolTable, DenseIds) {
+  SymbolTable t;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(t.intern("s" + std::to_string(i)), static_cast<SymbolId>(i));
+  }
+}
+
+TEST(Hash, CombineChangesSeed) {
+  std::size_t seed = 0;
+  hash_combine(seed, 42);
+  EXPECT_NE(seed, 0u);
+  std::size_t seed2 = 0;
+  hash_combine(seed2, 43);
+  EXPECT_NE(seed, seed2);
+}
+
+TEST(Hash, WordHasherOrderSensitive) {
+  WordHasher a;
+  a.add(1);
+  a.add(2);
+  WordHasher b;
+  b.add(2);
+  b.add(1);
+  EXPECT_NE(a.digest(), b.digest());
+}
+
+TEST(Hash, WordHasherDeterministic) {
+  WordHasher a;
+  WordHasher b;
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    a.add(i * 0x9e3779b9ULL);
+    b.add(i * 0x9e3779b9ULL);
+  }
+  EXPECT_EQ(a.digest(), b.digest());
+}
+
+TEST(Hash, SignedRoundTrip) {
+  WordHasher a;
+  a.add_signed(-1);
+  WordHasher b;
+  b.add(0xffffffffffffffffULL);
+  EXPECT_EQ(a.digest(), b.digest());
+}
+
+TEST(Diagnostics, RequirePassesAndFails) {
+  EXPECT_NO_THROW(require(true, "fine"));
+  EXPECT_THROW(require(false, "value was ", 42), Error);
+  try {
+    require(false, "value was ", 42);
+  } catch (const Error& e) {
+    EXPECT_STREQ(e.what(), "value was 42");
+  }
+}
+
+TEST(Diagnostics, InternalInvariantMacro) {
+  EXPECT_NO_THROW(RC11_REQUIRE(1 + 1 == 2, "arithmetic"));
+  EXPECT_THROW(RC11_REQUIRE(false, "broken"), InternalError);
+}
+
+TEST(Diagnostics, ConcatFormatsPieces) {
+  EXPECT_EQ(concat("a", 1, "b", 2.5), "a1b2.5");
+}
+
+}  // namespace

@@ -1,0 +1,124 @@
+// rc11-run — command-line driver: parse a program file, exhaustively explore
+// its RC11 RAR behaviours and print the final outcome set.
+//
+// Usage:
+//   rc11-run [options] program.rc11
+//
+// Options:
+//   --max-states N      exploration bound (default 1000000)
+//   --disassemble       print the compiled per-thread code first
+//   --no-ctview         ablation A1: disable cross-component view transfer
+//   --no-covered        ablation A2: disable covered-set enforcement
+//   --raw-timestamps    ablation A3: hash raw rational timestamps
+//
+// Exit status: 0 on success, 1 on usage/parse errors, 2 if exploration was
+// truncated.
+
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include <fstream>
+
+#include "explore/dot.hpp"
+#include "explore/explorer.hpp"
+#include "parser/parser.hpp"
+#include "refinement/refinement.hpp"
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: rc11-run [--max-states N] [--disassemble] "
+               "[--no-ctview] [--no-covered] [--raw-timestamps] [--dot FILE] "
+               "program.rc11\n";
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rc11;
+
+  std::string path;
+  explore::ExploreOptions opts;
+  memsem::SemanticsOptions sem;
+  bool disassemble = false;
+  std::string dot_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--max-states") {
+      if (++i >= argc) return usage();
+      opts.max_states = std::stoull(argv[i]);
+    } else if (arg == "--disassemble") {
+      disassemble = true;
+    } else if (arg == "--no-ctview") {
+      sem.cross_component_view_transfer = false;
+    } else if (arg == "--no-covered") {
+      sem.enforce_covered = false;
+    } else if (arg == "--raw-timestamps") {
+      sem.canonical_timestamps = false;
+    } else if (arg == "--dot") {
+      if (++i >= argc) return usage();
+      dot_path = argv[i];
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      return usage();
+    }
+  }
+  if (path.empty()) return usage();
+
+  try {
+    auto program = parser::parse_file(path);
+    program.sys.set_options(sem);
+
+    if (disassemble) {
+      std::cout << program.sys.disassemble() << "\n";
+    }
+
+    if (!dot_path.empty()) {
+      const auto graph = refinement::build_graph(program.sys, opts.max_states,
+                                                 /*want_labels=*/true);
+      std::ofstream out{dot_path};
+      out << explore::to_dot(program.sys, graph);
+      std::cout << "state graph (" << graph.num_states()
+                << " states) written to " << dot_path << "\n";
+    }
+
+    const auto result = explore::explore(program.sys, opts);
+    std::cout << "states:      " << result.stats.states << "\n"
+              << "transitions: " << result.stats.transitions << "\n"
+              << "finals:      " << result.stats.finals << "\n"
+              << "blocked:     " << result.stats.blocked << "\n";
+    if (result.truncated) {
+      std::cout << "WARNING: exploration truncated at " << opts.max_states
+                << " states; results are a lower bound\n";
+    }
+
+    // Print the outcome set over all registers, in declaration order.
+    std::vector<lang::Reg> regs;
+    std::vector<std::string> names;
+    for (lang::ThreadId t = 0; t < program.sys.num_threads(); ++t) {
+      for (lang::RegId r = 0; r < program.sys.num_regs(t); ++r) {
+        regs.push_back(lang::Reg{t, r});
+        names.push_back(program.sys.reg_name(t, r));
+      }
+    }
+    const auto outcomes = explore::final_register_values(program.sys, result, regs);
+    std::cout << "\nfinal register outcomes (" << outcomes.size() << "):\n";
+    for (const auto& tuple : outcomes) {
+      std::cout << "  ";
+      for (std::size_t i = 0; i < tuple.size(); ++i) {
+        std::cout << (i ? ", " : "") << names[i] << "=" << tuple[i];
+      }
+      std::cout << "\n";
+    }
+    return result.truncated ? 2 : 0;
+  } catch (const std::exception& e) {
+    std::cerr << "rc11-run: " << e.what() << "\n";
+    return 1;
+  }
+}

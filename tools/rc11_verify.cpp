@@ -1,0 +1,102 @@
+// rc11-verify — command-line Owicki-Gries outline checker: parse a program
+// with an `outline { ... }` block and check the outline over the reachable
+// state space (Sections 5.2-5.3 of the paper).
+//
+// Usage:
+//   rc11-verify [options] program.rc11
+//
+// Options:
+//   --max-states N       exploration bound (default 1000000)
+//   --no-interference    skip the pairwise Owicki-Gries side condition
+//   --all-failures       report every failed obligation, not just the first
+//   --trace              include a counterexample run with each failure
+//
+// Exit status: 0 valid, 1 usage/parse errors, 2 outline invalid,
+// 3 inconclusive (state bound hit).
+
+#include <iostream>
+#include <string>
+
+#include "og/proof_outline.hpp"
+#include "parser/parser.hpp"
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: rc11-verify [--max-states N] [--no-interference] "
+               "[--all-failures] [--trace] program.rc11\n";
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rc11;
+
+  std::string path;
+  og::OutlineCheckOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--max-states") {
+      if (++i >= argc) return usage();
+      opts.max_states = std::stoull(argv[i]);
+    } else if (arg == "--no-interference") {
+      opts.check_interference = false;
+    } else if (arg == "--all-failures") {
+      opts.stop_at_first_failure = false;
+    } else if (arg == "--trace") {
+      opts.track_traces = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      return usage();
+    }
+  }
+  if (path.empty()) return usage();
+
+  try {
+    const auto program = parser::parse_file(path);
+    if (!program.outline) {
+      std::cerr << "rc11-verify: " << path << " has no outline { ... } block\n";
+      return 1;
+    }
+    const auto result =
+        og::check_outline(program.sys, *program.outline, opts);
+    std::cout << "states explored:     " << result.stats.states << "\n"
+              << "obligations checked: " << result.obligations_checked << "\n";
+    if (result.stats.states >= opts.max_states) {
+      std::cout << "INCONCLUSIVE: state bound reached\n";
+      return 3;
+    }
+    if (result.valid) {
+      std::cout << "outline VALID"
+                << (opts.check_interference ? " (incl. interference freedom)"
+                                            : "")
+                << "\n";
+      return 0;
+    }
+    std::cout << "outline INVALID — " << result.failures.size()
+              << " failed obligation(s):\n";
+    for (const auto& failure : result.failures) {
+      std::cout << "  " << failure.obligation << "\n";
+      if (!failure.trace.empty()) {
+        std::cout << "  run:\n";
+        for (const auto& step : failure.trace) {
+          std::cout << "    " << step << "\n";
+        }
+      }
+      std::cout << "  at configuration:\n";
+      std::istringstream dump{failure.state_dump};
+      std::string line;
+      while (std::getline(dump, line)) {
+        std::cout << "    " << line << "\n";
+      }
+    }
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "rc11-verify: " << e.what() << "\n";
+    return 1;
+  }
+}
