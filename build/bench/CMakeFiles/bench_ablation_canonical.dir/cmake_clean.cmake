@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_canonical.dir/bench_ablation_canonical.cpp.o"
+  "CMakeFiles/bench_ablation_canonical.dir/bench_ablation_canonical.cpp.o.d"
+  "bench_ablation_canonical"
+  "bench_ablation_canonical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_canonical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_covered.dir/bench_ablation_covered.cpp.o"
+  "CMakeFiles/bench_ablation_covered.dir/bench_ablation_covered.cpp.o.d"
+  "bench_ablation_covered"
+  "bench_ablation_covered.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_covered.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

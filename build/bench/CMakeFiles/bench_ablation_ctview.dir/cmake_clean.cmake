@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_ctview.dir/bench_ablation_ctview.cpp.o"
+  "CMakeFiles/bench_ablation_ctview.dir/bench_ablation_ctview.cpp.o.d"
+  "bench_ablation_ctview"
+  "bench_ablation_ctview.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ctview.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_fig2_mp.dir/bench_fig1_fig2_mp.cpp.o"
+  "CMakeFiles/bench_fig1_fig2_mp.dir/bench_fig1_fig2_mp.cpp.o.d"
+  "bench_fig1_fig2_mp"
+  "bench_fig1_fig2_mp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_fig2_mp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

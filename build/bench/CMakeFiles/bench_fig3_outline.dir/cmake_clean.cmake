@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_outline.dir/bench_fig3_outline.cpp.o"
+  "CMakeFiles/bench_fig3_outline.dir/bench_fig3_outline.cpp.o.d"
+  "bench_fig3_outline"
+  "bench_fig3_outline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_outline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_abstract_lock.dir/bench_fig6_abstract_lock.cpp.o"
+  "CMakeFiles/bench_fig6_abstract_lock.dir/bench_fig6_abstract_lock.cpp.o.d"
+  "bench_fig6_abstract_lock"
+  "bench_fig6_abstract_lock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_abstract_lock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_outline.dir/bench_fig7_outline.cpp.o"
+  "CMakeFiles/bench_fig7_outline.dir/bench_fig7_outline.cpp.o.d"
+  "bench_fig7_outline"
+  "bench_fig7_outline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_outline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lemma3_rules.dir/bench_lemma3_rules.cpp.o"
+  "CMakeFiles/bench_lemma3_rules.dir/bench_lemma3_rules.cpp.o.d"
+  "bench_lemma3_rules"
+  "bench_lemma3_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lemma3_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_litmus_suite.dir/bench_litmus_suite.cpp.o"
+  "CMakeFiles/bench_litmus_suite.dir/bench_litmus_suite.cpp.o.d"
+  "bench_litmus_suite"
+  "bench_litmus_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_litmus_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_prop10_ticket_sim.dir/bench_prop10_ticket_sim.cpp.o"
+  "CMakeFiles/bench_prop10_ticket_sim.dir/bench_prop10_ticket_sim.cpp.o.d"
+  "bench_prop10_ticket_sim"
+  "bench_prop10_ticket_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_prop10_ticket_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

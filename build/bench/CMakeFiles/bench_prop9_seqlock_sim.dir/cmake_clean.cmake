@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_prop9_seqlock_sim.dir/bench_prop9_seqlock_sim.cpp.o"
+  "CMakeFiles/bench_prop9_seqlock_sim.dir/bench_prop9_seqlock_sim.cpp.o.d"
+  "bench_prop9_seqlock_sim"
+  "bench_prop9_seqlock_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_prop9_seqlock_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_prop9_seqlock_sim.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_queue_refinement.dir/bench_queue_refinement.cpp.o"
+  "CMakeFiles/bench_queue_refinement.dir/bench_queue_refinement.cpp.o.d"
+  "bench_queue_refinement"
+  "bench_queue_refinement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_queue_refinement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

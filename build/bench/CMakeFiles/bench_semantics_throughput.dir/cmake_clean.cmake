@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_semantics_throughput.dir/bench_semantics_throughput.cpp.o"
+  "CMakeFiles/bench_semantics_throughput.dir/bench_semantics_throughput.cpp.o.d"
+  "bench_semantics_throughput"
+  "bench_semantics_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_semantics_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

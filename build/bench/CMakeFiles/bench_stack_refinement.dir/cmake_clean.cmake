@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_stack_refinement.dir/bench_stack_refinement.cpp.o"
+  "CMakeFiles/bench_stack_refinement.dir/bench_stack_refinement.cpp.o.d"
+  "bench_stack_refinement"
+  "bench_stack_refinement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_stack_refinement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

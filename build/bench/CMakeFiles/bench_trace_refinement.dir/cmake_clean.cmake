@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_trace_refinement.dir/bench_trace_refinement.cpp.o"
+  "CMakeFiles/bench_trace_refinement.dir/bench_trace_refinement.cpp.o.d"
+  "bench_trace_refinement"
+  "bench_trace_refinement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_trace_refinement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lock_client.dir/lock_client.cpp.o"
+  "CMakeFiles/lock_client.dir/lock_client.cpp.o.d"
+  "lock_client"
+  "lock_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lock_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/message_passing.dir/message_passing.cpp.o"
+  "CMakeFiles/message_passing.dir/message_passing.cpp.o.d"
+  "message_passing"
+  "message_passing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/message_passing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

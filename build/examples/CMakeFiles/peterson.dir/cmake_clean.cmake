@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peterson.dir/peterson.cpp.o"
+  "CMakeFiles/peterson.dir/peterson.cpp.o.d"
+  "peterson"
+  "peterson.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peterson.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

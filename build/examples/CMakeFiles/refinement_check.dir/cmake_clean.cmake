@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/refinement_check.dir/refinement_check.cpp.o"
+  "CMakeFiles/refinement_check.dir/refinement_check.cpp.o.d"
+  "refinement_check"
+  "refinement_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/refinement_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/assertions/assertions.cpp" "src/CMakeFiles/rc11.dir/assertions/assertions.cpp.o" "gcc" "src/CMakeFiles/rc11.dir/assertions/assertions.cpp.o.d"
+  "/root/repo/src/explore/dot.cpp" "src/CMakeFiles/rc11.dir/explore/dot.cpp.o" "gcc" "src/CMakeFiles/rc11.dir/explore/dot.cpp.o.d"
+  "/root/repo/src/explore/explorer.cpp" "src/CMakeFiles/rc11.dir/explore/explorer.cpp.o" "gcc" "src/CMakeFiles/rc11.dir/explore/explorer.cpp.o.d"
+  "/root/repo/src/lang/expr.cpp" "src/CMakeFiles/rc11.dir/lang/expr.cpp.o" "gcc" "src/CMakeFiles/rc11.dir/lang/expr.cpp.o.d"
+  "/root/repo/src/lang/step.cpp" "src/CMakeFiles/rc11.dir/lang/step.cpp.o" "gcc" "src/CMakeFiles/rc11.dir/lang/step.cpp.o.d"
+  "/root/repo/src/lang/system.cpp" "src/CMakeFiles/rc11.dir/lang/system.cpp.o" "gcc" "src/CMakeFiles/rc11.dir/lang/system.cpp.o.d"
+  "/root/repo/src/litmus/case_studies.cpp" "src/CMakeFiles/rc11.dir/litmus/case_studies.cpp.o" "gcc" "src/CMakeFiles/rc11.dir/litmus/case_studies.cpp.o.d"
+  "/root/repo/src/litmus/litmus.cpp" "src/CMakeFiles/rc11.dir/litmus/litmus.cpp.o" "gcc" "src/CMakeFiles/rc11.dir/litmus/litmus.cpp.o.d"
+  "/root/repo/src/locks/clients.cpp" "src/CMakeFiles/rc11.dir/locks/clients.cpp.o" "gcc" "src/CMakeFiles/rc11.dir/locks/clients.cpp.o.d"
+  "/root/repo/src/locks/lock_objects.cpp" "src/CMakeFiles/rc11.dir/locks/lock_objects.cpp.o" "gcc" "src/CMakeFiles/rc11.dir/locks/lock_objects.cpp.o.d"
+  "/root/repo/src/memsem/state.cpp" "src/CMakeFiles/rc11.dir/memsem/state.cpp.o" "gcc" "src/CMakeFiles/rc11.dir/memsem/state.cpp.o.d"
+  "/root/repo/src/memsem/validate.cpp" "src/CMakeFiles/rc11.dir/memsem/validate.cpp.o" "gcc" "src/CMakeFiles/rc11.dir/memsem/validate.cpp.o.d"
+  "/root/repo/src/objects/lock.cpp" "src/CMakeFiles/rc11.dir/objects/lock.cpp.o" "gcc" "src/CMakeFiles/rc11.dir/objects/lock.cpp.o.d"
+  "/root/repo/src/objects/queue.cpp" "src/CMakeFiles/rc11.dir/objects/queue.cpp.o" "gcc" "src/CMakeFiles/rc11.dir/objects/queue.cpp.o.d"
+  "/root/repo/src/objects/stack.cpp" "src/CMakeFiles/rc11.dir/objects/stack.cpp.o" "gcc" "src/CMakeFiles/rc11.dir/objects/stack.cpp.o.d"
+  "/root/repo/src/og/catalog.cpp" "src/CMakeFiles/rc11.dir/og/catalog.cpp.o" "gcc" "src/CMakeFiles/rc11.dir/og/catalog.cpp.o.d"
+  "/root/repo/src/og/lemma3.cpp" "src/CMakeFiles/rc11.dir/og/lemma3.cpp.o" "gcc" "src/CMakeFiles/rc11.dir/og/lemma3.cpp.o.d"
+  "/root/repo/src/og/memrules.cpp" "src/CMakeFiles/rc11.dir/og/memrules.cpp.o" "gcc" "src/CMakeFiles/rc11.dir/og/memrules.cpp.o.d"
+  "/root/repo/src/og/proof_outline.cpp" "src/CMakeFiles/rc11.dir/og/proof_outline.cpp.o" "gcc" "src/CMakeFiles/rc11.dir/og/proof_outline.cpp.o.d"
+  "/root/repo/src/parser/parser.cpp" "src/CMakeFiles/rc11.dir/parser/parser.cpp.o" "gcc" "src/CMakeFiles/rc11.dir/parser/parser.cpp.o.d"
+  "/root/repo/src/queues/queue_objects.cpp" "src/CMakeFiles/rc11.dir/queues/queue_objects.cpp.o" "gcc" "src/CMakeFiles/rc11.dir/queues/queue_objects.cpp.o.d"
+  "/root/repo/src/refinement/refinement.cpp" "src/CMakeFiles/rc11.dir/refinement/refinement.cpp.o" "gcc" "src/CMakeFiles/rc11.dir/refinement/refinement.cpp.o.d"
+  "/root/repo/src/stacks/stack_objects.cpp" "src/CMakeFiles/rc11.dir/stacks/stack_objects.cpp.o" "gcc" "src/CMakeFiles/rc11.dir/stacks/stack_objects.cpp.o.d"
+  "/root/repo/src/support/rational.cpp" "src/CMakeFiles/rc11.dir/support/rational.cpp.o" "gcc" "src/CMakeFiles/rc11.dir/support/rational.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librc11.a"
+)

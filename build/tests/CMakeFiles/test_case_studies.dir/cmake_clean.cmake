@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_case_studies.dir/test_case_studies.cpp.o"
+  "CMakeFiles/test_case_studies.dir/test_case_studies.cpp.o.d"
+  "test_case_studies"
+  "test_case_studies.pdb"
+  "test_case_studies[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_case_studies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

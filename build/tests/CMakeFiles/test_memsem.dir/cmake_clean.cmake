@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_memsem.dir/test_memsem.cpp.o"
+  "CMakeFiles/test_memsem.dir/test_memsem.cpp.o.d"
+  "test_memsem"
+  "test_memsem.pdb"
+  "test_memsem[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_memsem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

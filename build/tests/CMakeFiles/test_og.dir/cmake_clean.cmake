@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_og.dir/test_og.cpp.o"
+  "CMakeFiles/test_og.dir/test_og.cpp.o.d"
+  "test_og"
+  "test_og.pdb"
+  "test_og[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_og.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sc_baseline.dir/test_sc_baseline.cpp.o"
+  "CMakeFiles/test_sc_baseline.dir/test_sc_baseline.cpp.o.d"
+  "test_sc_baseline"
+  "test_sc_baseline.pdb"
+  "test_sc_baseline[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sc_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_support[1]_include.cmake")
+include("/root/repo/build/tests/test_memsem[1]_include.cmake")
+include("/root/repo/build/tests/test_lang[1]_include.cmake")
+include("/root/repo/build/tests/test_objects[1]_include.cmake")
+include("/root/repo/build/tests/test_explore[1]_include.cmake")
+include("/root/repo/build/tests/test_og[1]_include.cmake")
+include("/root/repo/build/tests/test_refinement[1]_include.cmake")
+include("/root/repo/build/tests/test_parser[1]_include.cmake")
+include("/root/repo/build/tests/test_stacks[1]_include.cmake")
+include("/root/repo/build/tests/test_validate[1]_include.cmake")
+include("/root/repo/build/tests/test_sc_baseline[1]_include.cmake")
+include("/root/repo/build/tests/test_case_studies[1]_include.cmake")
+include("/root/repo/build/tests/test_queues[1]_include.cmake")
+include("/root/repo/build/tests/test_fuzz[1]_include.cmake")
+include("/root/repo/build/tests/test_cli[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rc11-refine.dir/rc11_refine.cpp.o"
+  "CMakeFiles/rc11-refine.dir/rc11_refine.cpp.o.d"
+  "rc11-refine"
+  "rc11-refine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rc11-refine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

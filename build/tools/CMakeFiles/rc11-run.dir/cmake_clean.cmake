@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rc11-run.dir/rc11_run.cpp.o"
+  "CMakeFiles/rc11-run.dir/rc11_run.cpp.o.d"
+  "rc11-run"
+  "rc11-run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rc11-run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for rc11-run.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rc11-verify.dir/rc11_verify.cpp.o"
+  "CMakeFiles/rc11-verify.dir/rc11_verify.cpp.o.d"
+  "rc11-verify"
+  "rc11-verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rc11-verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
