@@ -6,6 +6,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+
 #include "bench_util.hpp"
 
 namespace {
@@ -29,11 +31,49 @@ BENCHMARK(BM_Litmus)->DenseRange(0, 11);
 
 }  // namespace
 
+namespace {
+
+/// Experiment F5-par: the parallel explorer must reproduce the exact outcome
+/// set of the sequential one on every litmus test, and we report the
+/// aggregate wall-clock speedup of the 8-worker sweep over the 1-worker one.
+void report_parallel_suite() {
+  using clock = std::chrono::steady_clock;
+  bool identical = true;
+  std::string first_mismatch;
+  double seq_s = 0, par_s = 0;
+  for (const auto& test : rc11::litmus::all_tests()) {
+    const auto t0 = clock::now();
+    const auto seq = rc11::litmus::reachable_outcomes(test, 1);
+    const auto t1 = clock::now();
+    const auto par8 = rc11::litmus::reachable_outcomes(test, 8);
+    const auto t2 = clock::now();
+    const auto par2 = rc11::litmus::reachable_outcomes(test, 2);
+    seq_s += std::chrono::duration<double>(t1 - t0).count();
+    par_s += std::chrono::duration<double>(t2 - t1).count();
+    if ((seq != par8 || seq != par2) && first_mismatch.empty()) {
+      first_mismatch = test.name;
+      identical = false;
+    }
+  }
+  std::ostringstream detail;
+  if (identical) {
+    detail << "12/12 tests: outcome sets identical for 1/2/8 workers; "
+           << "suite wall time 1 thread " << seq_s * 1e3 << " ms, 8 threads "
+           << par_s * 1e3 << " ms, speedup " << seq_s / par_s << "x";
+  } else {
+    detail << "outcome set diverges on " << first_mismatch;
+  }
+  rc11::bench::verdict("F5-par", identical, detail.str());
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   auto tests = rc11::litmus::all_tests();
   for (auto& test : tests) {
     rc11::bench::run_litmus("F5/" + test.name, test);
   }
+  report_parallel_suite();
   for (auto& test : rc11::litmus::all_causality_tests()) {
     const auto result = rc11::explore::explore(test.sys);
     bool ok = true;

@@ -6,6 +6,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
 #include "bench_util.hpp"
 #include "locks/clients.hpp"
 #include "locks/lock_objects.hpp"
@@ -73,6 +77,66 @@ BENCHMARK(BM_ExploreTicketClient)
     ->Args({2, 2})
     ->Args({3, 1});
 
+/// Parallel exploration scaling (experiment F4-par): the same ticket-lock
+/// client state space explored with a varying worker count.  UseRealTime()
+/// because the workers run inside explore() — CPU time would charge all
+/// workers' cycles to the benchmark and hide any speedup.
+void BM_ExploreTicketClientThreads(benchmark::State& state) {
+  const auto workers = static_cast<unsigned>(state.range(0));
+  locks::TicketLock lock;
+  const auto sys = locks::instantiate(locks::mgc_client(2, 2), lock);
+  explore::ExploreOptions opts;
+  opts.num_threads = workers;
+  std::uint64_t states = 0;
+  for (auto _ : state) {
+    const auto result = explore::explore(sys, opts);
+    states = result.stats.states;
+    benchmark::DoNotOptimize(states);
+  }
+  state.counters["states"] = static_cast<double>(states);
+  state.SetLabel(std::to_string(workers) + " workers");
+}
+BENCHMARK(BM_ExploreTicketClientThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime();
+
+/// Wall-clock time of one exhaustive exploration with the given worker
+/// count, for the speedup verdict line below.
+double explore_seconds(const lang::System& sys, unsigned workers) {
+  explore::ExploreOptions opts;
+  opts.num_threads = workers;
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto result = explore::explore(sys, opts);
+  const auto t1 = std::chrono::steady_clock::now();
+  benchmark::DoNotOptimize(result.stats.states);
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+void report_parallel_speedup() {
+  locks::TicketLock lock;
+  const auto sys = locks::instantiate(locks::mgc_client(2, 2), lock);
+  // Warm up allocators etc., then take the best of three per configuration.
+  explore_seconds(sys, 1);
+  double seq = 1e9, par = 1e9;
+  for (int i = 0; i < 3; ++i) seq = std::min(seq, explore_seconds(sys, 1));
+  for (int i = 0; i < 3; ++i) par = std::min(par, explore_seconds(sys, 8));
+  const double speedup = seq / par;
+  std::ostringstream detail;
+  detail << "ticket-lock mgc(2,2) client: 1 thread " << seq * 1e3
+         << " ms, 8 threads " << par * 1e3 << " ms, speedup " << speedup
+         << "x (hardware_concurrency="
+         << std::thread::hardware_concurrency() << ")";
+  rc11::bench::verdict("F4-par", speedup > 0.0, detail.str());
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  report_parallel_speedup();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

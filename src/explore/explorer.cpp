@@ -1,10 +1,16 @@
 #include "explore/explorer.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <condition_variable>
 #include <deque>
+#include <mutex>
+#include <thread>
 
+#include "explore/sharded_visited.hpp"
 #include "support/diagnostics.hpp"
 #include "support/hash.hpp"
+#include "support/parallel.hpp"
 
 namespace rc11::explore {
 
@@ -12,7 +18,8 @@ namespace {
 
 /// Visited set keyed by state hash with full-encoding confirmation, so hash
 /// collisions can never make exploration unsound (skip a genuinely new
-/// state) — they only cost an extra comparison.
+/// state) — they only cost an extra comparison.  Sequential counterpart of
+/// ShardedVisitedSet; kept lock-free for the num_threads == 1 paths.
 class VisitedSet {
  public:
   /// Returns true iff the encoding was newly inserted.
@@ -45,10 +52,6 @@ struct Frontier {
   std::int64_t trace_node = -1;
 };
 
-}  // namespace
-
-namespace {
-
 /// The thread to expand exclusively under local-step fusion, if any.
 std::optional<ThreadId> fusible_thread(const System& sys, const Config& cfg) {
   for (ThreadId t = 0; t < sys.num_threads(); ++t) {
@@ -62,10 +65,278 @@ std::optional<ThreadId> fusible_thread(const System& sys, const Config& cfg) {
   return std::nullopt;
 }
 
+std::vector<Step> expand(const System& sys, const Config& cfg,
+                         bool fuse_local_steps, bool want_labels) {
+  if (fuse_local_steps) {
+    if (const auto t = fusible_thread(sys, cfg)) {
+      return lang::thread_successors(sys, cfg, *t, want_labels);
+    }
+  }
+  return lang::successors(sys, cfg, want_labels);
+}
+
+/// Canonical ordering for deterministic results across thread counts: sort
+/// configs by their encodings (equal encodings == semantically identical
+/// configurations, so the order is total on deduplicated sets).
+void sort_configs_canonically(std::vector<Config>& configs) {
+  std::vector<std::pair<std::vector<std::uint64_t>, std::size_t>> keyed;
+  keyed.reserve(configs.size());
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    keyed.emplace_back(configs[i].encode(), i);
+  }
+  std::sort(keyed.begin(), keyed.end());
+  std::vector<Config> sorted;
+  sorted.reserve(configs.size());
+  for (auto& [enc, idx] : keyed) sorted.push_back(std::move(configs[idx]));
+  configs = std::move(sorted);
+}
+
+void sort_violations(std::vector<Violation>& violations) {
+  std::sort(violations.begin(), violations.end(),
+            [](const Violation& a, const Violation& b) {
+              if (a.what != b.what) return a.what < b.what;
+              return a.state_dump < b.state_dump;
+            });
+}
+
+// --- parallel reachability engine -------------------------------------------
+
+/// Shared frontier of the worker pool.  A single deque behind one mutex is
+/// deliberately simple: state *expansion* (successor computation + canonical
+/// encoding) dominates queue traffic by orders of magnitude, and workers pop
+/// and push in batches, so the lock is cold.  The visited set, where every
+/// generated successor lands, is the contended structure — and that one is
+/// sharded (see sharded_visited.hpp).
+struct SharedFrontier {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<Config> items;
+  unsigned working = 0;  ///< workers currently expanding a batch
+  bool stop = false;     ///< cooperative stop (visitor veto or truncation)
+  std::uint64_t max_size = 0;
+};
+
+ReachResult parallel_reach(const System& sys, const ReachOptions& options,
+                           const StateVisitor& visitor, unsigned workers) {
+  ReachResult result;
+  ShardedVisitedSet visited;
+  SharedFrontier frontier;
+  // Claim budget for max_states: every popped state claims one index; claims
+  // at or beyond the cap mark truncation instead of being expanded.  This is
+  // the cooperative-parallel analogue of the sequential pre-pop bound check.
+  std::atomic<std::uint64_t> claimed{0};
+  std::atomic<std::uint64_t> states{0};
+  std::atomic<std::uint64_t> transitions{0};
+  std::atomic<std::uint64_t> finals{0};
+  std::atomic<std::uint64_t> blocked{0};
+  std::atomic<bool> truncated{false};
+
+  {
+    Config init = lang::initial_config(sys);
+    visited.insert(init.encode());
+    frontier.items.push_back(std::move(init));
+    frontier.max_size = 1;
+  }
+
+  const bool bfs = options.strategy == SearchStrategy::Bfs;
+  constexpr std::size_t kMaxBatch = 32;
+
+  const auto worker = [&] {
+    std::vector<Config> batch;
+    std::vector<Config> discovered;
+    for (;;) {
+      batch.clear();
+      {
+        std::unique_lock<std::mutex> lock(frontier.mu);
+        frontier.cv.wait(lock, [&] {
+          return frontier.stop || !frontier.items.empty() ||
+                 frontier.working == 0;
+        });
+        if (frontier.stop || (frontier.items.empty() && frontier.working == 0)) {
+          frontier.cv.notify_all();
+          return;
+        }
+        // Leave work for idle peers: take at most a 1/workers share.
+        const std::size_t take = std::min(
+            kMaxBatch,
+            std::max<std::size_t>(1, frontier.items.size() / workers));
+        for (std::size_t i = 0; i < take && !frontier.items.empty(); ++i) {
+          if (bfs) {
+            batch.push_back(std::move(frontier.items.front()));
+            frontier.items.pop_front();
+          } else {
+            batch.push_back(std::move(frontier.items.back()));
+            frontier.items.pop_back();
+          }
+        }
+        frontier.working += 1;
+      }
+
+      discovered.clear();
+      bool request_stop = false;
+      for (const Config& cfg : batch) {
+        if (claimed.fetch_add(1, std::memory_order_relaxed) >=
+            options.max_states) {
+          truncated.store(true, std::memory_order_relaxed);
+          request_stop = true;
+          break;
+        }
+        states.fetch_add(1, std::memory_order_relaxed);
+        std::vector<Step> steps =
+            expand(sys, cfg, options.fuse_local_steps, options.want_labels);
+        if (steps.empty()) {
+          (cfg.all_done(sys) ? finals : blocked)
+              .fetch_add(1, std::memory_order_relaxed);
+        }
+        transitions.fetch_add(steps.size(), std::memory_order_relaxed);
+        const bool keep_going = visitor(cfg, steps);
+        for (auto& step : steps) {
+          if (visited.insert(step.after.encode())) {
+            discovered.push_back(std::move(step.after));
+          }
+        }
+        if (!keep_going) {
+          request_stop = true;
+          break;
+        }
+      }
+
+      {
+        std::lock_guard<std::mutex> lock(frontier.mu);
+        frontier.working -= 1;
+        if (request_stop) frontier.stop = true;
+        for (auto& cfg : discovered) {
+          frontier.items.push_back(std::move(cfg));
+        }
+        frontier.max_size =
+            std::max<std::uint64_t>(frontier.max_size, frontier.items.size());
+      }
+      frontier.cv.notify_all();
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  for (unsigned w = 1; w < workers; ++w) pool.emplace_back(worker);
+  worker();
+  for (auto& t : pool) t.join();
+
+  result.stats.states = states.load();
+  result.stats.transitions = transitions.load();
+  result.stats.finals = finals.load();
+  result.stats.blocked = blocked.load();
+  result.stats.max_frontier = frontier.max_size;
+  result.truncated = truncated.load();
+  return result;
+}
+
+ReachResult sequential_reach(const System& sys, const ReachOptions& options,
+                             const StateVisitor& visitor) {
+  ReachResult result;
+  VisitedSet visited;
+  std::deque<Config> frontier;
+  {
+    Config init = lang::initial_config(sys);
+    visited.insert(init.encode());
+    frontier.push_back(std::move(init));
+  }
+  const bool bfs = options.strategy == SearchStrategy::Bfs;
+  while (!frontier.empty()) {
+    if (result.stats.states >= options.max_states) {
+      result.truncated = true;
+      break;
+    }
+    result.stats.max_frontier =
+        std::max<std::uint64_t>(result.stats.max_frontier, frontier.size());
+    Config cfg = bfs ? std::move(frontier.front()) : std::move(frontier.back());
+    if (bfs) {
+      frontier.pop_front();
+    } else {
+      frontier.pop_back();
+    }
+    result.stats.states += 1;
+    std::vector<Step> steps =
+        expand(sys, cfg, options.fuse_local_steps, options.want_labels);
+    if (steps.empty()) {
+      if (cfg.all_done(sys)) {
+        result.stats.finals += 1;
+      } else {
+        result.stats.blocked += 1;
+      }
+    }
+    result.stats.transitions += steps.size();
+    const bool keep_going = visitor(cfg, steps);
+    for (auto& step : steps) {
+      if (visited.insert(step.after.encode())) {
+        frontier.push_back(std::move(step.after));
+      }
+    }
+    if (!keep_going) break;
+  }
+  return result;
+}
+
 }  // namespace
 
-ExploreResult explore(const System& sys, const ExploreOptions& options,
-                      const Invariant& invariant) {
+ReachResult visit_reachable(const System& sys, const ReachOptions& options,
+                            const StateVisitor& visitor) {
+  const unsigned workers = support::resolve_num_threads(options.num_threads);
+  if (workers <= 1) return sequential_reach(sys, options, visitor);
+  return parallel_reach(sys, options, visitor, workers);
+}
+
+namespace {
+
+/// Parallel explore(): final-config collection and invariant evaluation on
+/// top of the generic driver.  Traces are unavailable here (the parent-link
+/// arena is inherently order-dependent); explore() routes track_traces runs
+/// through the sequential path below.
+ExploreResult explore_parallel(const System& sys, const ExploreOptions& options,
+                               const Invariant& invariant) {
+  ExploreResult result;
+  ShardedVisitedSet final_dedup;
+  std::mutex finals_mu;
+  std::vector<Config> finals;
+  std::mutex violations_mu;
+  std::vector<Violation> violations;
+
+  ReachOptions ropts;
+  ropts.max_states = options.max_states;
+  ropts.num_threads = options.num_threads;
+  ropts.strategy = options.strategy;
+  ropts.fuse_local_steps = options.fuse_local_steps;
+
+  const auto reach = visit_reachable(
+      sys, ropts,
+      [&](const Config& cfg, const std::vector<Step>& steps) -> bool {
+        bool keep_going = true;
+        if (invariant) {
+          if (auto violation = invariant(sys, cfg)) {
+            std::lock_guard<std::mutex> lock(violations_mu);
+            violations.push_back({std::move(*violation), cfg.to_string(sys), {}});
+            if (options.stop_on_violation) keep_going = false;
+          }
+        }
+        if (options.collect_finals && steps.empty() && cfg.all_done(sys) &&
+            final_dedup.insert(cfg.encode())) {
+          std::lock_guard<std::mutex> lock(finals_mu);
+          finals.push_back(cfg);
+        }
+        return keep_going;
+      });
+
+  result.stats = reach.stats;
+  result.truncated = reach.truncated;
+  result.final_configs = std::move(finals);
+  result.violations = std::move(violations);
+  sort_configs_canonically(result.final_configs);
+  sort_violations(result.violations);
+  return result;
+}
+
+ExploreResult explore_sequential(const System& sys,
+                                 const ExploreOptions& options,
+                                 const Invariant& invariant) {
   ExploreResult result;
   VisitedSet visited;
   std::vector<TraceNode> trace_nodes;
@@ -115,16 +386,8 @@ ExploreResult explore(const System& sys, const ExploreOptions& options,
       }
     }
 
-    std::vector<Step> steps;
-    if (options.fuse_local_steps) {
-      if (const auto t = fusible_thread(sys, cfg)) {
-        steps = lang::thread_successors(sys, cfg, *t, options.track_traces);
-      } else {
-        steps = lang::successors(sys, cfg, options.track_traces);
-      }
-    } else {
-      steps = lang::successors(sys, cfg, options.track_traces);
-    }
+    std::vector<Step> steps =
+        expand(sys, cfg, options.fuse_local_steps, options.track_traces);
     if (steps.empty()) {
       if (cfg.all_done(sys)) {
         result.stats.finals += 1;
@@ -150,13 +413,27 @@ ExploreResult explore(const System& sys, const ExploreOptions& options,
     }
   }
 
+  sort_configs_canonically(result.final_configs);
+  sort_violations(result.violations);
   return result;
+}
+
+}  // namespace
+
+ExploreResult explore(const System& sys, const ExploreOptions& options,
+                      const Invariant& invariant) {
+  const unsigned workers = support::resolve_num_threads(options.num_threads);
+  if (workers <= 1 || options.track_traces) {
+    return explore_sequential(sys, options, invariant);
+  }
+  return explore_parallel(sys, options, invariant);
 }
 
 std::vector<std::vector<lang::Value>> final_register_values(
     const System& sys, const ExploreResult& result,
     const std::vector<lang::Reg>& regs) {
   std::vector<std::vector<lang::Value>> outcomes;
+  outcomes.reserve(result.final_configs.size());
   for (const auto& cfg : result.final_configs) {
     std::vector<lang::Value> tuple;
     tuple.reserve(regs.size());
@@ -165,11 +442,12 @@ std::vector<std::vector<lang::Value>> final_register_values(
                    "register out of range in outcome extraction");
       tuple.push_back(cfg.regs[r.thread][r.id]);
     }
-    if (std::find(outcomes.begin(), outcomes.end(), tuple) == outcomes.end()) {
-      outcomes.push_back(std::move(tuple));
-    }
+    outcomes.push_back(std::move(tuple));
   }
+  // Sort-then-unique instead of a std::find per final config: the old
+  // quadratic dedup dominated outcome extraction on large final sets.
   std::sort(outcomes.begin(), outcomes.end());
+  outcomes.erase(std::unique(outcomes.begin(), outcomes.end()), outcomes.end());
   (void)sys;
   return outcomes;
 }
@@ -178,7 +456,7 @@ bool outcome_reachable(const System& sys, const ExploreResult& result,
                        const std::vector<lang::Reg>& regs,
                        const std::vector<lang::Value>& values) {
   const auto outcomes = final_register_values(sys, result, regs);
-  return std::find(outcomes.begin(), outcomes.end(), values) != outcomes.end();
+  return std::binary_search(outcomes.begin(), outcomes.end(), values);
 }
 
 }  // namespace rc11::explore

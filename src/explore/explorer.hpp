@@ -39,6 +39,19 @@ struct ExploreOptions {
   /// Hard cap on distinct states; exploration reports truncation beyond it.
   std::uint64_t max_states = 1'000'000;
   SearchStrategy strategy = SearchStrategy::Dfs;
+  /// Worker threads expanding configurations: 1 (the default) runs the exact
+  /// sequential search — required for BFS shortest-trace guarantees and kept
+  /// as the default for Owicki–Gries outline checking; 0 resolves to
+  /// std::thread::hardware_concurrency(); N > 1 runs a shared-frontier pool
+  /// over a lock-striped visited set (sharded_visited.hpp).  For every thread
+  /// count the *set* of visited states, final configurations, outcomes and
+  /// the presence of violations are identical (final configs and violations
+  /// are sorted canonically before returning); only per-run orderings — which
+  /// violation is reported first under stop_on_violation, which states fall
+  /// inside a max_states truncation — may differ.  The invariant callback
+  /// must be thread-safe when more than one worker resolves.  track_traces
+  /// forces the sequential path (the trace arena is order-dependent).
+  unsigned num_threads = 1;
   /// Sound reduction for outcome-set exploration: when some thread's next
   /// instruction is *local* (Assign / Branch / Jump — deterministic, no
   /// memory effect), expand only that thread.  Local steps commute with all
@@ -73,7 +86,11 @@ struct ExploreStats {
 
 struct ExploreResult {
   ExploreStats stats;
-  std::vector<Config> final_configs;  ///< deduplicated (iff collect_finals)
+  /// Deduplicated (iff collect_finals) and sorted by canonical encoding, so
+  /// results compare equal across search strategies and thread counts.
+  std::vector<Config> final_configs;
+  /// Sorted by (what, state_dump); identical modulo traces for any thread
+  /// count when stop_on_violation is off.
   std::vector<Violation> violations;
   bool truncated = false;  ///< hit max_states: results are a lower bound
 
@@ -82,8 +99,46 @@ struct ExploreResult {
 
 /// Invariant callback: return a description to report a violation at this
 /// reachable configuration, or std::nullopt if the configuration is fine.
+/// Must be thread-safe when ExploreOptions::num_threads resolves to > 1.
 using Invariant =
     std::function<std::optional<std::string>(const System&, const Config&)>;
+
+// --- generic reachability driver --------------------------------------------
+//
+// The engine underneath explore(), og::check_outline and
+// refinement::build_graph: enumerate every reachable configuration exactly
+// once — sequentially or with a worker pool — and hand each one, together
+// with its enabled steps, to a visitor.
+
+struct ReachOptions {
+  std::uint64_t max_states = 1'000'000;
+  unsigned num_threads = 1;  ///< same convention as ExploreOptions
+  SearchStrategy strategy = SearchStrategy::Dfs;
+  bool fuse_local_steps = false;
+  bool want_labels = false;  ///< fill Step::label for the visitor
+};
+
+/// Called exactly once per reachable configuration with its enabled steps
+/// (empty for final/blocked states).  Return false to request a cooperative
+/// stop: in-flight workers finish their current state and no further states
+/// are claimed.  Must be thread-safe when num_threads resolves to > 1 (the
+/// driver still needs the successor configurations after the call, hence the
+/// const view).
+using StateVisitor =
+    std::function<bool(const Config&, const std::vector<Step>&)>;
+
+struct ReachResult {
+  ExploreStats stats;
+  bool truncated = false;
+};
+
+/// Enumerates reachable configurations under `options`, invoking `visitor`
+/// once per configuration.  Deduplication uses canonical encodings with
+/// full-encoding confirmation (collision-sound), lock-striped across shards
+/// when parallel.
+[[nodiscard]] ReachResult visit_reachable(const System& sys,
+                                          const ReachOptions& options,
+                                          const StateVisitor& visitor);
 
 /// Explores all configurations reachable from the initial configuration.
 /// `invariant` (if given) is evaluated at every reachable configuration.

@@ -1,0 +1,84 @@
+// rc11lib/explore/sharded_visited.hpp
+//
+// A lock-striped visited set over canonical state encodings, shared by the
+// parallel exploration engine (explorer.cpp), the parallel proof-outline
+// checker and the parallel refinement graph builder.
+//
+// Layout: N shards (N a power of two), each an independently locked hash
+// table.  A state is routed to the shard named by the *top* bits of its
+// 64-bit encoding hash, and the full hash then indexes buckets inside the
+// shard, so the two levels consume disjoint bits and states spread evenly.
+//
+// Soundness: exactly like the sequential VisitedSet, a bucket hit is
+// confirmed against the complete encoding before an insert is refused —
+// a hash collision can never make exploration drop a genuinely new state,
+// it only costs an extra vector comparison.  Because each encoding maps to
+// exactly one shard, the per-shard mutex makes insert() linearisable: of two
+// racing inserts of the same encoding exactly one returns true, which is the
+// property the exploration engine needs (every reachable state is expanded
+// exactly once, regardless of which worker discovered it).
+
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "support/hash.hpp"
+
+namespace rc11::explore {
+
+class ShardedVisitedSet {
+ public:
+  /// `shard_count` is rounded up to a power of two (at least 1).  64 shards
+  /// keep the expected queue depth per mutex negligible for any realistic
+  /// worker count while costing only a few KiB empty.
+  explicit ShardedVisitedSet(unsigned shard_count = 64) {
+    unsigned n = 1;
+    while (n < shard_count && n < (1U << 16)) n <<= 1;
+    shards_ = std::vector<Shard>(n);
+    shard_shift_ = 64U;
+    for (unsigned v = n; v > 1; v >>= 1) shard_shift_ -= 1;
+  }
+
+  /// Returns true iff the encoding was newly inserted.  Thread-safe.
+  bool insert(std::vector<std::uint64_t> encoding) {
+    support::WordHasher h;
+    for (const auto w : encoding) h.add(w);
+    const std::uint64_t digest = h.digest();
+    Shard& shard = shards_[shard_of(digest)];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto& bucket = shard.buckets[digest];
+    for (const auto idx : bucket) {
+      if (shard.encodings[idx] == encoding) return false;
+    }
+    bucket.push_back(shard.encodings.size());
+    shard.encodings.push_back(std::move(encoding));
+    return true;
+  }
+
+  /// Total states inserted.  Exact only while no insert is in flight
+  /// (callers read it after workers have joined).
+  [[nodiscard]] std::size_t size() const {
+    std::size_t total = 0;
+    for (const auto& shard : shards_) total += shard.encodings.size();
+    return total;
+  }
+
+ private:
+  struct Shard {
+    std::mutex mu;
+    std::unordered_map<std::uint64_t, std::vector<std::size_t>> buckets;
+    std::vector<std::vector<std::uint64_t>> encodings;
+  };
+
+  [[nodiscard]] std::size_t shard_of(std::uint64_t digest) const noexcept {
+    return shard_shift_ >= 64U ? 0 : static_cast<std::size_t>(digest >> shard_shift_);
+  }
+
+  std::vector<Shard> shards_;
+  unsigned shard_shift_ = 64;
+};
+
+}  // namespace rc11::explore

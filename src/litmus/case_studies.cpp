@@ -108,10 +108,13 @@ BarrierCaseStudy barrier_exchange() {
 }
 
 bool increment_lost(const MutexCaseStudy& study,
-                    const memsem::SemanticsOptions& options) {
+                    const memsem::SemanticsOptions& options,
+                    unsigned num_threads) {
   auto sys = study.sys;  // copy so the caller's study stays reusable
   sys.set_options(options);
-  const auto result = explore::explore(sys);
+  explore::ExploreOptions eopts;
+  eopts.num_threads = num_threads;
+  const auto result = explore::explore(sys, eopts);
   for (const auto& cfg : result.final_configs) {
     if (cfg.mem.op(cfg.mem.last_op(study.x)).value != 2) return true;
   }

@@ -30,9 +30,12 @@ MutexCaseStudy peterson_counter();
 MutexCaseStudy dekker_counter();
 
 /// True iff some terminating run of the case study loses an increment
-/// (final x != 2) under the given semantics options.
+/// (final x != 2) under the given semantics options.  `num_threads` follows
+/// the explore::ExploreOptions convention; the verdict is thread-count
+/// independent (exploration is exhaustive either way).
 bool increment_lost(const MutexCaseStudy& study,
-                    const memsem::SemanticsOptions& options);
+                    const memsem::SemanticsOptions& options,
+                    unsigned num_threads = 1);
 
 /// A sense-reversing barrier for two threads: each thread publishes a datum,
 /// arrives at the barrier (FAI on the arrival counter; the last arrival

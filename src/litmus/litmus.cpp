@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "explore/explorer.hpp"
 #include "memsem/types.hpp"
 
 namespace rc11::litmus {
@@ -364,6 +365,23 @@ std::vector<CausalityTest> all_causality_tests() {
   tests.push_back(isa2_release_acquire());
   tests.push_back(s_shape());
   return tests;
+}
+
+std::vector<std::vector<Value>> reachable_outcomes(const LitmusTest& test,
+                                                   unsigned num_threads) {
+  explore::ExploreOptions opts;
+  opts.num_threads = num_threads;
+  const auto result = explore::explore(test.sys, opts);
+  return explore::final_register_values(test.sys, result, test.observed);
+}
+
+bool check(const LitmusTest& test, unsigned num_threads) {
+  explore::ExploreOptions opts;
+  opts.num_threads = num_threads;
+  const auto result = explore::explore(test.sys, opts);
+  if (result.truncated) return false;
+  return explore::final_register_values(test.sys, result, test.observed) ==
+         test.allowed;
 }
 
 std::vector<LitmusTest> all_tests() {

@@ -82,6 +82,17 @@ LitmusTest fig2_stack_mp_sync();
 /// All of the above, for suite-style iteration in tests and benches.
 std::vector<LitmusTest> all_tests();
 
+/// Explores `test.sys` (with `num_threads` workers, explore::ExploreOptions
+/// convention) and returns the reachable outcome set over `test.observed`,
+/// sorted lexicographically — directly comparable against `test.allowed`.
+[[nodiscard]] std::vector<std::vector<Value>> reachable_outcomes(
+    const LitmusTest& test, unsigned num_threads = 1);
+
+/// True iff the reachable outcome set equals the allowed set exactly (both
+/// directions: every allowed weak behaviour exhibited, every forbidden one
+/// excluded) and exploration was not truncated.
+[[nodiscard]] bool check(const LitmusTest& test, unsigned num_threads = 1);
+
 /// Causality-chain tests with *partial* expectations: the full outcome sets
 /// are large, so these specify key outcomes that must be reachable and key
 /// outcomes RC11 RAR must exclude.

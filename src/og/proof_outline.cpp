@@ -1,10 +1,13 @@
 #include "og/proof_outline.hpp"
 
+#include <atomic>
 #include <deque>
+#include <mutex>
 #include <unordered_map>
 
 #include "support/diagnostics.hpp"
 #include "support/hash.hpp"
+#include "support/parallel.hpp"
 
 namespace rc11::og {
 
@@ -79,10 +82,121 @@ std::vector<std::string> rebuild_trace(const std::vector<TraceNode>& nodes,
   return labels;
 }
 
+/// Evaluates every outline obligation at one reachable configuration —
+/// validity (global invariant + the annotation at every thread's current pc)
+/// and, when enabled, interference freedom over the enabled steps (the
+/// classic {A ∧ pre(S)} S {A} side condition restricted to reachable
+/// states; the step's precondition holds by the validity check).  Invokes
+/// `fail(obligation)` per failed obligation, stopping after the first when
+/// stop_at_first_failure.  Returns the number of obligations evaluated.
+/// Shared by the sequential and parallel checkers so the obligation set can
+/// never diverge between them.
+template <typename FailFn>
+std::uint64_t evaluate_obligations(const System& sys,
+                                   const ProofOutline& outline,
+                                   const OutlineCheckOptions& options,
+                                   const Config& cfg,
+                                   const std::vector<Step>& steps,
+                                   const FailFn& fail) {
+  std::uint64_t checked = 0;
+  bool failed = false;
+
+  checked += 1;
+  if (!outline.global_invariant().eval(sys, cfg)) {
+    fail("global invariant " + outline.global_invariant().name());
+    failed = true;
+  }
+  if (!(failed && options.stop_at_first_failure)) {
+    for (ThreadId t = 0; t < sys.num_threads(); ++t) {
+      checked += 1;
+      const Assertion& ann = outline.at(t, cfg.pc[t]);
+      if (!ann.eval(sys, cfg)) {
+        fail(support::concat("annotation at t", t, " pc=", cfg.pc[t], ": ",
+                             ann.name()));
+        failed = true;
+        if (options.stop_at_first_failure) break;
+      }
+    }
+  }
+  if (options.check_interference && !(failed && options.stop_at_first_failure)) {
+    for (const auto& step : steps) {
+      for (ThreadId t = 0; t < sys.num_threads(); ++t) {
+        if (t == step.thread) continue;
+        for (std::uint32_t pc = 0; pc <= outline.terminal_pc(t); ++pc) {
+          const Assertion& ann = outline.at(t, pc);
+          checked += 1;
+          if (ann.eval(sys, cfg) && !ann.eval(sys, step.after)) {
+            fail(support::concat("interference: step [", step.label,
+                                 "] breaks t", t, " pc=", pc, ": ",
+                                 ann.name()));
+            failed = true;
+            if (options.stop_at_first_failure) break;
+          }
+        }
+        if (failed && options.stop_at_first_failure) break;
+      }
+      if (failed && options.stop_at_first_failure) break;
+    }
+  }
+  return checked;
+}
+
+/// Parallel outline checking on the shared reachability driver: the state
+/// space is enumerated by a worker pool over the lock-striped visited set
+/// and obligations are evaluated concurrently per state.  Failures carry no
+/// traces and arrive in nondeterministic order; the verdict and the set of
+/// failed obligations match the sequential checker.
+OutlineCheckResult check_outline_parallel(const System& sys,
+                                          const ProofOutline& outline,
+                                          const OutlineCheckOptions& options) {
+  OutlineCheckResult result;
+  std::atomic<std::uint64_t> obligations{0};
+  std::atomic<bool> valid{true};
+  std::mutex failures_mu;
+
+  explore::ReachOptions ropts;
+  ropts.max_states = options.max_states;
+  ropts.num_threads = options.num_threads;
+  ropts.want_labels = true;  // interference messages cite the step label
+
+  const auto reach = explore::visit_reachable(
+      sys, ropts,
+      [&](const Config& cfg, const std::vector<lang::Step>& steps) -> bool {
+        std::vector<std::string> local_failures;
+        obligations.fetch_add(
+            evaluate_obligations(sys, outline, options, cfg, steps,
+                                 [&](std::string obligation) {
+                                   local_failures.push_back(
+                                       std::move(obligation));
+                                 }),
+            std::memory_order_relaxed);
+        if (!local_failures.empty()) {
+          valid.store(false, std::memory_order_relaxed);
+          const auto dump = cfg.to_string(sys);
+          std::lock_guard<std::mutex> lock(failures_mu);
+          for (auto& obligation : local_failures) {
+            result.failures.push_back({std::move(obligation), dump, {}});
+          }
+          if (options.stop_at_first_failure) return false;
+        }
+        return true;
+      });
+
+  result.valid = valid.load();
+  result.stats = reach.stats;
+  result.obligations_checked = obligations.load();
+  return result;
+}
+
 }  // namespace
 
 OutlineCheckResult check_outline(const System& sys, const ProofOutline& outline,
                                  OutlineCheckOptions options) {
+  if (support::resolve_num_threads(options.num_threads) > 1 &&
+      !options.track_traces) {
+    return check_outline_parallel(sys, outline, options);
+  }
+
   OutlineCheckResult result;
   Visited visited;
   struct Item {
@@ -117,52 +231,12 @@ OutlineCheckResult check_outline(const System& sys, const ProofOutline& outline,
     current_node = item.trace_node;
     result.stats.states += 1;
 
-    // Validity at this configuration: global invariant plus the annotation
-    // at every thread's current pc.
-    result.obligations_checked += 1;
-    if (!outline.global_invariant().eval(sys, cfg)) {
-      fail("global invariant " + outline.global_invariant().name(), cfg);
-      if (options.stop_at_first_failure) break;
-    }
-    for (ThreadId t = 0; t < sys.num_threads(); ++t) {
-      result.obligations_checked += 1;
-      const Assertion& ann = outline.at(t, cfg.pc[t]);
-      if (!ann.eval(sys, cfg)) {
-        fail(support::concat("annotation at t", t, " pc=", cfg.pc[t], ": ",
-                             ann.name()),
-             cfg);
-        if (options.stop_at_first_failure) break;
-      }
-    }
-    if (!result.valid && options.stop_at_first_failure) break;
-
     auto steps = lang::successors(sys, cfg, /*want_labels=*/true);
 
-    // Interference freedom: every annotation of thread t that holds here must
-    // be preserved by every enabled step of every other thread t'.  (The
-    // step's precondition — the t' annotation at its current pc — holds by
-    // the validity check above, so this is {A ∧ pre(S)} S {A} on reachable
-    // states.)
-    if (options.check_interference) {
-      for (const auto& step : steps) {
-        for (ThreadId t = 0; t < sys.num_threads(); ++t) {
-          if (t == step.thread) continue;
-          for (std::uint32_t pc = 0; pc <= outline.terminal_pc(t); ++pc) {
-            const Assertion& ann = outline.at(t, pc);
-            result.obligations_checked += 1;
-            if (ann.eval(sys, cfg) && !ann.eval(sys, step.after)) {
-              fail(support::concat("interference: step [", step.label,
-                                   "] breaks t", t, " pc=", pc, ": ",
-                                   ann.name()),
-                   cfg);
-              if (options.stop_at_first_failure) break;
-            }
-          }
-          if (!result.valid && options.stop_at_first_failure) break;
-        }
-        if (!result.valid && options.stop_at_first_failure) break;
-      }
-    }
+    result.obligations_checked += evaluate_obligations(
+        sys, outline, options, cfg, steps,
+        [&](std::string obligation) { fail(std::move(obligation), cfg); });
+    if (!result.valid && options.stop_at_first_failure) break;
 
     if (steps.empty()) {
       if (cfg.all_done(sys)) {

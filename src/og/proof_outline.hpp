@@ -85,6 +85,15 @@ struct OutlineCheckOptions {
   bool check_interference = true;  ///< also run the pairwise OG side condition
   bool stop_at_first_failure = true;
   bool track_traces = false;
+  /// Worker threads enumerating the reachable state space (same convention
+  /// as explore::ExploreOptions::num_threads).  The default stays 1: outline
+  /// checking is the substitution for the paper's Owicki–Gries proofs, and
+  /// the sequential DFS gives reproducible failure order and counterexample
+  /// traces.  With N > 1 validity/interference obligations are evaluated in
+  /// parallel over the same state set — the verdict and the *set* of failed
+  /// obligations are identical, but failures arrive unordered and without
+  /// traces (track_traces forces the sequential path).
+  unsigned num_threads = 1;
 };
 
 /// Checks outline validity (and, optionally, interference freedom) over the

@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <deque>
+#include <mutex>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "explore/explorer.hpp"
 #include "support/diagnostics.hpp"
 #include "support/hash.hpp"
+#include "support/parallel.hpp"
 
 namespace rc11::refinement {
 
@@ -66,10 +69,82 @@ std::uint64_t hash_words(const std::vector<std::uint64_t>& words) {
   return h.digest();
 }
 
+/// Two-phase parallel graph construction (see build_graph's doc comment).
+/// Phase 1 collects every reachable configuration through the shared
+/// parallel driver; states are then sorted by canonical encoding so indices
+/// are schedule-independent.  Phase 2 recomputes each state's successors
+/// concurrently and resolves them against the sorted encoding index by
+/// binary search — purely read-only lookups, so no locking is needed.
+StateGraph build_graph_parallel(const System& sys, std::uint64_t max_states,
+                                bool want_labels, unsigned num_threads) {
+  StateGraph graph;
+
+  struct Keyed {
+    std::vector<std::uint64_t> enc;
+    Config cfg;
+  };
+  std::vector<Keyed> collected;
+  std::mutex mu;
+  explore::ReachOptions ropts;
+  ropts.max_states = max_states;
+  ropts.num_threads = num_threads;
+  const auto reach = explore::visit_reachable(
+      sys, ropts,
+      [&](const Config& cfg, const std::vector<lang::Step>&) -> bool {
+        Keyed k{cfg.encode(), cfg};
+        std::lock_guard<std::mutex> lock(mu);
+        collected.push_back(std::move(k));
+        return true;
+      });
+  graph.truncated = reach.truncated;
+
+  std::sort(collected.begin(), collected.end(),
+            [](const Keyed& a, const Keyed& b) { return a.enc < b.enc; });
+
+  const std::size_t n = collected.size();
+  graph.states.reserve(n);
+  for (auto& k : collected) graph.states.push_back(std::move(k.cfg));
+  graph.succ.assign(n, {});
+  if (want_labels) graph.labels.assign(n, {});
+
+  const auto index_of = [&](const std::vector<std::uint64_t>& enc)
+      -> std::optional<std::uint32_t> {
+    const auto it = std::lower_bound(
+        collected.begin(), collected.end(), enc,
+        [](const Keyed& k, const std::vector<std::uint64_t>& e) {
+          return k.enc < e;
+        });
+    if (it == collected.end() || it->enc != enc) return std::nullopt;
+    return static_cast<std::uint32_t>(it - collected.begin());
+  };
+
+  {
+    const auto init = index_of(lang::initial_config(sys).encode());
+    RC11_REQUIRE(init.has_value(), "initial state missing from parallel graph");
+    graph.initial = *init;
+  }
+
+  support::parallel_for(n, num_threads, [&](std::size_t i) {
+    for (auto& step : lang::successors(sys, graph.states[i], want_labels)) {
+      const auto idx = index_of(step.after.encode());
+      // A missing successor can only happen on a truncated build (its target
+      // was never claimed); the graph is already flagged unreliable then.
+      if (!idx.has_value()) continue;
+      graph.succ[i].push_back(*idx);
+      if (want_labels) graph.labels[i].push_back(std::move(step.label));
+    }
+  });
+
+  return graph;
+}
+
 }  // namespace
 
 StateGraph build_graph(const System& sys, std::uint64_t max_states,
-                       bool want_labels) {
+                       bool want_labels, unsigned num_threads) {
+  if (support::resolve_num_threads(num_threads) > 1) {
+    return build_graph_parallel(sys, max_states, want_labels, num_threads);
+  }
   StateGraph graph;
   std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> index;
 
@@ -108,9 +183,11 @@ SimulationResult check_forward_simulation(const System& abstract_sys,
                                           const System& concrete_sys,
                                           const SimulationOptions& options) {
   SimulationResult result;
-  const StateGraph abs = build_graph(abstract_sys, options.max_states);
-  const StateGraph conc =
-      build_graph(concrete_sys, options.max_states, /*want_labels=*/true);
+  const StateGraph abs =
+      build_graph(abstract_sys, options.max_states, /*want_labels=*/false,
+                  options.num_threads);
+  const StateGraph conc = build_graph(concrete_sys, options.max_states,
+                                      /*want_labels=*/true, options.num_threads);
   result.abstract_states = abs.num_states();
   result.concrete_states = conc.num_states();
   result.truncated = abs.truncated || conc.truncated;
@@ -119,17 +196,15 @@ SimulationResult check_forward_simulation(const System& abstract_sys,
     return result;
   }
 
-  // Project every state once.
-  std::vector<ClientProjection> abs_proj;
-  abs_proj.reserve(abs.num_states());
-  for (const auto& s : abs.states) {
-    abs_proj.push_back(project_client(abstract_sys, s));
-  }
-  std::vector<ClientProjection> conc_proj;
-  conc_proj.reserve(conc.num_states());
-  for (const auto& s : conc.states) {
-    conc_proj.push_back(project_client(concrete_sys, s));
-  }
+  // Project every state once (embarrassingly parallel: one slot per state).
+  std::vector<ClientProjection> abs_proj(abs.num_states());
+  support::parallel_for(abs.num_states(), options.num_threads, [&](std::size_t i) {
+    abs_proj[i] = project_client(abstract_sys, abs.states[i]);
+  });
+  std::vector<ClientProjection> conc_proj(conc.num_states());
+  support::parallel_for(conc.num_states(), options.num_threads, [&](std::size_t i) {
+    conc_proj[i] = project_client(concrete_sys, conc.states[i]);
+  });
 
   // Group abstract states by the exact-match part so candidate generation is
   // linear in matching states rather than quadratic overall.
@@ -256,24 +331,26 @@ TraceInclusionResult check_trace_inclusion(const System& abstract_sys,
                                            const System& concrete_sys,
                                            const TraceInclusionOptions& options) {
   TraceInclusionResult result;
-  const StateGraph abs = build_graph(abstract_sys, options.max_states);
-  const StateGraph conc = build_graph(concrete_sys, options.max_states);
+  const StateGraph abs =
+      build_graph(abstract_sys, options.max_states, /*want_labels=*/false,
+                  options.num_threads);
+  const StateGraph conc =
+      build_graph(concrete_sys, options.max_states, /*want_labels=*/false,
+                  options.num_threads);
   if (abs.truncated || conc.truncated) {
     result.truncated = true;
     result.witness = "state graph truncated; increase max_states";
     return result;
   }
 
-  std::vector<ClientProjection> abs_proj;
-  abs_proj.reserve(abs.num_states());
-  for (const auto& s : abs.states) {
-    abs_proj.push_back(project_client(abstract_sys, s));
-  }
-  std::vector<ClientProjection> conc_proj;
-  conc_proj.reserve(conc.num_states());
-  for (const auto& s : conc.states) {
-    conc_proj.push_back(project_client(concrete_sys, s));
-  }
+  std::vector<ClientProjection> abs_proj(abs.num_states());
+  support::parallel_for(abs.num_states(), options.num_threads, [&](std::size_t i) {
+    abs_proj[i] = project_client(abstract_sys, abs.states[i]);
+  });
+  std::vector<ClientProjection> conc_proj(conc.num_states());
+  support::parallel_for(conc.num_states(), options.num_threads, [&](std::size_t i) {
+    conc_proj[i] = project_client(concrete_sys, conc.states[i]);
+  });
 
   // Subset construction: a node is (concrete state, sorted set of abstract
   // states whose runs pointwise refine the concrete prefix so far).

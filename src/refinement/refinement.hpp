@@ -82,12 +82,25 @@ struct StateGraph {
 /// Builds the full reachable graph (up to max_states).  With want_labels,
 /// edges carry step descriptions (costs time and memory; used for
 /// counterexample reporting and DOT export).
+///
+/// num_threads follows the explore::ExploreOptions convention (1 sequential,
+/// 0 hardware concurrency).  The parallel build runs in two phases — collect
+/// all reachable states through the shared parallel driver, then resolve
+/// every state's successor edges concurrently against the index — and
+/// numbers states by canonical encoding, so the resulting graph is
+/// *identical for every thread count* (sequential builds keep the historic
+/// discovery-order numbering; the two numberings describe the same graph up
+/// to isomorphism, which is all the refinement checkers depend on).
 [[nodiscard]] StateGraph build_graph(const System& sys,
                                      std::uint64_t max_states = 1'000'000,
-                                     bool want_labels = false);
+                                     bool want_labels = false,
+                                     unsigned num_threads = 1);
 
 struct SimulationOptions {
   std::uint64_t max_states = 1'000'000;  ///< per system
+  /// Workers for graph construction and client projection (the fixpoint
+  /// itself stays sequential); same convention as ExploreOptions.
+  unsigned num_threads = 1;
 };
 
 struct SimulationResult {
@@ -116,6 +129,9 @@ struct SimulationResult {
 struct TraceInclusionOptions {
   std::uint64_t max_states = 200'000;       ///< per state graph
   std::uint64_t max_product_nodes = 500'000;  ///< subset-construction bound
+  /// Workers for graph construction and client projection (the subset
+  /// construction stays sequential); same convention as ExploreOptions.
+  unsigned num_threads = 1;
 };
 
 struct TraceInclusionResult {

@@ -8,6 +8,8 @@
 //
 // Options:
 //   --max-states N    per-system exploration bound (default 1000000)
+//   --threads N       workers for graph construction and client projection
+//                     (0 = hardware concurrency, default 1)
 //   --trace-only      skip the Def. 8 simulation, run only trace inclusion
 //
 // The abstract program typically uses abstract objects (lock/stack
@@ -15,6 +17,7 @@
 // variables and `reg library` registers.  Exit status: 0 refines, 1 usage /
 // parse errors, 2 refinement fails, 3 inconclusive (truncated).
 
+#include <charconv>
 #include <iostream>
 #include <string>
 
@@ -24,9 +27,17 @@
 namespace {
 
 int usage() {
-  std::cerr << "usage: rc11-refine [--max-states N] [--trace-only] "
-               "abstract.rc11 concrete.rc11\n";
+  std::cerr << "usage: rc11-refine [--max-states N] [--threads N] "
+               "[--trace-only] abstract.rc11 concrete.rc11\n";
   return 1;
+}
+
+/// Whole-string numeric parse; rejects "abc", "8x", "" instead of aborting.
+template <typename T>
+bool parse_num(const std::string& s, T& out) {
+  const char* end = s.data() + s.size();
+  const auto [ptr, ec] = std::from_chars(s.data(), end, out);
+  return ec == std::errc{} && ptr == end;
 }
 
 }  // namespace
@@ -43,9 +54,15 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--max-states") {
-      if (++i >= argc) return usage();
-      sim_opts.max_states = std::stoull(argv[i]);
+      if (++i >= argc || !parse_num(argv[i], sim_opts.max_states)) {
+        return usage();
+      }
       trace_opts.max_states = sim_opts.max_states;
+    } else if (arg == "--threads") {
+      if (++i >= argc || !parse_num(argv[i], sim_opts.num_threads)) {
+        return usage();
+      }
+      trace_opts.num_threads = sim_opts.num_threads;
     } else if (arg == "--trace-only") {
       trace_only = true;
     } else if (!arg.empty() && arg[0] == '-') {

@@ -6,6 +6,7 @@
 //
 // Options:
 //   --max-states N      exploration bound (default 1000000)
+//   --threads N         exploration workers (0 = hardware, default 1)
 //   --disassemble       print the compiled per-thread code first
 //   --no-ctview         ablation A1: disable cross-component view transfer
 //   --no-covered        ablation A2: disable covered-set enforcement
@@ -14,6 +15,7 @@
 // Exit status: 0 on success, 1 on usage/parse errors, 2 if exploration was
 // truncated.
 
+#include <charconv>
 #include <cstring>
 #include <iostream>
 #include <string>
@@ -28,10 +30,18 @@
 namespace {
 
 int usage() {
-  std::cerr << "usage: rc11-run [--max-states N] [--disassemble] "
-               "[--no-ctview] [--no-covered] [--raw-timestamps] [--dot FILE] "
-               "program.rc11\n";
+  std::cerr << "usage: rc11-run [--max-states N] [--threads N] "
+               "[--disassemble] [--no-ctview] [--no-covered] "
+               "[--raw-timestamps] [--dot FILE] program.rc11\n";
   return 1;
+}
+
+/// Whole-string numeric parse; rejects "abc", "8x", "" instead of aborting.
+template <typename T>
+bool parse_num(const std::string& s, T& out) {
+  const char* end = s.data() + s.size();
+  const auto [ptr, ec] = std::from_chars(s.data(), end, out);
+  return ec == std::errc{} && ptr == end;
 }
 
 }  // namespace
@@ -48,8 +58,9 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--max-states") {
-      if (++i >= argc) return usage();
-      opts.max_states = std::stoull(argv[i]);
+      if (++i >= argc || !parse_num(argv[i], opts.max_states)) return usage();
+    } else if (arg == "--threads") {
+      if (++i >= argc || !parse_num(argv[i], opts.num_threads)) return usage();
     } else if (arg == "--disassemble") {
       disassemble = true;
     } else if (arg == "--no-ctview") {
@@ -80,8 +91,9 @@ int main(int argc, char** argv) {
     }
 
     if (!dot_path.empty()) {
-      const auto graph = refinement::build_graph(program.sys, opts.max_states,
-                                                 /*want_labels=*/true);
+      const auto graph =
+          refinement::build_graph(program.sys, opts.max_states,
+                                  /*want_labels=*/true, opts.num_threads);
       std::ofstream out{dot_path};
       out << explore::to_dot(program.sys, graph);
       std::cout << "state graph (" << graph.num_states()

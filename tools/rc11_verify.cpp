@@ -7,6 +7,8 @@
 //
 // Options:
 //   --max-states N       exploration bound (default 1000000)
+//   --threads N          exploration workers (0 = hardware, default 1;
+//                        parallel checking reports failures without traces)
 //   --no-interference    skip the pairwise Owicki-Gries side condition
 //   --all-failures       report every failed obligation, not just the first
 //   --trace              include a counterexample run with each failure
@@ -14,6 +16,7 @@
 // Exit status: 0 valid, 1 usage/parse errors, 2 outline invalid,
 // 3 inconclusive (state bound hit).
 
+#include <charconv>
 #include <iostream>
 #include <string>
 
@@ -23,9 +26,17 @@
 namespace {
 
 int usage() {
-  std::cerr << "usage: rc11-verify [--max-states N] [--no-interference] "
-               "[--all-failures] [--trace] program.rc11\n";
+  std::cerr << "usage: rc11-verify [--max-states N] [--threads N] "
+               "[--no-interference] [--all-failures] [--trace] program.rc11\n";
   return 1;
+}
+
+/// Whole-string numeric parse; rejects "abc", "8x", "" instead of aborting.
+template <typename T>
+bool parse_num(const std::string& s, T& out) {
+  const char* end = s.data() + s.size();
+  const auto [ptr, ec] = std::from_chars(s.data(), end, out);
+  return ec == std::errc{} && ptr == end;
 }
 
 }  // namespace
@@ -38,8 +49,9 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--max-states") {
-      if (++i >= argc) return usage();
-      opts.max_states = std::stoull(argv[i]);
+      if (++i >= argc || !parse_num(argv[i], opts.max_states)) return usage();
+    } else if (arg == "--threads") {
+      if (++i >= argc || !parse_num(argv[i], opts.num_threads)) return usage();
     } else if (arg == "--no-interference") {
       opts.check_interference = false;
     } else if (arg == "--all-failures") {
