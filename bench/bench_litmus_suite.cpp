@@ -69,10 +69,23 @@ void report_parallel_suite() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  rc11::bench::JsonReport json;
+  json.parse_args(argc, argv);
   auto tests = rc11::litmus::all_tests();
   for (auto& test : tests) {
-    rc11::bench::run_litmus("F5/" + test.name, test);
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto result = rc11::bench::run_litmus("F5/" + test.name, test);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double wall_s = std::chrono::duration<double>(t1 - t0).count();
+    json.add(test.name,
+             {{"states", static_cast<double>(result.stats.states)},
+              {"wall_ms", wall_s * 1e3},
+              {"states_per_s",
+               static_cast<double>(result.stats.states) / wall_s},
+              {"visited_bytes",
+               static_cast<double>(result.stats.visited_bytes)}});
   }
+  if (!json.write("bench_litmus_suite")) return 1;
   report_parallel_suite();
   for (auto& test : rc11::litmus::all_causality_tests()) {
     const auto result = rc11::explore::explore(test.sys);

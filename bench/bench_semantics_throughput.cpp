@@ -115,6 +115,61 @@ double explore_seconds(const lang::System& sys, unsigned workers) {
   return std::chrono::duration<double>(t1 - t0).count();
 }
 
+/// Experiment F6: state-representation efficiency of the exploration hot
+/// path — states/second and visited-set bytes/state on the largest
+/// workloads.  One timed exhaustive run per workload (best of three, after a
+/// warm-up), reported as verdict lines and as the BENCH_explore.json cases
+/// CI diffs against bench/baseline_explore.json.
+void report_state_repr(rc11::bench::JsonReport& json) {
+  struct Workload {
+    std::string name;
+    lang::System sys;
+  };
+  std::vector<Workload> workloads;
+  workloads.push_back({"explore_mp", litmus::mp_release_acquire().sys});
+  workloads.push_back({"explore_iriw", litmus::iriw_release_acquire().sys});
+  {
+    locks::TicketLock lock;
+    workloads.push_back(
+        {"explore_ticket_2x2",
+         locks::instantiate(locks::mgc_client(2, 2), lock)});
+    workloads.push_back(
+        {"explore_ticket_3x1",
+         locks::instantiate(locks::mgc_client(3, 1), lock)});
+  }
+
+  for (const auto& [name, sys] : workloads) {
+    explore::ExploreResult result = explore::explore(sys);
+    double best_s = 1e9;
+    for (int i = 0; i < 3; ++i) {
+      const auto t0 = std::chrono::steady_clock::now();
+      result = explore::explore(sys);
+      const auto t1 = std::chrono::steady_clock::now();
+      best_s = std::min(best_s, std::chrono::duration<double>(t1 - t0).count());
+    }
+    const auto states = result.stats.states;
+    const double states_per_s = static_cast<double>(states) / best_s;
+    const double bytes_per_state =
+        static_cast<double>(result.stats.visited_bytes) /
+        static_cast<double>(states);
+    std::ostringstream detail;
+    detail << name << ": " << states << " states, " << best_s * 1e3 << " ms, "
+           << states_per_s / 1e3 << "k states/s, visited set "
+           << result.stats.visited_bytes << " B (" << bytes_per_state
+           << " B/state), peak frontier " << result.stats.peak_frontier;
+    rc11::bench::verdict("F6", states > 0, detail.str());
+    json.add(name,
+             {{"states", static_cast<double>(states)},
+              {"wall_ms", best_s * 1e3},
+              {"states_per_s", states_per_s},
+              {"visited_bytes",
+               static_cast<double>(result.stats.visited_bytes)},
+              {"bytes_per_state", bytes_per_state},
+              {"peak_frontier",
+               static_cast<double>(result.stats.peak_frontier)}});
+  }
+}
+
 void report_parallel_speedup() {
   locks::TicketLock lock;
   const auto sys = locks::instantiate(locks::mgc_client(2, 2), lock);
@@ -135,7 +190,11 @@ void report_parallel_speedup() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  rc11::bench::JsonReport json;
+  json.parse_args(argc, argv);
+  report_state_repr(json);
   report_parallel_speedup();
+  if (!json.write("bench_semantics_throughput")) return 1;
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

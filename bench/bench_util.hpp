@@ -4,15 +4,81 @@
 
 #pragma once
 
+#include <cstring>
+#include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "explore/explorer.hpp"
 #include "litmus/litmus.hpp"
 
 namespace rc11::bench {
+
+/// Machine-readable companion to the verdict lines: bench mains accumulate
+/// one entry per case and, when the user passed `--json <path>`, write a
+/// single JSON document CI can diff against a checked-in baseline
+/// (tools/check_bench_regression.py).  The flag is extracted from argv
+/// *before* benchmark::Initialize so Google Benchmark never sees it.
+class JsonReport {
+ public:
+  /// Consumes `--json <path>` / `--json=<path>` from argv, shrinking argc.
+  void parse_args(int& argc, char** argv) {
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+        path_ = argv[++i];
+      } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+        path_ = argv[i] + 7;
+      } else {
+        argv[out++] = argv[i];
+      }
+    }
+    argc = out;
+  }
+
+  [[nodiscard]] bool enabled() const { return !path_.empty(); }
+
+  /// Records one case as a flat name -> number map (JSON needs no nesting
+  /// for the regression check, and flat keys keep the python side trivial).
+  void add(std::string name,
+           std::vector<std::pair<std::string, double>> fields) {
+    cases_.push_back({std::move(name), std::move(fields)});
+  }
+
+  /// Writes the document; silently a no-op without --json.  Returns false on
+  /// I/O failure so mains can exit nonzero (CI treats a missing file as a
+  /// hard failure either way).
+  bool write(const std::string& benchmark_name) const {
+    if (!enabled()) return true;
+    std::ofstream os(path_);
+    if (!os) {
+      std::cerr << "error: cannot open --json path " << path_ << "\n";
+      return false;
+    }
+    os.precision(12);
+    os << "{\n  \"benchmark\": \"" << benchmark_name << "\",\n  \"cases\": [";
+    for (std::size_t i = 0; i < cases_.size(); ++i) {
+      os << (i ? "," : "") << "\n    {\"name\": \"" << cases_[i].name << "\"";
+      for (const auto& [key, value] : cases_[i].fields) {
+        os << ", \"" << key << "\": " << value;
+      }
+      os << "}";
+    }
+    os << "\n  ]\n}\n";
+    return static_cast<bool>(os);
+  }
+
+ private:
+  struct Case {
+    std::string name;
+    std::vector<std::pair<std::string, double>> fields;
+  };
+  std::string path_;
+  std::vector<Case> cases_;
+};
 
 inline std::string outcomes_to_string(
     const std::vector<std::vector<lang::Value>>& outcomes) {

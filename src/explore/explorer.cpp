@@ -6,41 +6,24 @@
 #include <deque>
 #include <mutex>
 #include <thread>
+#include <utility>
 
 #include "explore/sharded_visited.hpp"
 #include "support/diagnostics.hpp"
 #include "support/hash.hpp"
+#include "support/intern.hpp"
 #include "support/parallel.hpp"
 
 namespace rc11::explore {
 
 namespace {
 
-/// Visited set keyed by state hash with full-encoding confirmation, so hash
-/// collisions can never make exploration unsound (skip a genuinely new
-/// state) — they only cost an extra comparison.  Sequential counterpart of
-/// ShardedVisitedSet; kept lock-free for the num_threads == 1 paths.
-class VisitedSet {
- public:
-  /// Returns true iff the encoding was newly inserted.
-  bool insert(std::vector<std::uint64_t> encoding) {
-    support::WordHasher h;
-    for (const auto w : encoding) h.add(w);
-    auto& bucket = buckets_[h.digest()];
-    for (const auto idx : bucket) {
-      if (encodings_[idx] == encoding) return false;
-    }
-    bucket.push_back(encodings_.size());
-    encodings_.push_back(std::move(encoding));
-    return true;
-  }
-
-  [[nodiscard]] std::size_t size() const noexcept { return encodings_.size(); }
-
- private:
-  std::unordered_map<std::uint64_t, std::vector<std::size_t>> buckets_;
-  std::vector<std::vector<std::uint64_t>> encodings_;
-};
+/// Sequential visited set: one interned word set (open-addressing
+/// fingerprint table over a varint arena — see support/intern.hpp), kept
+/// lock-free for the num_threads == 1 paths.  Exact for the same reason as
+/// ShardedVisitedSet: fingerprint hits are confirmed against the full
+/// stored encoding.
+using VisitedSet = support::InternedWordSet;
 
 struct TraceNode {
   std::int64_t parent = -1;
@@ -65,30 +48,37 @@ std::optional<ThreadId> fusible_thread(const System& sys, const Config& cfg) {
   return std::nullopt;
 }
 
-std::vector<Step> expand(const System& sys, const Config& cfg,
-                         bool fuse_local_steps, bool want_labels) {
+void expand(const System& sys, const Config& cfg, bool fuse_local_steps,
+            bool want_labels, lang::StepBuffer& out) {
   if (fuse_local_steps) {
     if (const auto t = fusible_thread(sys, cfg)) {
-      return lang::thread_successors(sys, cfg, *t, want_labels);
+      lang::thread_successors(sys, cfg, *t, out, want_labels);
+      return;
     }
   }
-  return lang::successors(sys, cfg, want_labels);
+  lang::successors(sys, cfg, out, want_labels);
 }
+
+/// A final configuration together with its canonical encoding.  The
+/// encoding is computed exactly once — when the config passes final
+/// deduplication — and reused as the sort key, fixing the old
+/// encode-for-dedup-then-re-encode-for-sort double work.
+using KeyedConfig = std::pair<std::vector<std::uint64_t>, Config>;
 
 /// Canonical ordering for deterministic results across thread counts: sort
 /// configs by their encodings (equal encodings == semantically identical
-/// configurations, so the order is total on deduplicated sets).
-void sort_configs_canonically(std::vector<Config>& configs) {
-  std::vector<std::pair<std::vector<std::uint64_t>, std::size_t>> keyed;
-  keyed.reserve(configs.size());
-  for (std::size_t i = 0; i < configs.size(); ++i) {
-    keyed.emplace_back(configs[i].encode(), i);
-  }
-  std::sort(keyed.begin(), keyed.end());
+/// configurations, so the order is total on deduplicated sets), then strip
+/// the keys.
+std::vector<Config> sort_keyed_configs(std::vector<KeyedConfig>& keyed) {
+  std::sort(keyed.begin(), keyed.end(),
+            [](const KeyedConfig& a, const KeyedConfig& b) {
+              return a.first < b.first;
+            });
   std::vector<Config> sorted;
-  sorted.reserve(configs.size());
-  for (auto& [enc, idx] : keyed) sorted.push_back(std::move(configs[idx]));
-  configs = std::move(sorted);
+  sorted.reserve(keyed.size());
+  for (auto& [enc, cfg] : keyed) sorted.push_back(std::move(cfg));
+  keyed.clear();
+  return sorted;
 }
 
 void sort_violations(std::vector<Violation>& violations) {
@@ -144,6 +134,8 @@ ReachResult parallel_reach(const System& sys, const ReachOptions& options,
   const auto worker = [&] {
     std::vector<Config> batch;
     std::vector<Config> discovered;
+    lang::StepBuffer steps;                // pooled successor storage
+    std::vector<std::uint64_t> scratch;    // reusable encoding buffer
     for (;;) {
       batch.clear();
       {
@@ -182,16 +174,17 @@ ReachResult parallel_reach(const System& sys, const ReachOptions& options,
           break;
         }
         states.fetch_add(1, std::memory_order_relaxed);
-        std::vector<Step> steps =
-            expand(sys, cfg, options.fuse_local_steps, options.want_labels);
+        expand(sys, cfg, options.fuse_local_steps, options.want_labels, steps);
         if (steps.empty()) {
           (cfg.all_done(sys) ? finals : blocked)
               .fetch_add(1, std::memory_order_relaxed);
         }
         transitions.fetch_add(steps.size(), std::memory_order_relaxed);
-        const bool keep_going = visitor(cfg, steps);
-        for (auto& step : steps) {
-          if (visited.insert(step.after.encode())) {
+        const bool keep_going = visitor(cfg, steps.steps());
+        for (auto& step : steps.steps()) {
+          scratch.clear();
+          step.after.encode_into(scratch);
+          if (visited.insert(scratch)) {
             discovered.push_back(std::move(step.after));
           }
         }
@@ -225,7 +218,8 @@ ReachResult parallel_reach(const System& sys, const ReachOptions& options,
   result.stats.transitions = transitions.load();
   result.stats.finals = finals.load();
   result.stats.blocked = blocked.load();
-  result.stats.max_frontier = frontier.max_size;
+  result.stats.peak_frontier = frontier.max_size;
+  result.stats.visited_bytes = visited.bytes();
   result.truncated = truncated.load();
   return result;
 }
@@ -235,6 +229,8 @@ ReachResult sequential_reach(const System& sys, const ReachOptions& options,
   ReachResult result;
   VisitedSet visited;
   std::deque<Config> frontier;
+  lang::StepBuffer steps;
+  std::vector<std::uint64_t> scratch;
   {
     Config init = lang::initial_config(sys);
     visited.insert(init.encode());
@@ -246,8 +242,8 @@ ReachResult sequential_reach(const System& sys, const ReachOptions& options,
       result.truncated = true;
       break;
     }
-    result.stats.max_frontier =
-        std::max<std::uint64_t>(result.stats.max_frontier, frontier.size());
+    result.stats.peak_frontier =
+        std::max<std::uint64_t>(result.stats.peak_frontier, frontier.size());
     Config cfg = bfs ? std::move(frontier.front()) : std::move(frontier.back());
     if (bfs) {
       frontier.pop_front();
@@ -255,8 +251,7 @@ ReachResult sequential_reach(const System& sys, const ReachOptions& options,
       frontier.pop_back();
     }
     result.stats.states += 1;
-    std::vector<Step> steps =
-        expand(sys, cfg, options.fuse_local_steps, options.want_labels);
+    expand(sys, cfg, options.fuse_local_steps, options.want_labels, steps);
     if (steps.empty()) {
       if (cfg.all_done(sys)) {
         result.stats.finals += 1;
@@ -265,14 +260,17 @@ ReachResult sequential_reach(const System& sys, const ReachOptions& options,
       }
     }
     result.stats.transitions += steps.size();
-    const bool keep_going = visitor(cfg, steps);
-    for (auto& step : steps) {
-      if (visited.insert(step.after.encode())) {
+    const bool keep_going = visitor(cfg, steps.steps());
+    for (auto& step : steps.steps()) {
+      scratch.clear();
+      step.after.encode_into(scratch);
+      if (visited.insert(scratch)) {
         frontier.push_back(std::move(step.after));
       }
     }
     if (!keep_going) break;
   }
+  result.stats.visited_bytes = visited.bytes();
   return result;
 }
 
@@ -296,7 +294,7 @@ ExploreResult explore_parallel(const System& sys, const ExploreOptions& options,
   ExploreResult result;
   ShardedVisitedSet final_dedup;
   std::mutex finals_mu;
-  std::vector<Config> finals;
+  std::vector<KeyedConfig> finals;
   std::mutex violations_mu;
   std::vector<Violation> violations;
 
@@ -308,7 +306,7 @@ ExploreResult explore_parallel(const System& sys, const ExploreOptions& options,
 
   const auto reach = visit_reachable(
       sys, ropts,
-      [&](const Config& cfg, const std::vector<Step>& steps) -> bool {
+      [&](const Config& cfg, std::span<const Step> steps) -> bool {
         bool keep_going = true;
         if (invariant) {
           if (auto violation = invariant(sys, cfg)) {
@@ -317,19 +315,24 @@ ExploreResult explore_parallel(const System& sys, const ExploreOptions& options,
             if (options.stop_on_violation) keep_going = false;
           }
         }
-        if (options.collect_finals && steps.empty() && cfg.all_done(sys) &&
-            final_dedup.insert(cfg.encode())) {
-          std::lock_guard<std::mutex> lock(finals_mu);
-          finals.push_back(cfg);
+        if (options.collect_finals && steps.empty() && cfg.all_done(sys)) {
+          // Encode once; the encoding doubles as the dedup key here and the
+          // canonical sort key below.
+          std::vector<std::uint64_t> enc;
+          enc.reserve(64);
+          cfg.encode_into(enc);
+          if (final_dedup.insert(enc)) {
+            std::lock_guard<std::mutex> lock(finals_mu);
+            finals.emplace_back(std::move(enc), cfg);
+          }
         }
         return keep_going;
       });
 
   result.stats = reach.stats;
   result.truncated = reach.truncated;
-  result.final_configs = std::move(finals);
+  result.final_configs = sort_keyed_configs(finals);
   result.violations = std::move(violations);
-  sort_configs_canonically(result.final_configs);
   sort_violations(result.violations);
   return result;
 }
@@ -341,6 +344,9 @@ ExploreResult explore_sequential(const System& sys,
   VisitedSet visited;
   std::vector<TraceNode> trace_nodes;
   VisitedSet final_dedup;
+  std::vector<KeyedConfig> finals;
+  lang::StepBuffer steps;
+  std::vector<std::uint64_t> scratch;
 
   std::deque<Frontier> frontier;
   {
@@ -364,8 +370,8 @@ ExploreResult explore_sequential(const System& sys,
       result.truncated = true;
       break;
     }
-    result.stats.max_frontier =
-        std::max<std::uint64_t>(result.stats.max_frontier, frontier.size());
+    result.stats.peak_frontier =
+        std::max<std::uint64_t>(result.stats.peak_frontier, frontier.size());
     const bool bfs = options.strategy == SearchStrategy::Bfs;
     Frontier item = bfs ? std::move(frontier.front()) : std::move(frontier.back());
     if (bfs) {
@@ -386,13 +392,17 @@ ExploreResult explore_sequential(const System& sys,
       }
     }
 
-    std::vector<Step> steps =
-        expand(sys, cfg, options.fuse_local_steps, options.track_traces);
+    expand(sys, cfg, options.fuse_local_steps, options.track_traces, steps);
     if (steps.empty()) {
       if (cfg.all_done(sys)) {
         result.stats.finals += 1;
-        if (options.collect_finals && final_dedup.insert(cfg.encode())) {
-          result.final_configs.push_back(cfg);
+        if (options.collect_finals) {
+          // Encode once: dedup key and canonical sort key in one.
+          scratch.clear();
+          cfg.encode_into(scratch);
+          if (final_dedup.insert(scratch)) {
+            finals.emplace_back(scratch, cfg);
+          }
         }
       } else {
         result.stats.blocked += 1;
@@ -400,9 +410,11 @@ ExploreResult explore_sequential(const System& sys,
       continue;
     }
 
-    for (auto& step : steps) {
+    for (auto& step : steps.steps()) {
       result.stats.transitions += 1;
-      if (visited.insert(step.after.encode())) {
+      scratch.clear();
+      step.after.encode_into(scratch);
+      if (visited.insert(scratch)) {
         std::int64_t node = -1;
         if (options.track_traces) {
           node = static_cast<std::int64_t>(trace_nodes.size());
@@ -413,7 +425,8 @@ ExploreResult explore_sequential(const System& sys,
     }
   }
 
-  sort_configs_canonically(result.final_configs);
+  result.stats.visited_bytes = visited.bytes();
+  result.final_configs = sort_keyed_configs(finals);
   sort_violations(result.violations);
   return result;
 }

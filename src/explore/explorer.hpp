@@ -17,8 +17,8 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <span>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "lang/config.hpp"
@@ -81,7 +81,10 @@ struct ExploreStats {
   std::uint64_t transitions = 0;  ///< transitions generated
   std::uint64_t finals = 0;       ///< states with every thread terminated
   std::uint64_t blocked = 0;      ///< non-final states with no transition
-  std::uint64_t max_frontier = 0;
+  std::uint64_t peak_frontier = 0;  ///< largest unexpanded-state backlog
+  /// Heap footprint of the visited set at the end of the run (interned
+  /// arena + fingerprint tables); divide by `states` for bytes/state.
+  std::uint64_t visited_bytes = 0;
 };
 
 struct ExploreResult {
@@ -123,9 +126,9 @@ struct ReachOptions {
 /// stop: in-flight workers finish their current state and no further states
 /// are claimed.  Must be thread-safe when num_threads resolves to > 1 (the
 /// driver still needs the successor configurations after the call, hence the
-/// const view).
-using StateVisitor =
-    std::function<bool(const Config&, const std::vector<Step>&)>;
+/// const view).  The span points into a per-worker pooled StepBuffer and is
+/// only valid for the duration of the call.
+using StateVisitor = std::function<bool(const Config&, std::span<const Step>)>;
 
 struct ReachResult {
   ExploreStats stats;

@@ -4,17 +4,21 @@
 // parallel exploration engine (explorer.cpp), the parallel proof-outline
 // checker and the parallel refinement graph builder.
 //
-// Layout: N shards (N a power of two), each an independently locked hash
-// table.  A state is routed to the shard named by the *top* bits of its
-// 64-bit encoding hash, and the full hash then indexes buckets inside the
+// Layout: N shards (N a power of two), each an independently locked
+// support::InternedWordSet — an open-addressing fingerprint table whose
+// 16-byte entries point into a per-shard append-only varint arena.  A state
+// is routed to the shard named by the *top* bits of its 64-bit encoding
+// digest, and the digest then indexes the open-addressing table inside the
 // shard, so the two levels consume disjoint bits and states spread evenly.
+// There is no per-state heap allocation: duplicates touch only the table,
+// and new states append their compressed encoding to the shard arena.
 //
-// Soundness: exactly like the sequential VisitedSet, a bucket hit is
-// confirmed against the complete encoding before an insert is refused —
-// a hash collision can never make exploration drop a genuinely new state,
-// it only costs an extra vector comparison.  Because each encoding maps to
-// exactly one shard, the per-shard mutex makes insert() linearisable: of two
-// racing inserts of the same encoding exactly one returns true, which is the
+// Soundness: exactly like the sequential visited set, a fingerprint hit is
+// confirmed against the complete stored encoding before an insert is
+// refused — a digest collision can never make exploration drop a genuinely
+// new state, it only costs a memcmp.  Because each encoding maps to exactly
+// one shard, the per-shard mutex makes insert() linearisable: of two racing
+// inserts of the same encoding exactly one returns true, which is the
 // property the exploration engine needs (every reachable state is expanded
 // exactly once, regardless of which worker discovered it).
 
@@ -22,10 +26,11 @@
 
 #include <cstdint>
 #include <mutex>
-#include <unordered_map>
+#include <span>
 #include <vector>
 
 #include "support/hash.hpp"
+#include "support/intern.hpp"
 
 namespace rc11::explore {
 
@@ -42,35 +47,43 @@ class ShardedVisitedSet {
     for (unsigned v = n; v > 1; v >>= 1) shard_shift_ -= 1;
   }
 
-  /// Returns true iff the encoding was newly inserted.  Thread-safe.
-  bool insert(std::vector<std::uint64_t> encoding) {
-    support::WordHasher h;
-    for (const auto w : encoding) h.add(w);
-    const std::uint64_t digest = h.digest();
+  /// Returns true iff the encoding was newly inserted.  Thread-safe.  The
+  /// words are only copied (compressed, into the shard arena) when they are
+  /// genuinely new; a duplicate allocates nothing.
+  bool insert(std::span<const std::uint64_t> encoding) {
+    const std::uint64_t digest = support::hash_words(encoding);
     Shard& shard = shards_[shard_of(digest)];
     std::lock_guard<std::mutex> lock(shard.mu);
-    auto& bucket = shard.buckets[digest];
-    for (const auto idx : bucket) {
-      if (shard.encodings[idx] == encoding) return false;
-    }
-    bucket.push_back(shard.encodings.size());
-    shard.encodings.push_back(std::move(encoding));
-    return true;
+    return shard.set.insert(encoding, digest);
   }
 
-  /// Total states inserted.  Exact only while no insert is in flight
-  /// (callers read it after workers have joined).
+  /// Total states inserted.  Takes each shard lock briefly, so it is safe
+  /// (if approximate) while inserts are in flight; callers read it after
+  /// workers have joined for an exact count.
   [[nodiscard]] std::size_t size() const {
     std::size_t total = 0;
-    for (const auto& shard : shards_) total += shard.encodings.size();
+    for (auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      total += shard.set.size();
+    }
+    return total;
+  }
+
+  /// Total heap footprint of all shards (arena + fingerprint tables), for
+  /// ExploreStats::visited_bytes.  Same locking discipline as size().
+  [[nodiscard]] std::size_t bytes() const {
+    std::size_t total = 0;
+    for (auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      total += shard.set.bytes();
+    }
     return total;
   }
 
  private:
   struct Shard {
-    std::mutex mu;
-    std::unordered_map<std::uint64_t, std::vector<std::size_t>> buckets;
-    std::vector<std::vector<std::uint64_t>> encodings;
+    mutable std::mutex mu;
+    support::InternedWordSet set;
   };
 
   [[nodiscard]] std::size_t shard_of(std::uint64_t digest) const noexcept {

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -43,6 +44,13 @@ struct Config {
   /// Canonical encoding (pcs, registers, memory); two configurations are
   /// semantically identical iff their encodings are equal.
   [[nodiscard]] std::vector<std::uint64_t> encode() const;
+
+  /// Appends the canonical encoding to `out` without allocating a fresh
+  /// vector — the hot-path form (callers keep one scratch buffer and
+  /// `clear()` it between states).  Matches MemState::encode's out-param
+  /// convention; encode() above is a convenience wrapper.
+  void encode_into(std::vector<std::uint64_t>& out) const;
+
   [[nodiscard]] std::uint64_t hash() const;
 
   [[nodiscard]] std::string to_string(const System& sys) const;
@@ -53,6 +61,48 @@ struct Step {
   ThreadId thread = 0;
   std::string label;  ///< populated only when requested (diagnostics cost)
   Config after;
+};
+
+/// A reusable pool of successor Steps.  clear() resets the logical size but
+/// keeps every Step object (and, transitively, the heap capacity of its
+/// Config's pc/regs/ops/mo/tview vectors) alive, so refilling the buffer for
+/// the next base state copy-assigns into existing storage instead of
+/// allocating a fresh Config per transition.  Steps whose `after` the caller
+/// moves out (genuinely new states entering the frontier) simply rebuild
+/// their capacity on the next reuse.
+class StepBuffer {
+ public:
+  void clear() noexcept { size_ = 0; }
+
+  [[nodiscard]] std::span<Step> steps() noexcept { return {steps_.data(), size_}; }
+  [[nodiscard]] std::span<const Step> steps() const noexcept {
+    return {steps_.data(), size_};
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  /// Next pooled Step slot with `after` set to a copy of `proto`.  Reused
+  /// slots copy-assign into existing heap capacity; a growing buffer
+  /// copy-constructs (Config has no default state — MemState needs the
+  /// location table).  The label may hold stale contents from a previous
+  /// state; successor generation overwrites it.
+  Step& push(const Config& proto) {
+    if (size_ == steps_.size()) {
+      steps_.push_back(Step{0, {}, proto});
+    } else {
+      steps_[size_].after = proto;
+    }
+    return steps_[size_++];
+  }
+
+  /// Scratch for MemState observability queries during generation (so
+  /// Obs(t, x) does not allocate per instruction).
+  [[nodiscard]] std::vector<memsem::OpId>& obs_scratch() noexcept { return obs_; }
+
+ private:
+  std::vector<Step> steps_;
+  std::vector<memsem::OpId> obs_;
+  std::size_t size_ = 0;
 };
 
 /// The initial configuration Γ_Init (locations initialised, registers at
@@ -70,5 +120,13 @@ struct Step {
 [[nodiscard]] std::vector<Step> thread_successors(const System& sys,
                                                   const Config& cfg, ThreadId t,
                                                   bool want_labels = false);
+
+/// Hot-path forms: clear `out` and fill it with the enabled transitions,
+/// reusing the buffer's pooled Steps.  The vector-returning overloads above
+/// are wrappers kept for tests and cold callers.
+void successors(const System& sys, const Config& cfg, StepBuffer& out,
+                bool want_labels = false);
+void thread_successors(const System& sys, const Config& cfg, ThreadId t,
+                       StepBuffer& out, bool want_labels = false);
 
 }  // namespace rc11::lang

@@ -19,18 +19,25 @@ using memsem::OpId;
 std::vector<std::uint64_t> Config::encode() const {
   std::vector<std::uint64_t> out;
   out.reserve(64);
+  encode_into(out);
+  return out;
+}
+
+void Config::encode_into(std::vector<std::uint64_t>& out) const {
   for (const auto p : pc) out.push_back(p);
   for (const auto& file : regs) {
     out.push_back(file.size());
     for (const auto v : file) out.push_back(static_cast<std::uint64_t>(v));
   }
   mem.encode(out);
-  return out;
 }
 
 std::uint64_t Config::hash() const {
+  std::vector<std::uint64_t> words;
+  words.reserve(64);
+  encode_into(words);
   support::WordHasher h;
-  for (const auto w : encode()) h.add(w);
+  for (const auto w : words) h.add(w);
   return h.digest();
 }
 
@@ -83,26 +90,30 @@ std::string describe(const System& sys, ThreadId t, const Instr& in,
   return os.str();
 }
 
-/// Appends a successor built from `cfg` by `mutate`, advancing t's pc.
+/// Appends a successor built from `cfg` by `mutate`, advancing t's pc.  The
+/// pooled Step slot is copy-assigned, so the Config vectors (pc, regs, ops,
+/// mo, tview and every mview) reuse whatever heap capacity the slot already
+/// holds from earlier states.
 template <typename Mutate>
-void add_step(std::vector<Step>& out, const System& sys, const Config& cfg,
+void add_step(StepBuffer& out, const System& sys, const Config& cfg,
               ThreadId t, const Instr& in, bool want_labels,
               const char* label_suffix, Mutate&& mutate) {
-  Step step{t, {}, cfg};
+  Step& step = out.push(cfg);
+  step.thread = t;
+  step.label.clear();
   step.after.pc[t] += 1;
   mutate(step.after);
   if (want_labels) step.label = describe(sys, t, in, label_suffix);
-  out.push_back(std::move(step));
 }
 
-}  // namespace
-
-std::vector<Step> thread_successors(const System& sys, const Config& cfg,
-                                    ThreadId t, bool want_labels) {
-  std::vector<Step> out;
-  if (cfg.thread_done(sys, t)) return out;
+/// thread_successors without the initial clear(), so successors() can chain
+/// all threads into one buffer.
+void append_thread_successors(const System& sys, const Config& cfg, ThreadId t,
+                              StepBuffer& out, bool want_labels) {
+  if (cfg.thread_done(sys, t)) return;
   const Instr& in = sys.code(t)[cfg.pc[t]];
   const auto& regs = cfg.regs[t];
+  auto& obs = out.obs_scratch();
 
   switch (in.kind) {
     case IKind::Assign: {
@@ -112,7 +123,8 @@ std::vector<Step> thread_successors(const System& sys, const Config& cfg,
       break;
     }
     case IKind::Load: {
-      for (const OpId w : cfg.mem.observable(t, in.loc)) {
+      cfg.mem.observable_into(t, in.loc, obs);
+      for (const OpId w : obs) {
         add_step(out, sys, cfg, t, in, want_labels, "", [&](Config& next) {
           next.regs[t][in.dst] = next.mem.read(t, in.loc, w, in.order);
         });
@@ -121,7 +133,8 @@ std::vector<Step> thread_successors(const System& sys, const Config& cfg,
     }
     case IKind::Store: {
       const Value v = in.e1.eval(regs);
-      for (const OpId w : cfg.mem.observable_uncovered(t, in.loc)) {
+      cfg.mem.observable_uncovered_into(t, in.loc, obs);
+      for (const OpId w : obs) {
         add_step(out, sys, cfg, t, in, want_labels, "", [&](Config& next) {
           next.mem.write(t, in.loc, v, in.order, w);
         });
@@ -133,7 +146,8 @@ std::vector<Step> thread_successors(const System& sys, const Config& cfg,
       const Value desired = in.e3.eval(regs);
       // Success: an UPDATE transition reading an observable uncovered write
       // with the expected value.
-      for (const OpId w : cfg.mem.observable_uncovered(t, in.loc)) {
+      cfg.mem.observable_uncovered_into(t, in.loc, obs);
+      for (const OpId w : obs) {
         if (cfg.mem.read_value_of(w) != expected) continue;
         add_step(out, sys, cfg, t, in, want_labels, " (success)",
                  [&](Config& next) {
@@ -143,7 +157,8 @@ std::vector<Step> thread_successors(const System& sys, const Config& cfg,
       }
       // Failure: a relaxed READ of any observable write with a different
       // value (the paper's rd(x, v'), v' != u rule).
-      for (const OpId w : cfg.mem.observable(t, in.loc)) {
+      cfg.mem.observable_into(t, in.loc, obs);
+      for (const OpId w : obs) {
         if (cfg.mem.read_value_of(w) == expected) continue;
         add_step(out, sys, cfg, t, in, want_labels, " (fail)",
                  [&](Config& next) {
@@ -154,7 +169,8 @@ std::vector<Step> thread_successors(const System& sys, const Config& cfg,
       break;
     }
     case IKind::Fai: {
-      for (const OpId w : cfg.mem.observable_uncovered(t, in.loc)) {
+      cfg.mem.observable_uncovered_into(t, in.loc, obs);
+      for (const OpId w : obs) {
         const Value old = cfg.mem.read_value_of(w);
         add_step(out, sys, cfg, t, in, want_labels, "", [&](Config& next) {
           next.mem.update(t, in.loc, w, old + 1);
@@ -231,18 +247,44 @@ std::vector<Step> thread_successors(const System& sys, const Config& cfg,
       break;
     }
   }
+}
+
+/// Drains a StepBuffer into a plain vector (the cold, compatibility API).
+std::vector<Step> drain(StepBuffer& buf) {
+  std::vector<Step> out;
+  out.reserve(buf.size());
+  for (Step& step : buf.steps()) out.push_back(std::move(step));
   return out;
+}
+
+}  // namespace
+
+void thread_successors(const System& sys, const Config& cfg, ThreadId t,
+                       StepBuffer& out, bool want_labels) {
+  out.clear();
+  append_thread_successors(sys, cfg, t, out, want_labels);
+}
+
+void successors(const System& sys, const Config& cfg, StepBuffer& out,
+                bool want_labels) {
+  out.clear();
+  for (ThreadId t = 0; t < sys.num_threads(); ++t) {
+    append_thread_successors(sys, cfg, t, out, want_labels);
+  }
+}
+
+std::vector<Step> thread_successors(const System& sys, const Config& cfg,
+                                    ThreadId t, bool want_labels) {
+  StepBuffer buf;
+  thread_successors(sys, cfg, t, buf, want_labels);
+  return drain(buf);
 }
 
 std::vector<Step> successors(const System& sys, const Config& cfg,
                              bool want_labels) {
-  std::vector<Step> out;
-  for (ThreadId t = 0; t < sys.num_threads(); ++t) {
-    auto steps = thread_successors(sys, cfg, t, want_labels);
-    out.insert(out.end(), std::make_move_iterator(steps.begin()),
-               std::make_move_iterator(steps.end()));
-  }
-  return out;
+  StepBuffer buf;
+  successors(sys, cfg, buf, want_labels);
+  return drain(buf);
 }
 
 }  // namespace rc11::lang

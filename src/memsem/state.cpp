@@ -47,26 +47,39 @@ MemState::MemState(const LocationTable& locs, ThreadId num_threads,
 }
 
 std::vector<OpId> MemState::observable(ThreadId t, LocId loc) const {
-  if (options_.model == MemoryModel::SC) {
-    // Under the SC baseline only the mo-maximal write is readable.
-    return {mo_[loc].back()};
-  }
-  const OpId front = tview_[t][loc];
-  const auto& order = mo_[loc];
   std::vector<OpId> result;
-  result.reserve(order.size() - ops_[front].mo_pos);
-  for (std::size_t i = ops_[front].mo_pos; i < order.size(); ++i) {
-    result.push_back(order[i]);
-  }
+  observable_into(t, loc, result);
   return result;
 }
 
 std::vector<OpId> MemState::observable_uncovered(ThreadId t, LocId loc) const {
-  std::vector<OpId> result = observable(t, loc);
-  if (options_.enforce_covered) {
-    std::erase_if(result, [this](OpId w) { return ops_[w].covered; });
-  }
+  std::vector<OpId> result;
+  observable_uncovered_into(t, loc, result);
   return result;
+}
+
+void MemState::observable_into(ThreadId t, LocId loc,
+                               std::vector<OpId>& out) const {
+  out.clear();
+  if (options_.model == MemoryModel::SC) {
+    // Under the SC baseline only the mo-maximal write is readable.
+    out.push_back(mo_[loc].back());
+    return;
+  }
+  const OpId front = tview_[t][loc];
+  const auto& order = mo_[loc];
+  out.reserve(order.size() - ops_[front].mo_pos);
+  for (std::size_t i = ops_[front].mo_pos; i < order.size(); ++i) {
+    out.push_back(order[i]);
+  }
+}
+
+void MemState::observable_uncovered_into(ThreadId t, LocId loc,
+                                         std::vector<OpId>& out) const {
+  observable_into(t, loc, out);
+  if (options_.enforce_covered) {
+    std::erase_if(out, [this](OpId w) { return ops_[w].covered; });
+  }
 }
 
 OpId MemState::last_op(LocId loc) const {

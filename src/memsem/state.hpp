@@ -144,6 +144,13 @@ class MemState {
   /// Obs(t, x) \ cvd: the operations a new write/update may be placed after.
   [[nodiscard]] std::vector<OpId> observable_uncovered(ThreadId t, LocId loc) const;
 
+  /// Scratch-buffer forms of the two queries above: clear `out` and fill it,
+  /// so successor generation can reuse one buffer per exploration instead of
+  /// allocating a vector per instruction.
+  void observable_into(ThreadId t, LocId loc, std::vector<OpId>& out) const;
+  void observable_uncovered_into(ThreadId t, LocId loc,
+                                 std::vector<OpId>& out) const;
+
   /// The last (maximal-timestamp) operation of a location; maxTS of §4.
   [[nodiscard]] OpId last_op(LocId loc) const;
 

@@ -3,10 +3,11 @@
 #include <atomic>
 #include <deque>
 #include <mutex>
-#include <unordered_map>
+#include <span>
 
 #include "support/diagnostics.hpp"
 #include "support/hash.hpp"
+#include "support/intern.hpp"
 #include "support/parallel.hpp"
 
 namespace rc11::og {
@@ -43,28 +44,10 @@ std::uint32_t ProofOutline::terminal_pc(ThreadId t) const {
 
 namespace {
 
-/// Minimal visited set over canonical encodings (same scheme as the
-/// explorer's, kept local to avoid exposing its internals).
-class Visited {
- public:
-  bool insert(const std::vector<std::uint64_t>& enc) {
-    support::WordHasher h;
-    for (const auto w : enc) h.add(w);
-    auto& bucket = buckets_[h.digest()];
-    for (const auto idx : bucket) {
-      if (store_[idx] == enc) return false;
-    }
-    bucket.push_back(store_.size());
-    store_.push_back(enc);
-    return true;
-  }
-
-  [[nodiscard]] std::size_t size() const noexcept { return store_.size(); }
-
- private:
-  std::unordered_map<std::uint64_t, std::vector<std::size_t>> buckets_;
-  std::vector<std::vector<std::uint64_t>> store_;
-};
+/// Visited set over canonical encodings: the shared interned representation
+/// (open-addressing fingerprint table over a varint arena, exact via
+/// full-encoding confirmation — support/intern.hpp).
+using Visited = support::InternedWordSet;
 
 struct TraceNode {
   std::int64_t parent = -1;
@@ -96,7 +79,7 @@ std::uint64_t evaluate_obligations(const System& sys,
                                    const ProofOutline& outline,
                                    const OutlineCheckOptions& options,
                                    const Config& cfg,
-                                   const std::vector<Step>& steps,
+                                   std::span<const Step> steps,
                                    const FailFn& fail) {
   std::uint64_t checked = 0;
   bool failed = false;
@@ -161,7 +144,7 @@ OutlineCheckResult check_outline_parallel(const System& sys,
 
   const auto reach = explore::visit_reachable(
       sys, ropts,
-      [&](const Config& cfg, const std::vector<lang::Step>& steps) -> bool {
+      [&](const Config& cfg, std::span<const lang::Step> steps) -> bool {
         std::vector<std::string> local_failures;
         obligations.fetch_add(
             evaluate_obligations(sys, outline, options, cfg, steps,
@@ -206,6 +189,8 @@ OutlineCheckResult check_outline(const System& sys, const ProofOutline& outline,
   std::deque<Item> frontier;
   std::vector<TraceNode> trace_nodes;
   std::int64_t current_node = -1;
+  lang::StepBuffer steps;
+  std::vector<std::uint64_t> scratch;
 
   const auto fail = [&](std::string obligation, const Config& cfg) {
     result.valid = false;
@@ -231,10 +216,10 @@ OutlineCheckResult check_outline(const System& sys, const ProofOutline& outline,
     current_node = item.trace_node;
     result.stats.states += 1;
 
-    auto steps = lang::successors(sys, cfg, /*want_labels=*/true);
+    lang::successors(sys, cfg, steps, /*want_labels=*/true);
 
     result.obligations_checked += evaluate_obligations(
-        sys, outline, options, cfg, steps,
+        sys, outline, options, cfg, steps.steps(),
         [&](std::string obligation) { fail(std::move(obligation), cfg); });
     if (!result.valid && options.stop_at_first_failure) break;
 
@@ -246,9 +231,11 @@ OutlineCheckResult check_outline(const System& sys, const ProofOutline& outline,
       }
       continue;
     }
-    for (auto& step : steps) {
+    for (auto& step : steps.steps()) {
       result.stats.transitions += 1;
-      if (visited.insert(step.after.encode())) {
+      scratch.clear();
+      step.after.encode_into(scratch);
+      if (visited.insert(scratch)) {
         std::int64_t node = -1;
         if (options.track_traces) {
           node = static_cast<std::int64_t>(trace_nodes.size());
@@ -259,6 +246,7 @@ OutlineCheckResult check_outline(const System& sys, const ProofOutline& outline,
     }
   }
 
+  result.stats.visited_bytes = visited.bytes();
   return result;
 }
 
@@ -270,6 +258,8 @@ TripleCheckResult check_triple(const System& sys, const Assertion& pre,
   Visited visited;
   std::deque<Config> frontier;
   std::uint64_t states = 0;
+  lang::StepBuffer steps;
+  std::vector<std::uint64_t> scratch;
 
   {
     Config init = lang::initial_config(sys);
@@ -283,8 +273,8 @@ TripleCheckResult check_triple(const System& sys, const Assertion& pre,
     states += 1;
 
     const bool pre_holds = pre.eval(sys, cfg);
-    auto steps = lang::successors(sys, cfg, /*want_labels=*/true);
-    for (auto& step : steps) {
+    lang::successors(sys, cfg, steps, /*want_labels=*/true);
+    for (auto& step : steps.steps()) {
       const Instr& in = sys.code(step.thread)[cfg.pc[step.thread]];
       if (pre_holds && filter(step.thread, in)) {
         result.instances_checked += 1;
@@ -296,7 +286,9 @@ TripleCheckResult check_triple(const System& sys, const Assertion& pre,
                {}});
         }
       }
-      if (visited.insert(step.after.encode())) {
+      scratch.clear();
+      step.after.encode_into(scratch);
+      if (visited.insert(scratch)) {
         frontier.push_back(std::move(step.after));
       }
     }

@@ -90,7 +90,7 @@ StateGraph build_graph_parallel(const System& sys, std::uint64_t max_states,
   ropts.num_threads = num_threads;
   const auto reach = explore::visit_reachable(
       sys, ropts,
-      [&](const Config& cfg, const std::vector<lang::Step>&) -> bool {
+      [&](const Config& cfg, std::span<const lang::Step>) -> bool {
         Keyed k{cfg.encode(), cfg};
         std::lock_guard<std::mutex> lock(mu);
         collected.push_back(std::move(k));
@@ -125,8 +125,15 @@ StateGraph build_graph_parallel(const System& sys, std::uint64_t max_states,
   }
 
   support::parallel_for(n, num_threads, [&](std::size_t i) {
-    for (auto& step : lang::successors(sys, graph.states[i], want_labels)) {
-      const auto idx = index_of(step.after.encode());
+    // Worker-local pooled buffers (parallel_for hands out bare indices, so
+    // thread_local is the per-worker hook).
+    thread_local lang::StepBuffer steps;
+    thread_local std::vector<std::uint64_t> scratch;
+    lang::successors(sys, graph.states[i], steps, want_labels);
+    for (auto& step : steps.steps()) {
+      scratch.clear();
+      step.after.encode_into(scratch);
+      const auto idx = index_of(scratch);
       // A missing successor can only happen on a truncated build (its target
       // was never claimed); the graph is already flagged unreliable then.
       if (!idx.has_value()) continue;
@@ -147,15 +154,22 @@ StateGraph build_graph(const System& sys, std::uint64_t max_states,
   }
   StateGraph graph;
   std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> index;
+  // Encodings stored per state so a bucket probe compares against the cached
+  // key instead of re-encoding the stored configuration every time.
+  std::vector<std::vector<std::uint64_t>> encodings;
+  std::vector<std::uint64_t> scratch;
+  lang::StepBuffer steps;
 
-  const auto lookup_or_insert = [&](Config cfg) -> std::pair<std::uint32_t, bool> {
-    const auto enc = cfg.encode();
-    auto& bucket = index[hash_words(enc)];
+  const auto lookup_or_insert = [&](Config&& cfg) -> std::pair<std::uint32_t, bool> {
+    scratch.clear();
+    cfg.encode_into(scratch);
+    auto& bucket = index[support::hash_words(scratch)];
     for (const auto idx : bucket) {
-      if (graph.states[idx].encode() == enc) return {idx, false};
+      if (encodings[idx] == scratch) return {idx, false};
     }
     const auto idx = static_cast<std::uint32_t>(graph.states.size());
     graph.states.push_back(std::move(cfg));
+    encodings.emplace_back(scratch);
     graph.succ.emplace_back();
     if (want_labels) graph.labels.emplace_back();
     bucket.push_back(idx);
@@ -170,7 +184,8 @@ StateGraph build_graph(const System& sys, std::uint64_t max_states,
     }
     // NOTE: states vector may reallocate while expanding, so copy the config.
     const Config cfg = graph.states[next];
-    for (auto& step : lang::successors(sys, cfg, want_labels)) {
+    lang::successors(sys, cfg, steps, want_labels);
+    for (auto& step : steps.steps()) {
       const auto [idx, fresh] = lookup_or_insert(std::move(step.after));
       graph.succ[next].push_back(idx);
       if (want_labels) graph.labels[next].push_back(std::move(step.label));

@@ -32,6 +32,32 @@ constexpr void hash_combine(std::size_t& seed, const T& value) {
   return h;
 }
 
+/// splitmix64 finaliser: a fast, full-avalanche 64-bit mixer.  Two
+/// multiplications per word instead of FNV-1a's eight make this the digest
+/// of choice for the exploration hot path (visited-set fingerprints), where
+/// hash quality only affects probe lengths, never correctness — every
+/// fingerprint hit is confirmed against the full encoding.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+/// Digest of a word sequence via chained mix64 (Merkle–Damgård over the
+/// splitmix64 finaliser, length-seeded so prefixes do not collide trivially).
+/// All 64 output bits are well distributed: the sharded visited set routes
+/// shards by the top bits and indexes open-addressing tables by the bottom
+/// bits of the same digest.
+[[nodiscard]] constexpr std::uint64_t hash_words(
+    std::span<const std::uint64_t> words) noexcept {
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL ^ mix64(words.size());
+  for (const auto w : words) h = mix64(h ^ w);
+  return h;
+}
+
 /// Incremental FNV-1a hasher for streaming integer words into a digest.
 /// The canonical state encoder feeds fixed-width words so that encodings are
 /// prefix-free and hashing is byte-order independent at the word level.

@@ -1,16 +1,36 @@
 // rc11lib/support/intern.hpp
 //
-// String interning for program identifiers (global variables, registers,
-// objects, method names).  The semantics engine works exclusively with dense
-// integer ids; names are kept only for diagnostics and pretty-printing.
+// Interning utilities.
+//
+//   * SymbolTable — string interning for program identifiers (global
+//     variables, registers, objects, method names).  The semantics engine
+//     works exclusively with dense integer ids; names are kept only for
+//     diagnostics and pretty-printing.
+//
+//   * InternedWordSet — the state-representation workhorse behind the
+//     explorer's visited sets: a set of uint64 word sequences (canonical
+//     state encodings) stored as an open-addressing fingerprint table over
+//     an append-only byte arena.  Compared with the former
+//     unordered_map<digest, vector<index>> + vector<vector<uint64_t>>
+//     layout this removes every per-state heap allocation (one flat table,
+//     one flat arena) and shrinks the stored form by varint-compressing the
+//     encoding words, most of which are tiny (op tags, mo ranks, sizes).
+//     Exactness is preserved: a fingerprint hit is only a duplicate after
+//     the full stored encoding compares equal, so a digest collision can
+//     never drop a genuinely new state — it costs one memcmp.
 
 #pragma once
 
 #include <cstdint>
+#include <cstring>
+#include <span>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
+
+#include "support/diagnostics.hpp"
+#include "support/hash.hpp"
 
 namespace rc11::support {
 
@@ -50,6 +70,134 @@ class SymbolTable {
  private:
   std::vector<std::string> names_;
   std::unordered_map<std::string, SymbolId> ids_;
+};
+
+/// An exact set of uint64 word sequences, interned into a flat arena.
+///
+/// Layout: an open-addressing (linear-probe) table of 16-byte entries
+/// `(digest, offset | length)` plus one append-only byte arena holding the
+/// LEB128-varint serialisation of every distinct sequence, back to back.
+/// Membership is decided by digest first and confirmed by comparing the full
+/// serialised sequence, so the set is exact for any digest function.
+///
+/// Not thread-safe: the sharded visited set wraps one instance per shard
+/// behind the shard mutex; sequential explorers use one instance directly.
+class InternedWordSet {
+ public:
+  InternedWordSet() { table_.resize(kInitialSlots, Entry{0, kEmptySlot}); }
+
+  /// Inserts the sequence, returning true iff it was not present before.
+  /// The digest must be a pure function of `words` (same function for every
+  /// insert into this set); use the overload below unless the caller already
+  /// computed it for routing.
+  bool insert(std::span<const std::uint64_t> words, std::uint64_t digest) {
+    scratch_.clear();
+    for (const auto w : words) append_varint(scratch_, w);
+    RC11_REQUIRE(scratch_.size() < kMaxEncodedBytes,
+                 "state encoding exceeds the interned-arena entry limit");
+    if ((count_ + 1) * 4 >= table_.size() * 3) grow();
+    const std::uint64_t mask = table_.size() - 1;
+    for (std::uint64_t i = digest & mask;; i = (i + 1) & mask) {
+      Entry& e = table_[i];
+      if (e.off_len == kEmptySlot) {
+        const std::uint64_t off = arena_.size();
+        arena_.insert(arena_.end(), scratch_.begin(), scratch_.end());
+        e.digest = digest;
+        e.off_len = (off << kLenBits) | scratch_.size();
+        count_ += 1;
+        return true;
+      }
+      if (e.digest == digest && equals_scratch(e)) return false;
+    }
+  }
+
+  /// Convenience overload computing the digest with hash_words.
+  bool insert(std::span<const std::uint64_t> words) {
+    return insert(words, hash_words(words));
+  }
+
+  /// True iff the sequence is present (no mutation).
+  [[nodiscard]] bool contains(std::span<const std::uint64_t> words) const {
+    const std::uint64_t digest = hash_words(words);
+    std::vector<std::uint8_t> bytes;
+    for (const auto w : words) append_varint(bytes, w);
+    const std::uint64_t mask = table_.size() - 1;
+    for (std::uint64_t i = digest & mask;; i = (i + 1) & mask) {
+      const Entry& e = table_[i];
+      if (e.off_len == kEmptySlot) return false;
+      if (e.digest == digest && e.length() == bytes.size() &&
+          (bytes.empty() ||
+           std::memcmp(arena_.data() + e.offset(), bytes.data(),
+                       bytes.size()) == 0)) {
+        return true;
+      }
+    }
+  }
+
+  /// Number of distinct sequences interned.
+  [[nodiscard]] std::size_t size() const noexcept { return count_; }
+
+  /// Heap footprint: arena + table + scratch capacity.  This is the figure
+  /// reported as ExploreStats::visited_bytes.
+  [[nodiscard]] std::size_t bytes() const noexcept {
+    return arena_.capacity() + table_.capacity() * sizeof(Entry) +
+           scratch_.capacity();
+  }
+
+  /// Bytes of compressed encoding payload (excludes table slack); exposed
+  /// for the state-representation benchmarks.
+  [[nodiscard]] std::size_t arena_bytes() const noexcept { return arena_.size(); }
+
+ private:
+  // offset:40 | length:24 packed into one word; kEmptySlot (all ones) is
+  // unreachable because lengths are capped far below 2^24.
+  static constexpr unsigned kLenBits = 24;
+  static constexpr std::uint64_t kMaxEncodedBytes = (1ULL << kLenBits) - 1;
+  static constexpr std::uint64_t kEmptySlot = ~0ULL;
+  static constexpr std::size_t kInitialSlots = 16;  // power of two
+
+  struct Entry {
+    std::uint64_t digest;
+    std::uint64_t off_len;
+    [[nodiscard]] std::uint64_t offset() const noexcept {
+      return off_len >> kLenBits;
+    }
+    [[nodiscard]] std::uint64_t length() const noexcept {
+      return off_len & kMaxEncodedBytes;
+    }
+  };
+
+  static void append_varint(std::vector<std::uint8_t>& out, std::uint64_t w) {
+    while (w >= 0x80) {
+      out.push_back(static_cast<std::uint8_t>(w) | 0x80U);
+      w >>= 7;
+    }
+    out.push_back(static_cast<std::uint8_t>(w));
+  }
+
+  [[nodiscard]] bool equals_scratch(const Entry& e) const noexcept {
+    return e.length() == scratch_.size() &&
+           (scratch_.empty() ||
+            std::memcmp(arena_.data() + e.offset(), scratch_.data(),
+                        scratch_.size()) == 0);
+  }
+
+  void grow() {
+    std::vector<Entry> old = std::move(table_);
+    table_.assign(old.size() * 2, Entry{0, kEmptySlot});
+    const std::uint64_t mask = table_.size() - 1;
+    for (const Entry& e : old) {
+      if (e.off_len == kEmptySlot) continue;
+      std::uint64_t i = e.digest & mask;
+      while (table_[i].off_len != kEmptySlot) i = (i + 1) & mask;
+      table_[i] = e;
+    }
+  }
+
+  std::vector<Entry> table_;           // open addressing, power-of-two size
+  std::vector<std::uint8_t> arena_;    // varint payloads, back to back
+  std::vector<std::uint8_t> scratch_;  // serialisation buffer, reused
+  std::size_t count_ = 0;
 };
 
 }  // namespace rc11::support

@@ -1,0 +1,185 @@
+// State-representation exactness: the interned visited set (and its
+// lock-striped wrapper) must be indistinguishable from a reference
+// std::set<std::vector<uint64_t>> oracle — over full explorations of every
+// sample program and litmus test, over adversarial randomized inserts, and
+// under forced digest collisions.  Also pins down the encode()/encode_into
+// equivalence and the pooled-StepBuffer/vector successor equivalence the
+// hot-path rewiring relies on.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <deque>
+#include <random>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "explore/sharded_visited.hpp"
+#include "lang/config.hpp"
+#include "litmus/litmus.hpp"
+#include "parser/parser.hpp"
+#include "support/intern.hpp"
+
+namespace {
+
+using namespace rc11;
+using lang::Config;
+using lang::System;
+using support::InternedWordSet;
+
+std::string prog(const std::string& name) {
+  return std::string(RC11_SRC_DIR) + "/tools/programs/" + name;
+}
+
+const char* kPrograms[] = {
+    "lock_client_abstract.rc11", "lock_client_broken.rc11",
+    "lock_client_seqlock.rc11",  "mp_broken_outline.rc11",
+    "mp_stack.rc11",             "mp_verified.rc11",
+    "sb.rc11",                   "ticket_lock.rc11",
+};
+
+/// Explores `sys` by BFS, deduplicating with the std::set oracle while
+/// mirroring every insert into an InternedWordSet and a ShardedVisitedSet.
+/// Every novelty verdict must agree with the oracle's, for every state the
+/// semantics can reach in `sys` (bounded for safety).
+void check_oracle_equivalence(const System& sys, const std::string& what) {
+  std::set<std::vector<std::uint64_t>> oracle;
+  InternedWordSet interned;
+  explore::ShardedVisitedSet sharded(8);
+
+  const auto insert_all = [&](const Config& cfg) {
+    const auto enc = cfg.encode();
+    const bool fresh = oracle.insert(enc).second;
+    EXPECT_EQ(interned.insert(enc), fresh) << what;
+    EXPECT_EQ(sharded.insert(enc), fresh) << what;
+    return fresh;
+  };
+
+  std::deque<Config> frontier;
+  {
+    Config init = lang::initial_config(sys);
+    insert_all(init);
+    frontier.push_back(std::move(init));
+  }
+  std::uint64_t expanded = 0;
+  while (!frontier.empty() && expanded < 200'000) {
+    Config cfg = std::move(frontier.front());
+    frontier.pop_front();
+    expanded += 1;
+    for (auto& step : lang::successors(sys, cfg)) {
+      // Duplicates are re-offered on purpose: the visited sets must refuse
+      // them exactly when the oracle does.
+      if (insert_all(step.after)) frontier.push_back(std::move(step.after));
+    }
+  }
+  EXPECT_EQ(interned.size(), oracle.size()) << what;
+  EXPECT_EQ(sharded.size(), oracle.size()) << what;
+  EXPECT_GT(interned.bytes(), 0u) << what;
+  for (const auto& enc : oracle) {
+    EXPECT_TRUE(interned.contains(enc)) << what;
+  }
+}
+
+TEST(StateRepr, OracleEquivalenceOverSamplePrograms) {
+  for (const auto* name : kPrograms) {
+    const auto program = parser::parse_file(prog(name));
+    check_oracle_equivalence(program.sys, name);
+  }
+}
+
+TEST(StateRepr, OracleEquivalenceOverLitmusTests) {
+  for (auto& test : litmus::all_tests()) {
+    check_oracle_equivalence(test.sys, test.name);
+  }
+}
+
+TEST(StateRepr, EncodeIntoMatchesEncode) {
+  for (auto& test : litmus::all_tests()) {
+    std::vector<std::uint64_t> scratch;
+    std::deque<Config> frontier;
+    std::set<std::vector<std::uint64_t>> seen;
+    frontier.push_back(lang::initial_config(test.sys));
+    while (!frontier.empty() && seen.size() < 500) {
+      Config cfg = std::move(frontier.front());
+      frontier.pop_front();
+      const auto fresh_vec = cfg.encode();
+      scratch.clear();
+      cfg.encode_into(scratch);
+      EXPECT_EQ(scratch, fresh_vec) << test.name;
+      // encode_into appends: a second call must yield the concatenation.
+      cfg.encode_into(scratch);
+      ASSERT_EQ(scratch.size(), 2 * fresh_vec.size()) << test.name;
+      EXPECT_TRUE(std::equal(fresh_vec.begin(), fresh_vec.end(),
+                             scratch.begin() + static_cast<std::ptrdiff_t>(
+                                                   fresh_vec.size())))
+          << test.name;
+      if (!seen.insert(fresh_vec).second) continue;
+      for (auto& step : lang::successors(test.sys, cfg)) {
+        frontier.push_back(std::move(step.after));
+      }
+    }
+  }
+}
+
+TEST(StateRepr, PooledSuccessorsMatchVectorSuccessors) {
+  for (auto& test : litmus::all_tests()) {
+    lang::StepBuffer buf;  // deliberately reused across states and tests
+    std::deque<Config> frontier;
+    std::set<std::vector<std::uint64_t>> seen;
+    frontier.push_back(lang::initial_config(test.sys));
+    while (!frontier.empty() && seen.size() < 300) {
+      Config cfg = std::move(frontier.front());
+      frontier.pop_front();
+      if (!seen.insert(cfg.encode()).second) continue;
+      const auto fresh = lang::successors(test.sys, cfg, /*want_labels=*/true);
+      lang::successors(test.sys, cfg, buf, /*want_labels=*/true);
+      ASSERT_EQ(buf.size(), fresh.size()) << test.name;
+      for (std::size_t i = 0; i < fresh.size(); ++i) {
+        const auto& pooled = buf.steps()[i];
+        EXPECT_EQ(pooled.thread, fresh[i].thread) << test.name;
+        EXPECT_EQ(pooled.label, fresh[i].label) << test.name;
+        EXPECT_EQ(pooled.after.encode(), fresh[i].after.encode()) << test.name;
+      }
+      for (const auto& step : fresh) frontier.push_back(step.after);
+    }
+  }
+}
+
+TEST(StateRepr, ForcedDigestCollisionsStayExact) {
+  InternedWordSet set;
+  // Adversarial digests: every sequence claims the same fingerprint, so
+  // novelty must be decided by the stored encodings alone.
+  const std::uint64_t digest = 0xdeadbeefULL;
+  std::vector<std::vector<std::uint64_t>> seqs = {
+      {}, {0}, {1}, {0, 0}, {0, 1}, {1, 0}, {1ULL << 40}, {0x7f}, {0x80},
+      {0x7f, 0x80}, {~0ULL}, {~0ULL, ~0ULL},
+  };
+  for (const auto& s : seqs) EXPECT_TRUE(set.insert(s, digest)) << s.size();
+  for (const auto& s : seqs) EXPECT_FALSE(set.insert(s, digest)) << s.size();
+  EXPECT_EQ(set.size(), seqs.size());
+}
+
+TEST(StateRepr, RandomizedInsertsMatchOracle) {
+  std::mt19937_64 rng(0xc0ffee);  // fixed seed: reproducible
+  std::set<std::vector<std::uint64_t>> oracle;
+  InternedWordSet interned;
+  explore::ShardedVisitedSet sharded(4);
+  for (int round = 0; round < 20'000; ++round) {
+    std::vector<std::uint64_t> words(rng() % 12);
+    for (auto& w : words) {
+      // Mix tiny values (one varint byte) with full-width ones so every
+      // varint length is exercised.
+      const auto shift = rng() % 64;
+      w = rng() >> shift;
+    }
+    const bool fresh = oracle.insert(words).second;
+    ASSERT_EQ(interned.insert(words), fresh) << "round " << round;
+    ASSERT_EQ(sharded.insert(words), fresh) << "round " << round;
+  }
+  EXPECT_EQ(interned.size(), oracle.size());
+  EXPECT_EQ(sharded.size(), oracle.size());
+  for (const auto& words : oracle) EXPECT_TRUE(interned.contains(words));
+}
+
+}  // namespace

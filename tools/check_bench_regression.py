@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Compare a bench --json report against a checked-in baseline.
+
+Usage: check_bench_regression.py BASELINE.json CURRENT.json [--tolerance F]
+
+Fails (exit 1) when
+
+  * a baseline case is missing from the current report,
+  * the explored state count differs (the state space is deterministic —
+    any difference is a semantics bug, not a performance regression), or
+  * states_per_s dropped by more than the tolerance (default 30%).
+
+Throughput above baseline is fine and only reported.  The baseline
+(bench/baseline_explore.json) is refreshed deliberately, by re-running
+`bench_semantics_throughput --json` and committing the result alongside the
+change that moved the numbers.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_cases(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return {case["name"]: case for case in doc["cases"]}
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--tolerance", type=float, default=0.30,
+                        help="maximum allowed fractional drop in states_per_s")
+    args = parser.parse_args()
+
+    baseline = load_cases(args.baseline)
+    current = load_cases(args.current)
+
+    failures = []
+    for name, base in sorted(baseline.items()):
+        cur = current.get(name)
+        if cur is None:
+            failures.append(f"{name}: missing from current report")
+            continue
+        if int(base["states"]) != int(cur["states"]):
+            failures.append(
+                f"{name}: state count changed "
+                f"{int(base['states'])} -> {int(cur['states'])} "
+                f"(state space must be identical)")
+            continue
+        ratio = cur["states_per_s"] / base["states_per_s"]
+        status = "OK" if ratio >= 1.0 - args.tolerance else "REGRESSION"
+        print(f"{name}: {base['states_per_s']:,.0f} -> "
+              f"{cur['states_per_s']:,.0f} states/s ({ratio:.2f}x) {status}")
+        if status != "OK":
+            failures.append(
+                f"{name}: states/s dropped to {ratio:.2f}x of baseline "
+                f"(tolerance {1.0 - args.tolerance:.2f}x)")
+
+    if failures:
+        print("\nbench regression check FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\nbench regression check passed "
+          f"({len(baseline)} cases, tolerance {args.tolerance:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,6 +7,7 @@
 // Options:
 //   --max-states N      exploration bound (default 1000000)
 //   --threads N         exploration workers (0 = hardware, default 1)
+//   --stats             also print peak frontier / visited-set memory
 //   --disassemble       print the compiled per-thread code first
 //   --no-ctview         ablation A1: disable cross-component view transfer
 //   --no-covered        ablation A2: disable covered-set enforcement
@@ -30,7 +31,7 @@
 namespace {
 
 int usage() {
-  std::cerr << "usage: rc11-run [--max-states N] [--threads N] "
+  std::cerr << "usage: rc11-run [--max-states N] [--threads N] [--stats] "
                "[--disassemble] [--no-ctview] [--no-covered] "
                "[--raw-timestamps] [--dot FILE] program.rc11\n";
   return 1;
@@ -53,6 +54,7 @@ int main(int argc, char** argv) {
   explore::ExploreOptions opts;
   memsem::SemanticsOptions sem;
   bool disassemble = false;
+  bool stats = false;
   std::string dot_path;
 
   for (int i = 1; i < argc; ++i) {
@@ -63,6 +65,8 @@ int main(int argc, char** argv) {
       if (++i >= argc || !parse_num(argv[i], opts.num_threads)) return usage();
     } else if (arg == "--disassemble") {
       disassemble = true;
+    } else if (arg == "--stats") {
+      stats = true;
     } else if (arg == "--no-ctview") {
       sem.cross_component_view_transfer = false;
     } else if (arg == "--no-covered") {
@@ -105,6 +109,15 @@ int main(int argc, char** argv) {
               << "transitions: " << result.stats.transitions << "\n"
               << "finals:      " << result.stats.finals << "\n"
               << "blocked:     " << result.stats.blocked << "\n";
+    if (stats) {
+      const auto per_state =
+          result.stats.states
+              ? result.stats.visited_bytes / result.stats.states
+              : 0;
+      std::cout << "peak frontier:  " << result.stats.peak_frontier << "\n"
+                << "visited bytes:  " << result.stats.visited_bytes << " ("
+                << per_state << " B/state)\n";
+    }
     if (result.truncated) {
       std::cout << "WARNING: exploration truncated at " << opts.max_states
                 << " states; results are a lower bound\n";
