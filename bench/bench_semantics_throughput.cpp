@@ -124,26 +124,35 @@ void report_state_repr(rc11::bench::JsonReport& json) {
   struct Workload {
     std::string name;
     lang::System sys;
+    explore::ExploreOptions opts;
   };
   std::vector<Workload> workloads;
-  workloads.push_back({"explore_mp", litmus::mp_release_acquire().sys});
-  workloads.push_back({"explore_iriw", litmus::iriw_release_acquire().sys});
+  workloads.push_back({"explore_mp", litmus::mp_release_acquire().sys, {}});
+  workloads.push_back(
+      {"explore_iriw", litmus::iriw_release_acquire().sys, {}});
   {
     locks::TicketLock lock;
-    workloads.push_back(
-        {"explore_ticket_2x2",
-         locks::instantiate(locks::mgc_client(2, 2), lock)});
+    const auto ticket_2x2 =
+        locks::instantiate(locks::mgc_client(2, 2), lock);
+    workloads.push_back({"explore_ticket_2x2", ticket_2x2, {}});
+    // Witness-tracking cost guard: the same workload with trace capture on
+    // (parent links + labels recorded per interned state).  The untraced
+    // case above doubles as the off-path zero-cost guard — it must not
+    // regress when witness code evolves.
+    explore::ExploreOptions traced;
+    traced.track_traces = true;
+    workloads.push_back({"explore_ticket_2x2_traced", ticket_2x2, traced});
     workloads.push_back(
         {"explore_ticket_3x1",
-         locks::instantiate(locks::mgc_client(3, 1), lock)});
+         locks::instantiate(locks::mgc_client(3, 1), lock), {}});
   }
 
-  for (const auto& [name, sys] : workloads) {
-    explore::ExploreResult result = explore::explore(sys);
+  for (const auto& [name, sys, opts] : workloads) {
+    explore::ExploreResult result = explore::explore(sys, opts);
     double best_s = 1e9;
     for (int i = 0; i < 3; ++i) {
       const auto t0 = std::chrono::steady_clock::now();
-      result = explore::explore(sys);
+      result = explore::explore(sys, opts);
       const auto t1 = std::chrono::steady_clock::now();
       best_s = std::min(best_s, std::chrono::duration<double>(t1 - t0).count());
     }

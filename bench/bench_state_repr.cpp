@@ -27,7 +27,7 @@ std::vector<lang::Config> reachable_configs(const lang::System& sys) {
   std::vector<lang::Config> out;
   const auto reach = explore::visit_reachable(
       sys, explore::ReachOptions{},
-      [&](const lang::Config& cfg, std::span<const lang::Step>) {
+      [&](const lang::Config& cfg, std::uint64_t, std::span<const lang::Step>) {
         out.push_back(cfg);
         return true;
       });

@@ -2,23 +2,13 @@
 
 #include <sstream>
 
+#include "support/text.hpp"
+
 namespace rc11::explore {
 
 namespace {
 
-std::string escape(const std::string& text) {
-  std::string out;
-  out.reserve(text.size());
-  for (const char ch : text) {
-    if (ch == '"' || ch == '\\') out.push_back('\\');
-    if (ch == '\n') {
-      out += "\\n";
-      continue;
-    }
-    out.push_back(ch);
-  }
-  return out;
-}
+using support::dot_escape;
 
 std::string node_caption(const lang::System& sys, const lang::Config& cfg,
                          const DotOptions& options) {
@@ -49,7 +39,7 @@ std::string to_dot(const lang::System& sys, const refinement::StateGraph& graph,
      << "  edge [fontname=\"monospace\", fontsize=8];\n";
   for (std::uint32_t i = 0; i < graph.num_states(); ++i) {
     os << "  s" << i << " [label=\""
-       << escape(node_caption(sys, graph.states[i], options)) << "\"";
+       << dot_escape(node_caption(sys, graph.states[i], options)) << "\"";
     if (i == graph.initial) os << ", style=bold";
     if (options.mark_finals && graph.states[i].all_done(sys)) {
       os << ", peripheries=2";
@@ -62,7 +52,7 @@ std::string to_dot(const lang::System& sys, const refinement::StateGraph& graph,
     for (std::size_t e = 0; e < graph.succ[i].size(); ++e) {
       os << "  s" << i << " -> s" << graph.succ[i][e];
       if (labelled) {
-        os << " [label=\"" << escape(graph.labels[i][e]) << "\"]";
+        os << " [label=\"" << dot_escape(graph.labels[i][e]) << "\"]";
       }
       os << ";\n";
     }

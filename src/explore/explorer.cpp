@@ -25,14 +25,11 @@ namespace {
 /// stored encoding.
 using VisitedSet = support::InternedWordSet;
 
-struct TraceNode {
-  std::int64_t parent = -1;
-  std::string label;
-};
-
+/// A frontier entry: the configuration plus its id in the trace sink (the
+/// id stays kNoState when no sink is attached).
 struct Frontier {
   Config cfg;
-  std::int64_t trace_node = -1;
+  std::uint64_t id = ShardedVisitedSet::kNoState;
 };
 
 /// The thread to expand exclusively under local-step fusion, if any.
@@ -100,7 +97,7 @@ void sort_violations(std::vector<Violation>& violations) {
 struct SharedFrontier {
   std::mutex mu;
   std::condition_variable cv;
-  std::deque<Config> items;
+  std::deque<Frontier> items;
   unsigned working = 0;  ///< workers currently expanding a batch
   bool stop = false;     ///< cooperative stop (visitor veto or truncation)
   std::uint64_t max_size = 0;
@@ -109,7 +106,11 @@ struct SharedFrontier {
 ReachResult parallel_reach(const System& sys, const ReachOptions& options,
                            const StateVisitor& visitor, unsigned workers) {
   ReachResult result;
-  ShardedVisitedSet visited;
+  ShardedVisitedSet local_visited;
+  // With a trace sink the sink doubles as the visited set, so parent
+  // recording and the once-only insert decision are one atomic step.
+  ShardedVisitedSet& visited = options.trace ? *options.trace : local_visited;
+  const bool want_labels = options.want_labels || options.trace != nullptr;
   SharedFrontier frontier;
   // Claim budget for max_states: every popped state claims one index; claims
   // at or beyond the cap mark truncation instead of being expanded.  This is
@@ -123,8 +124,16 @@ ReachResult parallel_reach(const System& sys, const ReachOptions& options,
 
   {
     Config init = lang::initial_config(sys);
-    visited.insert(init.encode());
-    frontier.items.push_back(std::move(init));
+    std::uint64_t id = ShardedVisitedSet::kNoState;
+    if (options.trace) {
+      id = options.trace
+               ->insert_traced(init.encode(), ShardedVisitedSet::kNoState, 0,
+                               "init")
+               .id;
+    } else {
+      visited.insert(init.encode());
+    }
+    frontier.items.push_back({std::move(init), id});
     frontier.max_size = 1;
   }
 
@@ -132,8 +141,8 @@ ReachResult parallel_reach(const System& sys, const ReachOptions& options,
   constexpr std::size_t kMaxBatch = 32;
 
   const auto worker = [&] {
-    std::vector<Config> batch;
-    std::vector<Config> discovered;
+    std::vector<Frontier> batch;
+    std::vector<Frontier> discovered;
     lang::StepBuffer steps;                // pooled successor storage
     std::vector<std::uint64_t> scratch;    // reusable encoding buffer
     for (;;) {
@@ -166,7 +175,8 @@ ReachResult parallel_reach(const System& sys, const ReachOptions& options,
 
       discovered.clear();
       bool request_stop = false;
-      for (const Config& cfg : batch) {
+      for (const Frontier& item : batch) {
+        const Config& cfg = item.cfg;
         if (claimed.fetch_add(1, std::memory_order_relaxed) >=
             options.max_states) {
           truncated.store(true, std::memory_order_relaxed);
@@ -174,18 +184,25 @@ ReachResult parallel_reach(const System& sys, const ReachOptions& options,
           break;
         }
         states.fetch_add(1, std::memory_order_relaxed);
-        expand(sys, cfg, options.fuse_local_steps, options.want_labels, steps);
+        expand(sys, cfg, options.fuse_local_steps, want_labels, steps);
         if (steps.empty()) {
           (cfg.all_done(sys) ? finals : blocked)
               .fetch_add(1, std::memory_order_relaxed);
         }
         transitions.fetch_add(steps.size(), std::memory_order_relaxed);
-        const bool keep_going = visitor(cfg, steps.steps());
+        const bool keep_going = visitor(cfg, item.id, steps.steps());
         for (auto& step : steps.steps()) {
           scratch.clear();
           step.after.encode_into(scratch);
-          if (visited.insert(scratch)) {
-            discovered.push_back(std::move(step.after));
+          if (options.trace) {
+            const auto ins = options.trace->insert_traced(
+                scratch, item.id, step.thread, std::move(step.label));
+            if (ins.inserted) {
+              discovered.push_back({std::move(step.after), ins.id});
+            }
+          } else if (visited.insert(scratch)) {
+            discovered.push_back(
+                {std::move(step.after), ShardedVisitedSet::kNoState});
           }
         }
         if (!keep_going) {
@@ -198,8 +215,8 @@ ReachResult parallel_reach(const System& sys, const ReachOptions& options,
         std::lock_guard<std::mutex> lock(frontier.mu);
         frontier.working -= 1;
         if (request_stop) frontier.stop = true;
-        for (auto& cfg : discovered) {
-          frontier.items.push_back(std::move(cfg));
+        for (auto& item : discovered) {
+          frontier.items.push_back(std::move(item));
         }
         frontier.max_size =
             std::max<std::uint64_t>(frontier.max_size, frontier.items.size());
@@ -227,14 +244,25 @@ ReachResult parallel_reach(const System& sys, const ReachOptions& options,
 ReachResult sequential_reach(const System& sys, const ReachOptions& options,
                              const StateVisitor& visitor) {
   ReachResult result;
+  // Untraced runs keep the single lock-free interned set; a trace sink
+  // replaces it (insert_traced assigns ids and records parent links).
   VisitedSet visited;
-  std::deque<Config> frontier;
+  const bool want_labels = options.want_labels || options.trace != nullptr;
+  std::deque<Frontier> frontier;
   lang::StepBuffer steps;
   std::vector<std::uint64_t> scratch;
   {
     Config init = lang::initial_config(sys);
-    visited.insert(init.encode());
-    frontier.push_back(std::move(init));
+    std::uint64_t id = ShardedVisitedSet::kNoState;
+    if (options.trace) {
+      id = options.trace
+               ->insert_traced(init.encode(), ShardedVisitedSet::kNoState, 0,
+                               "init")
+               .id;
+    } else {
+      visited.insert(init.encode());
+    }
+    frontier.push_back({std::move(init), id});
   }
   const bool bfs = options.strategy == SearchStrategy::Bfs;
   while (!frontier.empty()) {
@@ -244,14 +272,15 @@ ReachResult sequential_reach(const System& sys, const ReachOptions& options,
     }
     result.stats.peak_frontier =
         std::max<std::uint64_t>(result.stats.peak_frontier, frontier.size());
-    Config cfg = bfs ? std::move(frontier.front()) : std::move(frontier.back());
+    Frontier item = bfs ? std::move(frontier.front()) : std::move(frontier.back());
     if (bfs) {
       frontier.pop_front();
     } else {
       frontier.pop_back();
     }
+    const Config& cfg = item.cfg;
     result.stats.states += 1;
-    expand(sys, cfg, options.fuse_local_steps, options.want_labels, steps);
+    expand(sys, cfg, options.fuse_local_steps, want_labels, steps);
     if (steps.empty()) {
       if (cfg.all_done(sys)) {
         result.stats.finals += 1;
@@ -260,17 +289,24 @@ ReachResult sequential_reach(const System& sys, const ReachOptions& options,
       }
     }
     result.stats.transitions += steps.size();
-    const bool keep_going = visitor(cfg, steps.steps());
+    const bool keep_going = visitor(cfg, item.id, steps.steps());
     for (auto& step : steps.steps()) {
       scratch.clear();
       step.after.encode_into(scratch);
-      if (visited.insert(scratch)) {
-        frontier.push_back(std::move(step.after));
+      if (options.trace) {
+        const auto ins = options.trace->insert_traced(
+            scratch, item.id, step.thread, std::move(step.label));
+        if (ins.inserted) {
+          frontier.push_back({std::move(step.after), ins.id});
+        }
+      } else if (visited.insert(scratch)) {
+        frontier.push_back({std::move(step.after), ShardedVisitedSet::kNoState});
       }
     }
     if (!keep_going) break;
   }
-  result.stats.visited_bytes = visited.bytes();
+  result.stats.visited_bytes =
+      options.trace ? options.trace->bytes() : visited.bytes();
   return result;
 }
 
@@ -283,35 +319,69 @@ ReachResult visit_reachable(const System& sys, const ReachOptions& options,
   return parallel_reach(sys, options, visitor, workers);
 }
 
-namespace {
-
-/// Parallel explore(): final-config collection and invariant evaluation on
-/// top of the generic driver.  Traces are unavailable here (the parent-link
-/// arena is inherently order-dependent); explore() routes track_traces runs
-/// through the sequential path below.
-ExploreResult explore_parallel(const System& sys, const ExploreOptions& options,
-                               const Invariant& invariant) {
+ExploreResult explore(const System& sys, const ExploreOptions& options,
+                      const Invariant& invariant) {
+  // One implementation for every thread count and trace mode, layered on
+  // the generic reachability driver: final-config collection, invariant
+  // evaluation, and — when track_traces — witness construction from the
+  // trace sink's parent links.  The mutexes are uncontended in sequential
+  // runs and cold in parallel ones (finals and violations are rare events
+  // next to state expansion).
   ExploreResult result;
-  ShardedVisitedSet final_dedup;
-  std::mutex finals_mu;
-  std::vector<KeyedConfig> finals;
-  std::mutex violations_mu;
-  std::vector<Violation> violations;
+  std::optional<ShardedVisitedSet> trace_store;
+  if (options.track_traces) trace_store.emplace();
 
   ReachOptions ropts;
   ropts.max_states = options.max_states;
   ropts.num_threads = options.num_threads;
   ropts.strategy = options.strategy;
   ropts.fuse_local_steps = options.fuse_local_steps;
+  ropts.trace = trace_store ? &*trace_store : nullptr;
+
+  const std::uint64_t init_digest =
+      options.track_traces ? witness::config_digest(lang::initial_config(sys))
+                           : 0;
+
+  ShardedVisitedSet final_dedup;
+  std::mutex finals_mu;
+  std::vector<KeyedConfig> finals;
+  std::mutex violations_mu;
+  std::vector<Violation> violations;
 
   const auto reach = visit_reachable(
       sys, ropts,
-      [&](const Config& cfg, std::span<const Step> steps) -> bool {
+      [&](const Config& cfg, std::uint64_t id,
+          std::span<const Step> steps) -> bool {
         bool keep_going = true;
         if (invariant) {
-          if (auto violation = invariant(sys, cfg)) {
+          if (auto what = invariant(sys, cfg)) {
+            Violation v;
+            v.what = std::move(*what);
+            v.state_dump = cfg.to_string(sys);
+            if (trace_store) {
+              // path_to is safe against concurrent inserts, so a violating
+              // state is reconstructed right here, mid-run.
+              const auto edges = trace_store->path_to(id);
+              v.trace.reserve(edges.size() + 1);
+              v.trace.emplace_back("init");
+              witness::Witness w;
+              w.kind = "invariant";
+              w.source = "explore";
+              w.what = v.what;
+              w.state_dump = v.state_dump;
+              w.initial_digest = init_digest;
+              w.steps.reserve(edges.size());
+              std::vector<std::uint64_t> enc;
+              for (const auto& e : edges) {
+                v.trace.push_back(e.label);
+                enc.clear();
+                trace_store->decode_state(e.state, enc);
+                w.steps.push_back({e.thread, e.label, support::hash_words(enc)});
+              }
+              v.witness = std::move(w);
+            }
             std::lock_guard<std::mutex> lock(violations_mu);
-            violations.push_back({std::move(*violation), cfg.to_string(sys), {}});
+            violations.push_back(std::move(v));
             if (options.stop_on_violation) keep_going = false;
           }
         }
@@ -335,111 +405,6 @@ ExploreResult explore_parallel(const System& sys, const ExploreOptions& options,
   result.violations = std::move(violations);
   sort_violations(result.violations);
   return result;
-}
-
-ExploreResult explore_sequential(const System& sys,
-                                 const ExploreOptions& options,
-                                 const Invariant& invariant) {
-  ExploreResult result;
-  VisitedSet visited;
-  std::vector<TraceNode> trace_nodes;
-  VisitedSet final_dedup;
-  std::vector<KeyedConfig> finals;
-  lang::StepBuffer steps;
-  std::vector<std::uint64_t> scratch;
-
-  std::deque<Frontier> frontier;
-  {
-    Config init = lang::initial_config(sys);
-    visited.insert(init.encode());
-    if (options.track_traces) trace_nodes.push_back({-1, "init"});
-    frontier.push_back({std::move(init), options.track_traces ? 0 : -1});
-  }
-
-  const auto build_trace = [&](std::int64_t node) {
-    std::vector<std::string> labels;
-    for (std::int64_t n = node; n >= 0; n = trace_nodes[static_cast<std::size_t>(n)].parent) {
-      labels.push_back(trace_nodes[static_cast<std::size_t>(n)].label);
-    }
-    std::reverse(labels.begin(), labels.end());
-    return labels;
-  };
-
-  while (!frontier.empty()) {
-    if (result.stats.states >= options.max_states) {
-      result.truncated = true;
-      break;
-    }
-    result.stats.peak_frontier =
-        std::max<std::uint64_t>(result.stats.peak_frontier, frontier.size());
-    const bool bfs = options.strategy == SearchStrategy::Bfs;
-    Frontier item = bfs ? std::move(frontier.front()) : std::move(frontier.back());
-    if (bfs) {
-      frontier.pop_front();
-    } else {
-      frontier.pop_back();
-    }
-    const Config& cfg = item.cfg;
-    result.stats.states += 1;
-
-    if (invariant) {
-      if (auto violation = invariant(sys, cfg)) {
-        result.violations.push_back(
-            {*violation, cfg.to_string(sys),
-             options.track_traces ? build_trace(item.trace_node)
-                                  : std::vector<std::string>{}});
-        if (options.stop_on_violation) break;
-      }
-    }
-
-    expand(sys, cfg, options.fuse_local_steps, options.track_traces, steps);
-    if (steps.empty()) {
-      if (cfg.all_done(sys)) {
-        result.stats.finals += 1;
-        if (options.collect_finals) {
-          // Encode once: dedup key and canonical sort key in one.
-          scratch.clear();
-          cfg.encode_into(scratch);
-          if (final_dedup.insert(scratch)) {
-            finals.emplace_back(scratch, cfg);
-          }
-        }
-      } else {
-        result.stats.blocked += 1;
-      }
-      continue;
-    }
-
-    for (auto& step : steps.steps()) {
-      result.stats.transitions += 1;
-      scratch.clear();
-      step.after.encode_into(scratch);
-      if (visited.insert(scratch)) {
-        std::int64_t node = -1;
-        if (options.track_traces) {
-          node = static_cast<std::int64_t>(trace_nodes.size());
-          trace_nodes.push_back({item.trace_node, std::move(step.label)});
-        }
-        frontier.push_back({std::move(step.after), node});
-      }
-    }
-  }
-
-  result.stats.visited_bytes = visited.bytes();
-  result.final_configs = sort_keyed_configs(finals);
-  sort_violations(result.violations);
-  return result;
-}
-
-}  // namespace
-
-ExploreResult explore(const System& sys, const ExploreOptions& options,
-                      const Invariant& invariant) {
-  const unsigned workers = support::resolve_num_threads(options.num_threads);
-  if (workers <= 1 || options.track_traces) {
-    return explore_sequential(sys, options, invariant);
-  }
-  return explore_parallel(sys, options, invariant);
 }
 
 std::vector<std::vector<lang::Value>> final_register_values(

@@ -22,8 +22,11 @@
 #include <vector>
 
 #include "lang/config.hpp"
+#include "witness/witness.hpp"
 
 namespace rc11::explore {
+
+class ShardedVisitedSet;
 
 using lang::Config;
 using lang::Step;
@@ -50,7 +53,10 @@ struct ExploreOptions {
   /// violation is reported first under stop_on_violation, which states fall
   /// inside a max_states truncation — may differ.  The invariant callback
   /// must be thread-safe when more than one worker resolves.  track_traces
-  /// forces the sequential path (the trace arena is order-dependent).
+  /// composes with every thread count: parent links are recorded per interned
+  /// state under the visited-set shard lock, so a parallel run's trace may
+  /// differ from a sequential run's but is always a real execution (and
+  /// always replays — see witness::replay).
   unsigned num_threads = 1;
   /// Sound reduction for outcome-set exploration: when some thread's next
   /// instruction is *local* (Assign / Branch / Jump — deterministic, no
@@ -63,7 +69,8 @@ struct ExploreOptions {
   /// Stop at the first invariant violation (otherwise keep counting).
   bool stop_on_violation = true;
   /// Record parent links and step labels so violations come with a full
-  /// counterexample trace (costs memory; default off for benchmarks).
+  /// counterexample trace and a structured replayable witness (costs memory;
+  /// default off for benchmarks).  Works for any num_threads.
   bool track_traces = false;
   /// Keep a copy of every final configuration (needed for outcome sets).
   bool collect_finals = true;
@@ -74,6 +81,9 @@ struct Violation {
   std::string what;              ///< description from the invariant callback
   std::string state_dump;        ///< pretty-printed violating configuration
   std::vector<std::string> trace;  ///< step labels from the initial state
+  /// Structured, replayable counterexample (present iff track_traces):
+  /// serialise with witness::to_json, validate with witness::replay.
+  std::optional<witness::Witness> witness;
 };
 
 struct ExploreStats {
@@ -119,16 +129,28 @@ struct ReachOptions {
   SearchStrategy strategy = SearchStrategy::Dfs;
   bool fuse_local_steps = false;
   bool want_labels = false;  ///< fill Step::label for the visitor
+  /// Caller-owned trace sink.  When set, the driver uses it as the visited
+  /// set: every state is interned via insert_traced (recording parent id,
+  /// acting thread and step label under the shard lock), labels are forced
+  /// on, and the visitor receives each state's id so it can reconstruct the
+  /// path to any state of interest with ShardedVisitedSet::path_to — safely
+  /// mid-run, from any worker.  Must be empty (freshly constructed) and must
+  /// outlive the call.  When null, ids passed to the visitor are
+  /// ShardedVisitedSet::kNoState and the driver owns its visited set.
+  ShardedVisitedSet* trace = nullptr;
 };
 
 /// Called exactly once per reachable configuration with its enabled steps
-/// (empty for final/blocked states).  Return false to request a cooperative
-/// stop: in-flight workers finish their current state and no further states
-/// are claimed.  Must be thread-safe when num_threads resolves to > 1 (the
-/// driver still needs the successor configurations after the call, hence the
-/// const view).  The span points into a per-worker pooled StepBuffer and is
-/// only valid for the duration of the call.
-using StateVisitor = std::function<bool(const Config&, std::span<const Step>)>;
+/// (empty for final/blocked states).  `state_id` identifies the
+/// configuration in ReachOptions::trace (kNoState when no trace sink is
+/// set).  Return false to request a cooperative stop: in-flight workers
+/// finish their current state and no further states are claimed.  Must be
+/// thread-safe when num_threads resolves to > 1 (the driver still needs the
+/// successor configurations after the call, hence the const view).  The span
+/// points into a per-worker pooled StepBuffer and is only valid for the
+/// duration of the call.
+using StateVisitor = std::function<bool(const Config&, std::uint64_t state_id,
+                                        std::span<const Step>)>;
 
 struct ReachResult {
   ExploreStats stats;

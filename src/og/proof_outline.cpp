@@ -3,8 +3,10 @@
 #include <atomic>
 #include <deque>
 #include <mutex>
+#include <optional>
 #include <span>
 
+#include "explore/sharded_visited.hpp"
 #include "support/diagnostics.hpp"
 #include "support/hash.hpp"
 #include "support/intern.hpp"
@@ -48,22 +50,6 @@ namespace {
 /// (open-addressing fingerprint table over a varint arena, exact via
 /// full-encoding confirmation — support/intern.hpp).
 using Visited = support::InternedWordSet;
-
-struct TraceNode {
-  std::int64_t parent = -1;
-  std::string label;
-};
-
-std::vector<std::string> rebuild_trace(const std::vector<TraceNode>& nodes,
-                                       std::int64_t node) {
-  std::vector<std::string> labels;
-  for (std::int64_t n = node; n >= 0;
-       n = nodes[static_cast<std::size_t>(n)].parent) {
-    labels.push_back(nodes[static_cast<std::size_t>(n)].label);
-  }
-  std::reverse(labels.begin(), labels.end());
-  return labels;
-}
 
 /// Evaluates every outline obligation at one reachable configuration —
 /// validity (global invariant + the annotation at every thread's current pc)
@@ -124,15 +110,18 @@ std::uint64_t evaluate_obligations(const System& sys,
   return checked;
 }
 
-/// Parallel outline checking on the shared reachability driver: the state
-/// space is enumerated by a worker pool over the lock-striped visited set
-/// and obligations are evaluated concurrently per state.  Failures carry no
-/// traces and arrive in nondeterministic order; the verdict and the set of
-/// failed obligations match the sequential checker.
-OutlineCheckResult check_outline_parallel(const System& sys,
-                                          const ProofOutline& outline,
-                                          const OutlineCheckOptions& options) {
+}  // namespace
+
+OutlineCheckResult check_outline(const System& sys, const ProofOutline& outline,
+                                 OutlineCheckOptions options) {
+  // One implementation for every thread count, on the shared reachability
+  // driver.  With track_traces the driver records parent links in the trace
+  // sink, so failures carry traces and replayable witnesses even from a
+  // worker pool; the verdict and the set of failed obligations are
+  // thread-count-independent (failures arrive unordered when parallel).
   OutlineCheckResult result;
+  std::optional<explore::ShardedVisitedSet> trace_store;
+  if (options.track_traces) trace_store.emplace();
   std::atomic<std::uint64_t> obligations{0};
   std::atomic<bool> valid{true};
   std::mutex failures_mu;
@@ -141,10 +130,16 @@ OutlineCheckResult check_outline_parallel(const System& sys,
   ropts.max_states = options.max_states;
   ropts.num_threads = options.num_threads;
   ropts.want_labels = true;  // interference messages cite the step label
+  ropts.trace = trace_store ? &*trace_store : nullptr;
+
+  const std::uint64_t init_digest =
+      options.track_traces ? witness::config_digest(lang::initial_config(sys))
+                           : 0;
 
   const auto reach = explore::visit_reachable(
       sys, ropts,
-      [&](const Config& cfg, std::span<const lang::Step> steps) -> bool {
+      [&](const Config& cfg, std::uint64_t id,
+          std::span<const lang::Step> steps) -> bool {
         std::vector<std::string> local_failures;
         obligations.fetch_add(
             evaluate_obligations(sys, outline, options, cfg, steps,
@@ -156,9 +151,38 @@ OutlineCheckResult check_outline_parallel(const System& sys,
         if (!local_failures.empty()) {
           valid.store(false, std::memory_order_relaxed);
           const auto dump = cfg.to_string(sys);
+          std::vector<std::string> trace;
+          std::optional<witness::Witness> wit;
+          if (trace_store) {
+            const auto edges = trace_store->path_to(id);
+            trace.reserve(edges.size() + 1);
+            trace.emplace_back("init");
+            witness::Witness w;
+            w.kind = "outline";
+            w.source = "og::check_outline";
+            w.state_dump = dump;
+            w.initial_digest = init_digest;
+            w.steps.reserve(edges.size());
+            std::vector<std::uint64_t> enc;
+            for (const auto& e : edges) {
+              trace.push_back(e.label);
+              enc.clear();
+              trace_store->decode_state(e.state, enc);
+              w.steps.push_back({e.thread, e.label, support::hash_words(enc)});
+            }
+            wit = std::move(w);
+          }
           std::lock_guard<std::mutex> lock(failures_mu);
           for (auto& obligation : local_failures) {
-            result.failures.push_back({std::move(obligation), dump, {}});
+            ObligationFailure failure;
+            failure.obligation = std::move(obligation);
+            failure.state_dump = dump;
+            failure.trace = trace;
+            if (wit) {
+              failure.witness = *wit;
+              failure.witness->what = failure.obligation;
+            }
+            result.failures.push_back(std::move(failure));
           }
           if (options.stop_at_first_failure) return false;
         }
@@ -168,85 +192,6 @@ OutlineCheckResult check_outline_parallel(const System& sys,
   result.valid = valid.load();
   result.stats = reach.stats;
   result.obligations_checked = obligations.load();
-  return result;
-}
-
-}  // namespace
-
-OutlineCheckResult check_outline(const System& sys, const ProofOutline& outline,
-                                 OutlineCheckOptions options) {
-  if (support::resolve_num_threads(options.num_threads) > 1 &&
-      !options.track_traces) {
-    return check_outline_parallel(sys, outline, options);
-  }
-
-  OutlineCheckResult result;
-  Visited visited;
-  struct Item {
-    Config cfg;
-    std::int64_t trace_node;
-  };
-  std::deque<Item> frontier;
-  std::vector<TraceNode> trace_nodes;
-  std::int64_t current_node = -1;
-  lang::StepBuffer steps;
-  std::vector<std::uint64_t> scratch;
-
-  const auto fail = [&](std::string obligation, const Config& cfg) {
-    result.valid = false;
-    result.failures.push_back(
-        {std::move(obligation), cfg.to_string(sys),
-         options.track_traces ? rebuild_trace(trace_nodes, current_node)
-                              : std::vector<std::string>{}});
-  };
-
-  {
-    Config init = lang::initial_config(sys);
-    visited.insert(init.encode());
-    if (options.track_traces) trace_nodes.push_back({-1, "init"});
-    frontier.push_back({std::move(init), options.track_traces ? 0 : -1});
-  }
-
-  while (!frontier.empty()) {
-    if (result.stats.states >= options.max_states) break;
-    if (!result.valid && options.stop_at_first_failure) break;
-    Item item = std::move(frontier.back());
-    frontier.pop_back();
-    const Config& cfg = item.cfg;
-    current_node = item.trace_node;
-    result.stats.states += 1;
-
-    lang::successors(sys, cfg, steps, /*want_labels=*/true);
-
-    result.obligations_checked += evaluate_obligations(
-        sys, outline, options, cfg, steps.steps(),
-        [&](std::string obligation) { fail(std::move(obligation), cfg); });
-    if (!result.valid && options.stop_at_first_failure) break;
-
-    if (steps.empty()) {
-      if (cfg.all_done(sys)) {
-        result.stats.finals += 1;
-      } else {
-        result.stats.blocked += 1;
-      }
-      continue;
-    }
-    for (auto& step : steps.steps()) {
-      result.stats.transitions += 1;
-      scratch.clear();
-      step.after.encode_into(scratch);
-      if (visited.insert(scratch)) {
-        std::int64_t node = -1;
-        if (options.track_traces) {
-          node = static_cast<std::int64_t>(trace_nodes.size());
-          trace_nodes.push_back({item.trace_node, std::move(step.label)});
-        }
-        frontier.push_back({std::move(step.after), node});
-      }
-    }
-  }
-
-  result.stats.visited_bytes = visited.bytes();
   return result;
 }
 
@@ -280,10 +225,12 @@ TripleCheckResult check_triple(const System& sys, const Assertion& pre,
         result.instances_checked += 1;
         if (!post(sys, cfg, step.after)) {
           result.valid = false;
-          result.failures.push_back(
-              {support::concat("triple violated by step [", step.label, "]"),
-               cfg.to_string(sys) + "-- after --\n" + step.after.to_string(sys),
-               {}});
+          ObligationFailure failure;
+          failure.obligation =
+              support::concat("triple violated by step [", step.label, "]");
+          failure.state_dump =
+              cfg.to_string(sys) + "-- after --\n" + step.after.to_string(sys);
+          result.failures.push_back(std::move(failure));
         }
       }
       scratch.clear();

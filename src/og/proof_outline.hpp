@@ -28,6 +28,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -71,6 +72,9 @@ struct ObligationFailure {
   std::string obligation;  ///< which check failed, human-readable
   std::string state_dump;
   std::vector<std::string> trace;  ///< when trace tracking is enabled
+  /// Structured, replayable counterexample (present iff track_traces):
+  /// serialise with witness::to_json, validate with witness::replay.
+  std::optional<witness::Witness> witness;
 };
 
 struct OutlineCheckResult {
@@ -88,11 +92,12 @@ struct OutlineCheckOptions {
   /// Worker threads enumerating the reachable state space (same convention
   /// as explore::ExploreOptions::num_threads).  The default stays 1: outline
   /// checking is the substitution for the paper's Owicki–Gries proofs, and
-  /// the sequential DFS gives reproducible failure order and counterexample
-  /// traces.  With N > 1 validity/interference obligations are evaluated in
-  /// parallel over the same state set — the verdict and the *set* of failed
-  /// obligations are identical, but failures arrive unordered and without
-  /// traces (track_traces forces the sequential path).
+  /// the sequential DFS gives reproducible failure order.  With N > 1
+  /// validity/interference obligations are evaluated in parallel over the
+  /// same state set — the verdict and the *set* of failed obligations are
+  /// identical, but failures arrive unordered and the specific trace/witness
+  /// attached to each may differ run to run (every recorded trace is still a
+  /// real execution and replays — see witness::replay).
   unsigned num_threads = 1;
 };
 

@@ -201,6 +201,20 @@ class Parser {
     return std::move(out_);
   }
 
+  /// Parses the source as a single assertion expression, resolving names
+  /// against `program`'s tables (for parser::parse_assertion).
+  assertions::Assertion run_assertion(const ParsedProgram& program) {
+    out_.sys = program.sys;
+    out_.locations = program.locations;
+    out_.registers = program.registers;
+    out_.thread_names = program.thread_names;
+    auto a = parse_assertion();
+    if (lex_.peek().kind != Tok::End) {
+      lex_.error("unexpected trailing input after the assertion");
+    }
+    return a;
+  }
+
  private:
   // --- helpers ---
   Token expect(Tok kind, const char* what) {
@@ -844,6 +858,11 @@ Reg ParsedProgram::reg(std::string_view name) const {
 
 ParsedProgram parse_program(std::string_view source) {
   return Parser{source}.run();
+}
+
+assertions::Assertion parse_assertion(const ParsedProgram& program,
+                                      std::string_view source) {
+  return Parser{source}.run_assertion(program);
 }
 
 ParsedProgram parse_file(const std::string& path) {

@@ -92,4 +92,13 @@ struct ParsedProgram {
 /// Reads and parses a file.
 [[nodiscard]] ParsedProgram parse_file(const std::string& path);
 
+/// Parses a standalone assertion expression (the outline-block grammar)
+/// against an already-parsed program's name tables, e.g. for ad-hoc
+/// invariants supplied on a command line.  Thread, location and register
+/// names resolve exactly as they would inside the program's own
+/// `outline { ... }` block.  Throws support::Error on syntax errors,
+/// unknown names, or trailing input.
+[[nodiscard]] assertions::Assertion parse_assertion(const ParsedProgram& program,
+                                                    std::string_view source);
+
 }  // namespace rc11::parser

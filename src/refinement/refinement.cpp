@@ -90,7 +90,8 @@ StateGraph build_graph_parallel(const System& sys, std::uint64_t max_states,
   ropts.num_threads = num_threads;
   const auto reach = explore::visit_reachable(
       sys, ropts,
-      [&](const Config& cfg, std::span<const lang::Step>) -> bool {
+      [&](const Config& cfg, std::uint64_t /*id*/,
+          std::span<const lang::Step>) -> bool {
         Keyed k{cfg.encode(), cfg};
         std::lock_guard<std::mutex> lock(mu);
         collected.push_back(std::move(k));
@@ -105,7 +106,10 @@ StateGraph build_graph_parallel(const System& sys, std::uint64_t max_states,
   graph.states.reserve(n);
   for (auto& k : collected) graph.states.push_back(std::move(k.cfg));
   graph.succ.assign(n, {});
-  if (want_labels) graph.labels.assign(n, {});
+  if (want_labels) {
+    graph.labels.assign(n, {});
+    graph.threads.assign(n, {});
+  }
 
   const auto index_of = [&](const std::vector<std::uint64_t>& enc)
       -> std::optional<std::uint32_t> {
@@ -138,7 +142,10 @@ StateGraph build_graph_parallel(const System& sys, std::uint64_t max_states,
       // was never claimed); the graph is already flagged unreliable then.
       if (!idx.has_value()) continue;
       graph.succ[i].push_back(*idx);
-      if (want_labels) graph.labels[i].push_back(std::move(step.label));
+      if (want_labels) {
+        graph.labels[i].push_back(std::move(step.label));
+        graph.threads[i].push_back(step.thread);
+      }
     }
   });
 
@@ -171,7 +178,10 @@ StateGraph build_graph(const System& sys, std::uint64_t max_states,
     graph.states.push_back(std::move(cfg));
     encodings.emplace_back(scratch);
     graph.succ.emplace_back();
-    if (want_labels) graph.labels.emplace_back();
+    if (want_labels) {
+      graph.labels.emplace_back();
+      graph.threads.emplace_back();
+    }
     bucket.push_back(idx);
     return {idx, true};
   };
@@ -188,7 +198,10 @@ StateGraph build_graph(const System& sys, std::uint64_t max_states,
     for (auto& step : steps.steps()) {
       const auto [idx, fresh] = lookup_or_insert(std::move(step.after));
       graph.succ[next].push_back(idx);
-      if (want_labels) graph.labels[next].push_back(std::move(step.label));
+      if (want_labels) {
+        graph.labels[next].push_back(std::move(step.label));
+        graph.threads[next].push_back(step.thread);
+      }
     }
   }
   return graph;
@@ -308,12 +321,20 @@ SimulationResult check_forward_simulation(const System& abstract_sys,
     if (ever_candidate.count(pair_key(abs.initial, conc.initial)) > 0) {
       std::uint32_t a = abs.initial;
       std::uint32_t cidx = conc.initial;
+      std::uint32_t final_c = conc.initial;
+      witness::Witness w;
+      w.kind = "refinement";
+      w.source = "refinement::check_forward_simulation";
+      w.initial_digest = witness::config_digest(conc.states[conc.initial]);
       for (int guard = 0; guard < 10000; ++guard) {
         const auto it = killer_edge.find(pair_key(a, cidx));
         if (it == killer_edge.end()) break;  // pair survived: chain complete
         const auto edge = it->second;
         const auto csucc = conc.succ[cidx][edge];
         result.counterexample.push_back(conc.labels[cidx][edge]);
+        w.steps.push_back({conc.threads[cidx][edge], conc.labels[cidx][edge],
+                           witness::config_digest(conc.states[csucc])});
+        final_c = csucc;
         // Continue through an abstract response that was once a candidate
         // (its own elimination explains why the response fails), preferring
         // the stutter.
@@ -337,6 +358,14 @@ SimulationResult check_forward_simulation(const System& abstract_sys,
         a = static_cast<std::uint32_t>(next_a);
         cidx = csucc;
       }
+      if (!w.steps.empty()) {
+        // The witness is the concrete half of the failed game: a real run of
+        // concrete_sys into the diverging state (the sentinel note above is
+        // commentary, not a step, so it only appears in `counterexample`).
+        w.what = result.diagnosis;
+        w.state_dump = conc.states[final_c].to_string(concrete_sys);
+        result.witness = std::move(w);
+      }
     }
   }
   return result;
@@ -349,12 +378,14 @@ TraceInclusionResult check_trace_inclusion(const System& abstract_sys,
   const StateGraph abs =
       build_graph(abstract_sys, options.max_states, /*want_labels=*/false,
                   options.num_threads);
+  // The concrete graph carries labels and threads so an unmatchable step can
+  // be reported as a replayable run, not just a state dump.
   const StateGraph conc =
-      build_graph(concrete_sys, options.max_states, /*want_labels=*/false,
+      build_graph(concrete_sys, options.max_states, /*want_labels=*/true,
                   options.num_threads);
   if (abs.truncated || conc.truncated) {
     result.truncated = true;
-    result.witness = "state graph truncated; increase max_states";
+    result.what = "state graph truncated; increase max_states";
     return result;
   }
 
@@ -368,55 +399,94 @@ TraceInclusionResult check_trace_inclusion(const System& abstract_sys,
   });
 
   // Subset construction: a node is (concrete state, sorted set of abstract
-  // states whose runs pointwise refine the concrete prefix so far).
+  // states whose runs pointwise refine the concrete prefix so far).  Nodes
+  // live in an arena with parent back-pointers so a violation can replay the
+  // concrete prefix that led to it.
   struct Node {
     std::uint32_t c;
     std::vector<std::uint32_t> match;  // sorted
+    std::size_t parent;                // arena index (self-index for the root)
+    std::uint32_t via_edge = 0;        // edge in conc.succ[nodes[parent].c]
   };
-  const auto node_key = [](const Node& n) {
+  std::vector<Node> nodes;
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> visited;
+  const auto node_key = [](std::uint32_t c,
+                           const std::vector<std::uint32_t>& match) {
     support::WordHasher h;
-    h.add(n.c);
-    for (const auto a : n.match) h.add(a);
+    h.add(c);
+    for (const auto a : match) h.add(a);
     return h.digest();
   };
-  std::unordered_map<std::uint64_t, std::vector<Node>> visited;
   const auto visit = [&](Node n) -> bool {
-    auto& bucket = visited[node_key(n)];
-    for (const auto& existing : bucket) {
-      if (existing.c == n.c && existing.match == n.match) return false;
+    auto& bucket = visited[node_key(n.c, n.match)];
+    for (const auto existing : bucket) {
+      if (nodes[existing].c == n.c && nodes[existing].match == n.match) {
+        return false;
+      }
     }
-    bucket.push_back(std::move(n));
+    bucket.push_back(nodes.size());
+    nodes.push_back(std::move(n));
     return true;
   };
 
-  std::deque<Node> work;
+  /// Replayable concrete run: the arena chain root -> `node_idx`, plus the
+  /// final unmatchable edge `edge` out of nodes[node_idx].c.
+  const auto build_witness = [&](std::size_t node_idx, std::uint32_t edge) {
+    witness::Witness w;
+    w.kind = "refinement";
+    w.source = "refinement::check_trace_inclusion";
+    w.initial_digest = witness::config_digest(conc.states[conc.initial]);
+    std::vector<std::size_t> chain;
+    for (std::size_t n = node_idx; nodes[n].parent != n; n = nodes[n].parent) {
+      chain.push_back(n);
+    }
+    std::reverse(chain.begin(), chain.end());
+    for (const auto n : chain) {
+      const std::uint32_t from = nodes[nodes[n].parent].c;
+      const std::uint32_t e = nodes[n].via_edge;
+      w.steps.push_back({conc.threads[from][e], conc.labels[from][e],
+                         witness::config_digest(conc.states[nodes[n].c])});
+    }
+    const std::uint32_t from = nodes[node_idx].c;
+    const std::uint32_t to = conc.succ[from][edge];
+    w.steps.push_back({conc.threads[from][edge], conc.labels[from][edge],
+                       witness::config_digest(conc.states[to])});
+    w.state_dump = conc.states[to].to_string(concrete_sys);
+    return w;
+  };
+
+  std::deque<std::size_t> work;
   {
-    Node init{conc.initial, {}};
+    Node init{conc.initial, {}, 0, 0};
     if (client_refines(abs_proj[abs.initial], conc_proj[conc.initial])) {
       init.match.push_back(abs.initial);
     }
     if (init.match.empty()) {
-      result.witness = "initial concrete state refines no abstract state";
+      result.what = "initial concrete state refines no abstract state";
       return result;
     }
-    visit(init);
-    work.push_back(std::move(init));
+    visit(std::move(init));
+    work.push_back(0);
   }
 
   result.holds = true;
   while (!work.empty()) {
     if (result.product_nodes >= options.max_product_nodes) {
       result.truncated = true;
-      result.witness = "product exploration truncated";
+      result.what = "product exploration truncated";
       break;
     }
-    const Node node = std::move(work.front());
+    const std::size_t node_idx = work.front();
     work.pop_front();
     result.product_nodes += 1;
+    // Copy out: the arena may reallocate while successors are inserted.
+    const std::uint32_t node_c = nodes[node_idx].c;
+    const std::vector<std::uint32_t> node_match = nodes[node_idx].match;
 
-    for (const auto csucc : conc.succ[node.c]) {
-      Node next{csucc, {}};
-      for (const auto a : node.match) {
+    for (std::uint32_t e = 0; e < conc.succ[node_c].size(); ++e) {
+      const auto csucc = conc.succ[node_c][e];
+      Node next{csucc, {}, node_idx, e};
+      for (const auto a : node_match) {
         // Abstract stutter.
         if (client_refines(abs_proj[a], conc_proj[csucc])) {
           next.match.push_back(a);
@@ -433,14 +503,18 @@ TraceInclusionResult check_trace_inclusion(const System& abstract_sys,
                        next.match.end());
       if (next.match.empty()) {
         result.holds = false;
-        result.witness = support::concat(
+        result.what = support::concat(
             "concrete step into state ", csucc,
             " cannot be matched by any abstract run:\n",
             conc.states[csucc].to_string(concrete_sys));
+        witness::Witness w = build_witness(node_idx, e);
+        w.what = support::concat("concrete step into state ", csucc,
+                                 " cannot be matched by any abstract run");
+        result.witness = std::move(w);
         return result;
       }
-      if (visit(next)) {
-        work.push_back(std::move(next));
+      if (visit(std::move(next))) {
+        work.push_back(nodes.size() - 1);
       }
     }
   }

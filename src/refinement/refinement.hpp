@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "lang/config.hpp"
+#include "witness/witness.hpp"
 
 namespace rc11::refinement {
 
@@ -68,6 +69,9 @@ struct StateGraph {
   /// Per-edge human-readable step labels, parallel to `succ` (only when the
   /// graph was built with want_labels; empty otherwise).
   std::vector<std::vector<std::string>> labels;
+  /// Per-edge acting thread, parallel to `succ` (want_labels builds only);
+  /// lets counterexample runs over this graph become replayable witnesses.
+  std::vector<std::vector<ThreadId>> threads;
   std::uint32_t initial = 0;
   bool truncated = false;
 
@@ -116,6 +120,10 @@ struct SimulationResult {
   /// abstract state can be paired with (empty if the failure is only due to
   /// cyclic matching constraints rather than a dead state).
   std::vector<std::string> counterexample;
+  /// Structured form of `counterexample`: a replayable run of the *concrete*
+  /// system into the diverging state (validate with witness::replay against
+  /// concrete_sys).  Present iff counterexample is non-empty.
+  std::optional<witness::Witness> witness;
 };
 
 /// Decides whether a Definition 8 forward simulation exists between
@@ -138,7 +146,11 @@ struct TraceInclusionResult {
   bool holds = false;
   bool truncated = false;
   std::uint64_t product_nodes = 0;  ///< (concrete state, abstract set) nodes
-  std::string witness;  ///< description of an unmatchable concrete step
+  std::string what;  ///< description of an unmatchable concrete step
+  /// Replayable concrete run ending in the unmatchable step (validate with
+  /// witness::replay against concrete_sys).  Present iff holds is false and
+  /// the game reached a genuinely unmatchable step (not on truncation).
+  std::optional<witness::Witness> witness;
 };
 
 /// Definitions 6/7 as a trace-inclusion game, decided by subset construction:

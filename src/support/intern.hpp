@@ -116,6 +116,60 @@ class InternedWordSet {
     return insert(words, hash_words(words));
   }
 
+  /// Insert result with the dense id assigned to the sequence.  `id` is only
+  /// meaningful when `inserted` is true (duplicates never need ids in the
+  /// exploration engine: a state re-entering the visited set never re-enters
+  /// the frontier).
+  struct IdedInsert {
+    bool inserted = false;
+    std::uint32_t id = 0;
+  };
+
+  /// Like insert(), but assigns the sequence a dense id (0, 1, 2, … in
+  /// insertion order) and remembers its arena slot so the full encoding can
+  /// be decoded back by id — the hook the witness subsystem's parent-link
+  /// trace reconstruction hangs off.  A set must use either insert() or
+  /// insert_ided() exclusively; mixing would desynchronise the id → slot
+  /// index (enforced below).
+  IdedInsert insert_ided(std::span<const std::uint64_t> words,
+                         std::uint64_t digest) {
+    RC11_REQUIRE(slots_.size() == count_,
+                 "insert_ided on a set already used with plain insert");
+    if (!insert(words, digest)) return {false, 0};
+    // insert() appended the new payload at the end of the arena.
+    const auto id = static_cast<std::uint32_t>(count_ - 1);
+    const std::uint64_t len = scratch_.size();
+    const std::uint64_t off = arena_.size() - len;
+    slots_.push_back((off << kLenBits) | len);
+    return {true, id};
+  }
+
+  IdedInsert insert_ided(std::span<const std::uint64_t> words) {
+    return insert_ided(words, hash_words(words));
+  }
+
+  /// Decodes the sequence with the given id (assigned by insert_ided) back
+  /// into words, appending to `out`.
+  void decode(std::uint32_t id, std::vector<std::uint64_t>& out) const {
+    RC11_REQUIRE(id < slots_.size(), "decode: id out of range");
+    const std::uint64_t off = slots_[id] >> kLenBits;
+    const std::uint64_t len = slots_[id] & kMaxEncodedBytes;
+    const std::uint8_t* p = arena_.data() + off;
+    const std::uint8_t* end = p + len;
+    while (p < end) {
+      std::uint64_t w = 0;
+      unsigned shift = 0;
+      while (*p >= 0x80) {
+        w |= static_cast<std::uint64_t>(*p & 0x7F) << shift;
+        shift += 7;
+        ++p;
+      }
+      w |= static_cast<std::uint64_t>(*p) << shift;
+      ++p;
+      out.push_back(w);
+    }
+  }
+
   /// True iff the sequence is present (no mutation).
   [[nodiscard]] bool contains(std::span<const std::uint64_t> words) const {
     const std::uint64_t digest = hash_words(words);
@@ -137,11 +191,12 @@ class InternedWordSet {
   /// Number of distinct sequences interned.
   [[nodiscard]] std::size_t size() const noexcept { return count_; }
 
-  /// Heap footprint: arena + table + scratch capacity.  This is the figure
-  /// reported as ExploreStats::visited_bytes.
+  /// Heap footprint: arena + table + scratch capacity (+ the id index when
+  /// insert_ided is in use).  This is the figure reported as
+  /// ExploreStats::visited_bytes.
   [[nodiscard]] std::size_t bytes() const noexcept {
     return arena_.capacity() + table_.capacity() * sizeof(Entry) +
-           scratch_.capacity();
+           scratch_.capacity() + slots_.capacity() * sizeof(std::uint64_t);
   }
 
   /// Bytes of compressed encoding payload (excludes table slack); exposed
@@ -197,6 +252,7 @@ class InternedWordSet {
   std::vector<Entry> table_;           // open addressing, power-of-two size
   std::vector<std::uint8_t> arena_;    // varint payloads, back to back
   std::vector<std::uint8_t> scratch_;  // serialisation buffer, reused
+  std::vector<std::uint64_t> slots_;   // off_len by id (insert_ided only)
   std::size_t count_ = 0;
 };
 

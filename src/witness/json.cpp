@@ -1,0 +1,384 @@
+#include "witness/json.hpp"
+
+#include <cctype>
+#include <charconv>
+
+#include "support/diagnostics.hpp"
+
+namespace rc11::witness {
+
+Json Json::boolean(bool b) {
+  Json j;
+  j.kind_ = Kind::Bool;
+  j.bool_ = b;
+  return j;
+}
+
+Json Json::integer(std::int64_t i) {
+  Json j;
+  j.kind_ = Kind::Int;
+  j.int_ = i;
+  return j;
+}
+
+Json Json::string(std::string s) {
+  Json j;
+  j.kind_ = Kind::String;
+  j.string_ = std::move(s);
+  return j;
+}
+
+Json Json::array() {
+  Json j;
+  j.kind_ = Kind::Array;
+  return j;
+}
+
+Json Json::object() {
+  Json j;
+  j.kind_ = Kind::Object;
+  return j;
+}
+
+bool Json::as_bool() const {
+  support::require(kind_ == Kind::Bool, "json: expected a boolean");
+  return bool_;
+}
+
+std::int64_t Json::as_int() const {
+  support::require(kind_ == Kind::Int, "json: expected an integer");
+  return int_;
+}
+
+const std::string& Json::as_string() const {
+  support::require(kind_ == Kind::String, "json: expected a string");
+  return string_;
+}
+
+const std::vector<Json>& Json::items() const {
+  support::require(kind_ == Kind::Array, "json: expected an array");
+  return items_;
+}
+
+bool Json::has(const std::string& key) const {
+  support::require(kind_ == Kind::Object, "json: expected an object");
+  for (const auto& [k, v] : fields_) {
+    if (k == key) return true;
+  }
+  return false;
+}
+
+const Json& Json::at(const std::string& key) const {
+  support::require(kind_ == Kind::Object, "json: expected an object");
+  for (const auto& [k, v] : fields_) {
+    if (k == key) return v;
+  }
+  support::fail("json: missing field '", key, "'");
+}
+
+void Json::set(std::string key, Json value) {
+  support::require(kind_ == Kind::Object, "json: set on a non-object");
+  for (auto& [k, v] : fields_) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  fields_.emplace_back(std::move(key), std::move(value));
+}
+
+void Json::push(Json value) {
+  support::require(kind_ == Kind::Array, "json: push on a non-array");
+  items_.push_back(std::move(value));
+}
+
+std::string json_escape(std::string_view text) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(text.size());
+  for (const char ch : text) {
+    const auto byte = static_cast<unsigned char>(ch);
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (byte < 0x20) {
+          out += "\\u00";
+          out.push_back(kHex[byte >> 4]);
+          out.push_back(kHex[byte & 0xF]);
+        } else {
+          out.push_back(ch);  // UTF-8 payload bytes pass through
+        }
+    }
+  }
+  return out;
+}
+
+void Json::dump_to(std::string& out, int indent) const {
+  const auto pad = [&](int n) { out.append(static_cast<std::size_t>(n) * 2, ' '); };
+  switch (kind_) {
+    case Kind::Null: out += "null"; break;
+    case Kind::Bool: out += bool_ ? "true" : "false"; break;
+    case Kind::Int: out += std::to_string(int_); break;
+    case Kind::String:
+      out.push_back('"');
+      out += json_escape(string_);
+      out.push_back('"');
+      break;
+    case Kind::Array:
+      if (items_.empty()) {
+        out += "[]";
+        break;
+      }
+      out += "[\n";
+      for (std::size_t i = 0; i < items_.size(); ++i) {
+        pad(indent + 1);
+        items_[i].dump_to(out, indent + 1);
+        if (i + 1 < items_.size()) out.push_back(',');
+        out.push_back('\n');
+      }
+      pad(indent);
+      out.push_back(']');
+      break;
+    case Kind::Object:
+      if (fields_.empty()) {
+        out += "{}";
+        break;
+      }
+      out += "{\n";
+      for (std::size_t i = 0; i < fields_.size(); ++i) {
+        pad(indent + 1);
+        out.push_back('"');
+        out += json_escape(fields_[i].first);
+        out += "\": ";
+        fields_[i].second.dump_to(out, indent + 1);
+        if (i + 1 < fields_.size()) out.push_back(',');
+        out.push_back('\n');
+      }
+      pad(indent);
+      out.push_back('}');
+      break;
+  }
+}
+
+std::string Json::dump() const {
+  std::string out;
+  dump_to(out, 0);
+  out.push_back('\n');
+  return out;
+}
+
+namespace {
+
+/// Recursive-descent JSON parser with positional errors.
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  Json run() {
+    Json value = parse_value();
+    skip_ws();
+    if (pos_ < text_.size()) fail("trailing input after JSON document");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    int line = 1;
+    int col = 1;
+    for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        line += 1;
+        col = 1;
+      } else {
+        col += 1;
+      }
+    }
+    support::fail("json parse error at ", line, ":", col, ": ", what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  bool accept(char ch) {
+    if (pos_ < text_.size() && text_[pos_] == ch) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  void expect(char ch) {
+    if (!accept(ch)) fail(std::string("expected '") + ch + "'");
+  }
+
+  void expect_word(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) {
+      fail("invalid literal");
+    }
+    pos_ += word.size();
+  }
+
+  Json parse_value() {
+    skip_ws();
+    const char ch = peek();
+    switch (ch) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return Json::string(parse_string());
+      case 't': expect_word("true"); return Json::boolean(true);
+      case 'f': expect_word("false"); return Json::boolean(false);
+      case 'n': expect_word("null"); return Json::null();
+      default: return parse_number();
+    }
+  }
+
+  Json parse_object() {
+    expect('{');
+    Json obj = Json::object();
+    skip_ws();
+    if (accept('}')) return obj;
+    for (;;) {
+      skip_ws();
+      if (peek() != '"') fail("expected a field name");
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      Json value = parse_value();
+      if (obj.has(key)) fail("duplicate field '" + key + "'");
+      obj.set(std::move(key), std::move(value));
+      skip_ws();
+      if (accept(',')) continue;
+      expect('}');
+      return obj;
+    }
+  }
+
+  Json parse_array() {
+    expect('[');
+    Json arr = Json::array();
+    skip_ws();
+    if (accept(']')) return arr;
+    for (;;) {
+      arr.push(parse_value());
+      skip_ws();
+      if (accept(',')) continue;
+      expect(']');
+      return arr;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char ch = text_[pos_++];
+      if (ch == '"') return out;
+      if (static_cast<unsigned char>(ch) < 0x20) {
+        fail("raw control character in string");
+      }
+      if (ch != '\\') {
+        out.push_back(ch);
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("invalid \\u escape");
+          }
+          // UTF-8 encode (surrogate pairs are rejected: witness content is
+          // generated ASCII; reject rather than mis-decode).
+          if (code >= 0xD800 && code <= 0xDFFF) fail("surrogate \\u escape unsupported");
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    if (accept('-')) {}
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0)) {
+      ++pos_;
+    }
+    if (pos_ == start || (pos_ == start + 1 && text_[start] == '-')) {
+      fail("invalid number");
+    }
+    // Accept (and truncate) a fractional/exponent tail so foreign documents
+    // do not hard-fail; the witness schema itself never emits one.
+    bool fractional = false;
+    if (accept('.')) {
+      fractional = true;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      fail("exponent numbers unsupported in witness documents");
+    }
+    std::int64_t value = 0;
+    const std::string_view digits =
+        text_.substr(start, pos_ - start);
+    const std::string_view integral =
+        fractional ? digits.substr(0, digits.find('.')) : digits;
+    const auto [ptr, ec] = std::from_chars(
+        integral.data(), integral.data() + integral.size(), value);
+    if (ec != std::errc{} || ptr != integral.data() + integral.size()) {
+      fail("integer out of range");
+    }
+    return Json::integer(value);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Json Json::parse(std::string_view text) { return JsonParser{text}.run(); }
+
+}  // namespace rc11::witness

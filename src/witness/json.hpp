@@ -1,0 +1,80 @@
+// rc11lib/witness/json.hpp
+//
+// A minimal, dependency-free JSON reader/writer for the witness subsystem.
+// The repo ships structured artifacts (witness files, bench reports) but the
+// toolchain deliberately has no third-party JSON dependency, so this module
+// implements the subset the witness schema needs — objects, arrays, strings
+// (with full escape handling), 64-bit integers, bools and null — as an exact
+// recursive-descent parser with line/column errors.
+//
+// Numbers: witness digests are 64-bit and must round-trip exactly, so
+// integers are kept as std::int64_t (digests themselves travel as hex
+// *strings* — see witness.cpp — keeping every number in the schema small).
+// Floating point input is accepted but truncated; the witness schema never
+// emits it.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace rc11::witness {
+
+/// One JSON value.  A tagged tree; cheap enough for witness-sized documents
+/// (a few thousand nodes), with ordered object keys so emission is
+/// deterministic.
+class Json {
+ public:
+  enum class Kind : std::uint8_t { Null, Bool, Int, String, Array, Object };
+
+  Json() = default;  ///< null
+  static Json null() { return Json{}; }
+  static Json boolean(bool b);
+  static Json integer(std::int64_t i);
+  static Json string(std::string s);
+  static Json array();
+  static Json object();
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is(Kind k) const { return kind_ == k; }
+
+  // Typed accessors; throw support::Error on kind mismatch (the caller's
+  // schema validation surfaces as a parse rejection, not UB).
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] std::int64_t as_int() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const std::vector<Json>& items() const;  ///< array elements
+
+  // Object access.
+  [[nodiscard]] bool has(const std::string& key) const;
+  /// Throws when the key is missing — witness schema fields are mandatory.
+  [[nodiscard]] const Json& at(const std::string& key) const;
+  void set(std::string key, Json value);  ///< object field (insertion order)
+  void push(Json value);                  ///< array append
+
+  /// Serialises with two-space indentation and "\n" line ends (stable for
+  /// golden tests and diffs).
+  [[nodiscard]] std::string dump() const;
+
+  /// Parses a complete JSON document; trailing non-whitespace input is an
+  /// error.  Throws support::Error with line:column on malformed input.
+  [[nodiscard]] static Json parse(std::string_view text);
+
+ private:
+  void dump_to(std::string& out, int indent) const;
+
+  Kind kind_ = Kind::Null;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  std::string string_;
+  std::vector<Json> items_;
+  std::vector<std::pair<std::string, Json>> fields_;
+};
+
+/// Escapes a string for embedding in a JSON document (quotes not included).
+[[nodiscard]] std::string json_escape(std::string_view text);
+
+}  // namespace rc11::witness

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -19,16 +21,30 @@ std::string prog(const std::string& name) {
   return std::string(RC11_SRC_DIR) + "/tools/programs/" + name;
 }
 
+/// Per-process scratch path: ctest runs each test case as its own process in
+/// parallel, so a fixed shared name would race.
+std::string tmp_path(const std::string& stem) {
+  return "/tmp/rc11_cli_" + std::to_string(getpid()) + "_" + stem;
+}
+
 int run(const std::string& cmd, std::string* output = nullptr) {
-  const std::string redirected = cmd + " > /tmp/rc11_cli_test.out 2>&1";
+  const std::string out_path = tmp_path("test.out");
+  const std::string redirected = cmd + " > " + out_path + " 2>&1";
   const int status = std::system(redirected.c_str());
   if (output != nullptr) {
-    std::ifstream in{"/tmp/rc11_cli_test.out"};
+    std::ifstream in{out_path};
     std::ostringstream buffer;
     buffer << in.rdbuf();
     *output = buffer.str();
   }
   return WEXITSTATUS(status);
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in{path};
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
 }
 
 TEST(Cli, RunExploresSampleProgram) {
@@ -54,14 +70,11 @@ TEST(Cli, RunRejectsBadUsage) {
 
 TEST(Cli, RunWritesDotFile) {
   std::string out;
-  EXPECT_EQ(run(bin("rc11-run") + " --dot /tmp/rc11_cli_graph.dot " +
-                    prog("sb.rc11"),
+  const std::string dot_path = tmp_path("graph.dot");
+  EXPECT_EQ(run(bin("rc11-run") + " --dot " + dot_path + " " + prog("sb.rc11"),
                 &out),
             0);
-  std::ifstream dot{"/tmp/rc11_cli_graph.dot"};
-  std::ostringstream buffer;
-  buffer << dot.rdbuf();
-  EXPECT_NE(buffer.str().find("digraph"), std::string::npos);
+  EXPECT_NE(read_file(dot_path).find("digraph"), std::string::npos);
 }
 
 TEST(Cli, RefineAcceptsSeqlockPair) {
@@ -105,6 +118,96 @@ TEST(Cli, VerifyRejectsBrokenOutline) {
 
 TEST(Cli, VerifyNeedsAnOutline) {
   EXPECT_EQ(run(bin("rc11-verify") + " " + prog("sb.rc11")), 1);
+}
+
+// --- witness emission and replay --------------------------------------------
+
+const std::string kSbInvariant =
+    "'!(done(t1) && done(t2) && r1 == 0 && r2 == 0)'";
+
+TEST(Cli, RunInvariantViolationEmitsReplayableWitness) {
+  const std::string wit = tmp_path("sb_witness.json");
+  std::string out;
+  EXPECT_EQ(run(bin("rc11-run") + " --invariant " + kSbInvariant +
+                    " --witness " + wit + " " + prog("sb.rc11"),
+                &out),
+            2);
+  EXPECT_NE(out.find("VIOLATION"), std::string::npos) << out;
+  EXPECT_NE(read_file(wit).find("rc11-witness"), std::string::npos);
+
+  EXPECT_EQ(run(bin("rc11-run") + " --replay " + wit + " " + prog("sb.rc11"),
+                &out),
+            0);
+  EXPECT_NE(out.find("replay OK"), std::string::npos) << out;
+}
+
+TEST(Cli, RunParallelWitnessReplays) {
+  const std::string wit = tmp_path("sb_witness_par.json");
+  EXPECT_EQ(run(bin("rc11-run") + " --threads 4 --invariant " + kSbInvariant +
+                " --witness " + wit + " " + prog("sb.rc11")),
+            2);
+  std::string out;
+  EXPECT_EQ(run(bin("rc11-run") + " --replay " + wit + " " + prog("sb.rc11"),
+                &out),
+            0)
+      << out;
+}
+
+TEST(Cli, RunReplayRejectsWrongProgramAndGarbage) {
+  const std::string wit = tmp_path("sb_witness_wrong.json");
+  EXPECT_EQ(run(bin("rc11-run") + " --invariant " + kSbInvariant +
+                " --witness " + wit + " " + prog("sb.rc11")),
+            2);
+  // Same witness, different program: the initial digest already diverges.
+  std::string out;
+  EXPECT_EQ(run(bin("rc11-run") + " --replay " + wit + " " +
+                    prog("ticket_lock.rc11"),
+                &out),
+            2);
+  EXPECT_NE(out.find("replay FAILED"), std::string::npos) << out;
+  // Corrupted file: parse errors exit 1.
+  const std::string garbage = tmp_path("garbage.json");
+  std::ofstream{garbage} << "{ not a witness";
+  EXPECT_EQ(run(bin("rc11-run") + " --replay " + garbage + " " +
+                prog("sb.rc11")),
+            1);
+}
+
+TEST(Cli, RunRejectsUnknownInvariantName) {
+  EXPECT_EQ(run(bin("rc11-run") + " --invariant 'zz == 1' " + prog("sb.rc11")),
+            1);
+}
+
+TEST(Cli, VerifyWitnessRoundTrips) {
+  const std::string wit = tmp_path("outline_witness.json");
+  std::string out;
+  EXPECT_EQ(run(bin("rc11-verify") + " --witness " + wit + " " +
+                    prog("mp_broken_outline.rc11"),
+                &out),
+            2);
+  EXPECT_NE(out.find("written to"), std::string::npos) << out;
+  EXPECT_EQ(run(bin("rc11-verify") + " --replay " + wit + " " +
+                    prog("mp_broken_outline.rc11"),
+                &out),
+            0);
+  EXPECT_NE(out.find("replay OK"), std::string::npos) << out;
+}
+
+TEST(Cli, RefineWitnessRoundTripsAgainstConcrete) {
+  const std::string wit = tmp_path("refine_witness.json");
+  std::string out;
+  EXPECT_EQ(run(bin("rc11-refine") + " --witness " + wit + " " +
+                    prog("lock_client_abstract.rc11") + " " +
+                    prog("lock_client_broken.rc11"),
+                &out),
+            2);
+  EXPECT_NE(out.find("written to"), std::string::npos) << out;
+  EXPECT_EQ(run(bin("rc11-refine") + " --replay " + wit + " " +
+                    prog("lock_client_abstract.rc11") + " " +
+                    prog("lock_client_broken.rc11"),
+                &out),
+            0);
+  EXPECT_NE(out.find("replay OK"), std::string::npos) << out;
 }
 
 }  // namespace

@@ -242,7 +242,7 @@ TEST(TraceInclusion, SeqLockRefinesAbstractOnFig7Client) {
   SeqLock conc;
   const auto conc_sys = instantiate(locks::fig7_client(), conc);
   const auto result = check_trace_inclusion(abs_sys, conc_sys);
-  EXPECT_TRUE(result.holds) << result.witness;
+  EXPECT_TRUE(result.holds) << result.what;
   EXPECT_FALSE(result.truncated);
   EXPECT_GT(result.product_nodes, 0u);
 }
@@ -254,7 +254,7 @@ TEST(TraceInclusion, BrokenSeqLockViolatesInclusion) {
   const auto conc_sys = instantiate(locks::fig7_client(), broken);
   const auto result = check_trace_inclusion(abs_sys, conc_sys);
   EXPECT_FALSE(result.holds);
-  EXPECT_FALSE(result.witness.empty());
+  EXPECT_FALSE(result.what.empty());
 }
 
 TEST(TraceInclusion, ReflexivityOnAbstractSystem) {
@@ -262,7 +262,7 @@ TEST(TraceInclusion, ReflexivityOnAbstractSystem) {
   const auto s1 = instantiate(locks::fig7_client(), a1);
   const auto s2 = instantiate(locks::fig7_client(), a2);
   const auto result = check_trace_inclusion(s1, s2);
-  EXPECT_TRUE(result.holds) << result.witness;
+  EXPECT_TRUE(result.holds) << result.what;
 }
 
 TEST(TraceInclusion, TicketLockAlsoPasses) {
@@ -271,7 +271,7 @@ TEST(TraceInclusion, TicketLockAlsoPasses) {
   TicketLock conc;
   const auto conc_sys = instantiate(locks::fig7_client(), conc);
   const auto result = check_trace_inclusion(abs_sys, conc_sys);
-  EXPECT_TRUE(result.holds) << result.witness;
+  EXPECT_TRUE(result.holds) << result.what;
 }
 
 

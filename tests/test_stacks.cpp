@@ -130,7 +130,7 @@ TEST(StackRefinement, TraceInclusionAgreesWithSimulation) {
     LockedVectorStack conc;
     const auto conc_sys = instantiate(stacks::publication_client(), conc);
     const auto r = check_trace_inclusion(abs_sys, conc_sys);
-    EXPECT_TRUE(r.holds) << r.witness;
+    EXPECT_TRUE(r.holds) << r.what;
   }
   {
     LockedVectorStack broken{2, /*releasing_unlock=*/false};

@@ -11,24 +11,32 @@
 //   --threads N       workers for graph construction and client projection
 //                     (0 = hardware concurrency, default 1)
 //   --trace-only      skip the Def. 8 simulation, run only trace inclusion
+//   --witness FILE    write the counterexample run (a run of the *concrete*
+//                     program) as a JSON witness, minimized before emission
+//   --replay FILE     re-execute a JSON witness against the concrete program
+//                     instead of checking; exit 0 iff every step replays
 //
 // The abstract program typically uses abstract objects (lock/stack
 // declarations); the concrete one inlines an implementation over library
 // variables and `reg library` registers.  Exit status: 0 refines, 1 usage /
-// parse errors, 2 refinement fails, 3 inconclusive (truncated).
+// parse errors, 2 refinement fails (or --replay diverged), 3 inconclusive
+// (truncated).
 
 #include <charconv>
 #include <iostream>
+#include <optional>
 #include <string>
 
 #include "parser/parser.hpp"
 #include "refinement/refinement.hpp"
+#include "witness/witness.hpp"
 
 namespace {
 
 int usage() {
   std::cerr << "usage: rc11-refine [--max-states N] [--threads N] "
-               "[--trace-only] abstract.rc11 concrete.rc11\n";
+               "[--trace-only] [--witness FILE] [--replay FILE] "
+               "abstract.rc11 concrete.rc11\n";
   return 1;
 }
 
@@ -50,6 +58,8 @@ int main(int argc, char** argv) {
   refinement::SimulationOptions sim_opts;
   refinement::TraceInclusionOptions trace_opts;
   bool trace_only = false;
+  std::string witness_path;
+  std::string replay_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -65,6 +75,12 @@ int main(int argc, char** argv) {
       trace_opts.num_threads = sim_opts.num_threads;
     } else if (arg == "--trace-only") {
       trace_only = true;
+    } else if (arg == "--witness") {
+      if (++i >= argc) return usage();
+      witness_path = argv[i];
+    } else if (arg == "--replay") {
+      if (++i >= argc) return usage();
+      replay_path = argv[i];
     } else if (!arg.empty() && arg[0] == '-') {
       return usage();
     } else if (abs_path.empty()) {
@@ -81,8 +97,23 @@ int main(int argc, char** argv) {
     const auto abs = parser::parse_file(abs_path);
     const auto conc = parser::parse_file(conc_path);
 
+    if (!replay_path.empty()) {
+      const auto w = witness::load(replay_path);
+      const auto r = witness::replay(conc.sys, w);
+      if (r.ok) {
+        std::cout << "replay OK: " << w.steps.size()
+                  << " step(s) re-executed against the concrete program, "
+                     "final digest matches\n";
+        return 0;
+      }
+      std::cout << "replay FAILED after " << r.steps_applied
+                << " step(s): " << r.error << "\n";
+      return 2;
+    }
+
     bool refines = true;
     bool inconclusive = false;
+    std::optional<witness::Witness> counterexample;
 
     if (!trace_only) {
       const auto sim =
@@ -97,6 +128,7 @@ int main(int argc, char** argv) {
         for (const auto& step : sim.counterexample) {
           std::cout << "    " << step << "\n";
         }
+        if (sim.witness) counterexample = sim.witness;
       }
       refines = refines && sim.holds;
       inconclusive = inconclusive || sim.truncated;
@@ -107,11 +139,26 @@ int main(int argc, char** argv) {
     std::cout << "trace inclusion  (Defs. 5-7): "
               << (tr.holds ? "holds" : "fails") << "  [" << tr.product_nodes
               << " product nodes]\n";
-    if (!tr.holds && !tr.witness.empty()) {
-      std::cout << "  witness: " << tr.witness << "\n";
+    if (!tr.holds && !tr.what.empty()) {
+      std::cout << "  witness: " << tr.what << "\n";
+    }
+    if (!tr.holds && tr.witness && !counterexample) {
+      counterexample = tr.witness;
     }
     refines = refines && tr.holds;
     inconclusive = inconclusive || tr.truncated;
+
+    if (!witness_path.empty()) {
+      if (counterexample) {
+        const auto w = witness::minimize(conc.sys, *counterexample);
+        witness::save(w, witness_path);
+        std::cout << "witness (" << w.steps.size() << " step(s), concrete run)"
+                  << " written to " << witness_path << "\n";
+      } else {
+        std::cout << "no counterexample run; " << witness_path
+                  << " not written\n";
+      }
+    }
 
     if (inconclusive) {
       std::cout << "INCONCLUSIVE: exploration truncated\n";

@@ -12,9 +12,14 @@
 //   --no-ctview         ablation A1: disable cross-component view transfer
 //   --no-covered        ablation A2: disable covered-set enforcement
 //   --raw-timestamps    ablation A3: hash raw rational timestamps
+//   --invariant EXPR    check an assertion (outline grammar) at every state
+//   --witness FILE      write the first violation as a JSON witness (implies
+//                       trace tracking; minimized before emission)
+//   --replay FILE       re-execute a JSON witness against the program instead
+//                       of exploring; exit 0 iff every step replays
 //
 // Exit status: 0 on success, 1 on usage/parse errors, 2 if exploration was
-// truncated.
+// truncated, an --invariant violation was found, or a --replay diverged.
 
 #include <charconv>
 #include <cstring>
@@ -27,13 +32,15 @@
 #include "explore/explorer.hpp"
 #include "parser/parser.hpp"
 #include "refinement/refinement.hpp"
+#include "witness/witness.hpp"
 
 namespace {
 
 int usage() {
   std::cerr << "usage: rc11-run [--max-states N] [--threads N] [--stats] "
                "[--disassemble] [--no-ctview] [--no-covered] "
-               "[--raw-timestamps] [--dot FILE] program.rc11\n";
+               "[--raw-timestamps] [--dot FILE] [--invariant EXPR] "
+               "[--witness FILE] [--replay FILE] program.rc11\n";
   return 1;
 }
 
@@ -56,6 +63,9 @@ int main(int argc, char** argv) {
   bool disassemble = false;
   bool stats = false;
   std::string dot_path;
+  std::string invariant_src;
+  std::string witness_path;
+  std::string replay_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -76,6 +86,15 @@ int main(int argc, char** argv) {
     } else if (arg == "--dot") {
       if (++i >= argc) return usage();
       dot_path = argv[i];
+    } else if (arg == "--invariant") {
+      if (++i >= argc) return usage();
+      invariant_src = argv[i];
+    } else if (arg == "--witness") {
+      if (++i >= argc) return usage();
+      witness_path = argv[i];
+    } else if (arg == "--replay") {
+      if (++i >= argc) return usage();
+      replay_path = argv[i];
     } else if (!arg.empty() && arg[0] == '-') {
       return usage();
     } else if (path.empty()) {
@@ -90,8 +109,34 @@ int main(int argc, char** argv) {
     auto program = parser::parse_file(path);
     program.sys.set_options(sem);
 
+    if (!replay_path.empty()) {
+      const auto w = witness::load(replay_path);
+      const auto r = witness::replay(program.sys, w);
+      if (r.ok) {
+        std::cout << "replay OK: " << w.steps.size()
+                  << " step(s) re-executed, final digest matches\n";
+        return 0;
+      }
+      std::cout << "replay FAILED after " << r.steps_applied
+                << " step(s): " << r.error << "\n";
+      return 2;
+    }
+
     if (disassemble) {
       std::cout << program.sys.disassemble() << "\n";
+    }
+
+    explore::Invariant invariant;
+    if (!invariant_src.empty()) {
+      const auto assertion = parser::parse_assertion(program, invariant_src);
+      invariant = [assertion, invariant_src](
+                      const lang::System& s,
+                      const lang::Config& c) -> std::optional<std::string> {
+        if (assertion.eval(s, c)) return std::nullopt;
+        return "invariant " + invariant_src + " violated";
+      };
+      // A witness needs parent links; traces are how the explorer builds them.
+      if (!witness_path.empty()) opts.track_traces = true;
     }
 
     if (!dot_path.empty()) {
@@ -104,7 +149,7 @@ int main(int argc, char** argv) {
                 << " states) written to " << dot_path << "\n";
     }
 
-    const auto result = explore::explore(program.sys, opts);
+    const auto result = explore::explore(program.sys, opts, invariant);
     std::cout << "states:      " << result.stats.states << "\n"
               << "transitions: " << result.stats.transitions << "\n"
               << "finals:      " << result.stats.finals << "\n"
@@ -140,6 +185,28 @@ int main(int argc, char** argv) {
         std::cout << (i ? ", " : "") << names[i] << "=" << tuple[i];
       }
       std::cout << "\n";
+    }
+
+    if (!result.violations.empty()) {
+      const auto& v = result.violations.front();
+      std::cout << "\nVIOLATION: " << v.what << "\n";
+      for (const auto& step : v.trace) {
+        std::cout << "  " << step << "\n";
+      }
+      if (!witness_path.empty()) {
+        if (v.witness) {
+          const auto w = witness::minimize(program.sys, *v.witness);
+          witness::save(w, witness_path);
+          std::cout << "witness (" << w.steps.size() << " step(s)) written to "
+                    << witness_path << "\n";
+        } else {
+          std::cout << "no witness recorded (trace tracking was off)\n";
+        }
+      }
+      return 2;
+    }
+    if (!witness_path.empty()) {
+      std::cout << "no violation found; " << witness_path << " not written\n";
     }
     return result.truncated ? 2 : 0;
   } catch (const std::exception& e) {

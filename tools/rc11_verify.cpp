@@ -8,13 +8,17 @@
 // Options:
 //   --max-states N       exploration bound (default 1000000)
 //   --threads N          exploration workers (0 = hardware, default 1;
-//                        parallel checking reports failures without traces)
+//                        traces and witnesses work at every thread count)
 //   --no-interference    skip the pairwise Owicki-Gries side condition
 //   --all-failures       report every failed obligation, not just the first
 //   --trace              include a counterexample run with each failure
+//   --witness FILE       write the first failure as a JSON witness (implies
+//                        --trace; minimized before emission)
+//   --replay FILE        re-execute a JSON witness against the program
+//                        instead of checking; exit 0 iff every step replays
 //
-// Exit status: 0 valid, 1 usage/parse errors, 2 outline invalid,
-// 3 inconclusive (state bound hit).
+// Exit status: 0 valid, 1 usage/parse errors, 2 outline invalid (or --replay
+// diverged), 3 inconclusive (state bound hit).
 
 #include <charconv>
 #include <iostream>
@@ -22,12 +26,14 @@
 
 #include "og/proof_outline.hpp"
 #include "parser/parser.hpp"
+#include "witness/witness.hpp"
 
 namespace {
 
 int usage() {
   std::cerr << "usage: rc11-verify [--max-states N] [--threads N] "
-               "[--no-interference] [--all-failures] [--trace] program.rc11\n";
+               "[--no-interference] [--all-failures] [--trace] "
+               "[--witness FILE] [--replay FILE] program.rc11\n";
   return 1;
 }
 
@@ -46,6 +52,8 @@ int main(int argc, char** argv) {
 
   std::string path;
   og::OutlineCheckOptions opts;
+  std::string witness_path;
+  std::string replay_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--max-states") {
@@ -58,6 +66,13 @@ int main(int argc, char** argv) {
       opts.stop_at_first_failure = false;
     } else if (arg == "--trace") {
       opts.track_traces = true;
+    } else if (arg == "--witness") {
+      if (++i >= argc) return usage();
+      witness_path = argv[i];
+      opts.track_traces = true;  // witnesses ride on the recorded parents
+    } else if (arg == "--replay") {
+      if (++i >= argc) return usage();
+      replay_path = argv[i];
     } else if (!arg.empty() && arg[0] == '-') {
       return usage();
     } else if (path.empty()) {
@@ -70,6 +85,18 @@ int main(int argc, char** argv) {
 
   try {
     const auto program = parser::parse_file(path);
+    if (!replay_path.empty()) {
+      const auto w = witness::load(replay_path);
+      const auto r = witness::replay(program.sys, w);
+      if (r.ok) {
+        std::cout << "replay OK: " << w.steps.size()
+                  << " step(s) re-executed, final digest matches\n";
+        return 0;
+      }
+      std::cout << "replay FAILED after " << r.steps_applied
+                << " step(s): " << r.error << "\n";
+      return 2;
+    }
     if (!program.outline) {
       std::cerr << "rc11-verify: " << path << " has no outline { ... } block\n";
       return 1;
@@ -87,6 +114,9 @@ int main(int argc, char** argv) {
                 << (opts.check_interference ? " (incl. interference freedom)"
                                             : "")
                 << "\n";
+      if (!witness_path.empty()) {
+        std::cout << "no failures; " << witness_path << " not written\n";
+      }
       return 0;
     }
     std::cout << "outline INVALID — " << result.failures.size()
@@ -104,6 +134,22 @@ int main(int argc, char** argv) {
       std::string line;
       while (std::getline(dump, line)) {
         std::cout << "    " << line << "\n";
+      }
+    }
+    if (!witness_path.empty()) {
+      bool written = false;
+      for (const auto& failure : result.failures) {
+        if (!failure.witness) continue;
+        const auto w = witness::minimize(program.sys, *failure.witness);
+        witness::save(w, witness_path);
+        std::cout << "witness (" << w.steps.size() << " step(s)) written to "
+                  << witness_path << "\n";
+        written = true;
+        break;
+      }
+      if (!written) {
+        std::cout << "no witness recorded; " << witness_path
+                  << " not written\n";
       }
     }
     return 2;
