@@ -145,6 +145,19 @@ void report_state_repr(rc11::bench::JsonReport& json) {
     workloads.push_back(
         {"explore_ticket_3x1",
          locks::instantiate(locks::mgc_client(3, 1), lock), {}});
+    // POR headline cases (tentpole of the engine layer): the targeted
+    // benchmark families with the reduction off and on.  The _full cases
+    // also pin the POR-off path — their exact state counts must not move
+    // when the reduction evolves.  bench_por has the complete family sweep.
+    const auto worker_2x2 =
+        locks::instantiate(locks::worker_client(2, 2, 4), lock);
+    explore::ExploreOptions por;
+    por.por = true;
+    workloads.push_back({"explore_ticket_worker_2x2w4", worker_2x2, {}});
+    workloads.push_back({"explore_ticket_worker_2x2w4_por", worker_2x2, por});
+    workloads.push_back({"explore_mp_compute_w4", litmus::mp_compute(4), {}});
+    workloads.push_back(
+        {"explore_mp_compute_w4_por", litmus::mp_compute(4), por});
   }
 
   for (const auto& [name, sys, opts] : workloads) {

@@ -1,0 +1,400 @@
+#include "engine/reach.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "support/intern.hpp"
+#include "support/parallel.hpp"
+
+namespace rc11::engine {
+
+namespace {
+
+/// Sequential visited set: one interned word set (open-addressing
+/// fingerprint table over a varint arena — see support/intern.hpp), kept
+/// lock-free for the num_threads == 1 paths.  Exact for the same reason as
+/// ShardedVisitedSet: fingerprint hits are confirmed against the full
+/// stored encoding.
+using VisitedSet = support::InternedWordSet;
+
+/// A frontier entry: the configuration plus its id in the trace sink (the
+/// id stays kNoState when no sink is attached).
+struct Frontier {
+  Config cfg;
+  std::uint64_t id = ShardedVisitedSet::kNoState;
+};
+
+// --- POR chain collapse ------------------------------------------------------
+
+/// The thread whose single deterministic local step chain collapse may
+/// fast-forward at `cfg`: the ample thread, when its next instruction is
+/// local (Assign / Branch / Jump — exactly one successor, no memory effect).
+/// A pure function of `cfg`, so every worker, strategy and trace mode
+/// collapses identically.  Chains terminate because every chain step
+/// strictly increases the acting thread's pc (the ample proviso) and touches
+/// no other thread's pc.
+std::optional<lang::ThreadId> chain_thread(const TransitionSystem& ts,
+                                           const Config& cfg) {
+  const auto t = ts.ample_thread(cfg);
+  if (!t) return std::nullopt;
+  switch (ts.system().code(*t)[cfg.pc[*t]].kind) {
+    case lang::IKind::Assign:
+    case lang::IKind::Branch:
+    case lang::IKind::Jump:
+      return t;
+    default:
+      return std::nullopt;
+  }
+}
+
+/// Fast-forwards `cfg` through its deterministic local ample chain without
+/// recording the intermediate states; bumps `chained` once per skipped step.
+void collapse_untraced(const TransitionSystem& ts, Config& cfg,
+                       StepBuffer& buf, std::uint64_t& chained) {
+  while (const auto t = chain_thread(ts, cfg)) {
+    ts.thread_successors_into(cfg, *t, buf, /*want_labels=*/false);
+    cfg = std::move(buf.steps()[0].after);
+    chained += 1;
+  }
+}
+
+/// Traced variant: interns every intermediate chain state into the sink as a
+/// real single-step edge (so path_to / witness replay see ordinary
+/// transitions) and advances `cfg` / `id` to the chain's stable end.
+/// Returns false when an intermediate state was already interned — whichever
+/// expansion interned it first also interned and enqueued the same
+/// deterministic suffix, so the caller drops this duplicate branch.
+bool collapse_traced(const TransitionSystem& ts, ShardedVisitedSet& sink,
+                     Config& cfg, std::uint64_t& id, StepBuffer& buf,
+                     std::vector<std::uint64_t>& scratch,
+                     std::uint64_t& chained) {
+  while (const auto t = chain_thread(ts, cfg)) {
+    ts.thread_successors_into(cfg, *t, buf, /*want_labels=*/true);
+    auto& step = buf.steps()[0];
+    scratch.clear();
+    step.after.encode_into(scratch);
+    const auto ins =
+        sink.insert_traced(scratch, id, step.thread, std::move(step.label));
+    if (!ins.inserted) return false;
+    id = ins.id;
+    cfg = std::move(step.after);
+    chained += 1;
+  }
+  return true;
+}
+
+// --- parallel reachability engine -------------------------------------------
+
+/// Shared frontier of the worker pool.  A single deque behind one mutex is
+/// deliberately simple: state *expansion* (successor computation + canonical
+/// encoding) dominates queue traffic by orders of magnitude, and workers pop
+/// and push in batches, so the lock is cold.  The visited set, where every
+/// generated successor lands, is the contended structure — and that one is
+/// sharded (see sharded_visited.hpp).
+struct SharedFrontier {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<Frontier> items;
+  unsigned working = 0;  ///< workers currently expanding a batch
+  bool stop = false;     ///< cooperative stop (visitor veto or truncation)
+  std::uint64_t max_size = 0;
+};
+
+ReachResult parallel_reach(const TransitionSystem& ts,
+                           const ReachOptions& options,
+                           const StateVisitor& visitor, unsigned workers) {
+  const System& sys = ts.system();
+  ReachResult result;
+  ShardedVisitedSet local_visited;
+  // With a trace sink the sink doubles as the visited set, so parent
+  // recording and the once-only insert decision are one atomic step.
+  ShardedVisitedSet& visited = options.trace ? *options.trace : local_visited;
+  const bool want_labels = options.want_labels || options.trace != nullptr;
+  const bool collapse = options.por && ts.collapse_chains();
+  SharedFrontier frontier;
+  // Claim budget for max_states: every popped state claims one index; claims
+  // at or beyond the cap mark truncation instead of being expanded.  This is
+  // the cooperative-parallel analogue of the sequential pre-pop bound check.
+  std::atomic<std::uint64_t> claimed{0};
+  std::atomic<std::uint64_t> states{0};
+  std::atomic<std::uint64_t> transitions{0};
+  std::atomic<std::uint64_t> finals{0};
+  std::atomic<std::uint64_t> blocked{0};
+  std::atomic<std::uint64_t> por_reduced{0};
+  std::atomic<std::uint64_t> por_chained{0};
+  std::atomic<bool> truncated{false};
+
+  {
+    Config init = ts.initial();
+    std::uint64_t id = ShardedVisitedSet::kNoState;
+    if (options.trace) {
+      id = options.trace
+               ->insert_traced(init.encode(), ShardedVisitedSet::kNoState, 0,
+                               "init")
+               .id;
+    } else {
+      visited.insert(init.encode());
+    }
+    frontier.items.push_back({std::move(init), id});
+    frontier.max_size = 1;
+  }
+
+  const bool bfs = options.strategy == SearchStrategy::Bfs;
+  constexpr std::size_t kMaxBatch = 32;
+
+  const auto worker = [&] {
+    std::vector<Frontier> batch;
+    std::vector<Frontier> discovered;
+    lang::StepBuffer steps;                // pooled successor storage
+    lang::StepBuffer chain_steps;          // separate pool for chain collapse
+    std::vector<std::uint64_t> scratch;    // reusable encoding buffer
+    std::uint64_t chained = 0;             // batched into por_chained below
+    for (;;) {
+      batch.clear();
+      {
+        std::unique_lock<std::mutex> lock(frontier.mu);
+        frontier.cv.wait(lock, [&] {
+          return frontier.stop || !frontier.items.empty() ||
+                 frontier.working == 0;
+        });
+        if (frontier.stop || (frontier.items.empty() && frontier.working == 0)) {
+          frontier.cv.notify_all();
+          return;
+        }
+        // Leave work for idle peers: take at most a 1/workers share.
+        const std::size_t take = std::min(
+            kMaxBatch,
+            std::max<std::size_t>(1, frontier.items.size() / workers));
+        for (std::size_t i = 0; i < take && !frontier.items.empty(); ++i) {
+          if (bfs) {
+            batch.push_back(std::move(frontier.items.front()));
+            frontier.items.pop_front();
+          } else {
+            batch.push_back(std::move(frontier.items.back()));
+            frontier.items.pop_back();
+          }
+        }
+        frontier.working += 1;
+      }
+
+      discovered.clear();
+      bool request_stop = false;
+      for (const Frontier& item : batch) {
+        const Config& cfg = item.cfg;
+        if (claimed.fetch_add(1, std::memory_order_relaxed) >=
+            options.max_states) {
+          truncated.store(true, std::memory_order_relaxed);
+          request_stop = true;
+          break;
+        }
+        states.fetch_add(1, std::memory_order_relaxed);
+        if (expand_steps(ts, cfg, options, steps, want_labels)) {
+          por_reduced.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (steps.empty()) {
+          (cfg.all_done(sys) ? finals : blocked)
+              .fetch_add(1, std::memory_order_relaxed);
+        }
+        transitions.fetch_add(steps.size(), std::memory_order_relaxed);
+        const bool keep_going = visitor(cfg, item.id, steps.steps());
+        for (auto& step : steps.steps()) {
+          Config after = std::move(step.after);
+          if (options.trace) {
+            scratch.clear();
+            after.encode_into(scratch);
+            const auto ins = options.trace->insert_traced(
+                scratch, item.id, step.thread, std::move(step.label));
+            if (!ins.inserted) continue;
+            std::uint64_t id = ins.id;
+            if (collapse &&
+                !collapse_traced(ts, *options.trace, after, id, chain_steps,
+                                 scratch, chained)) {
+              continue;
+            }
+            discovered.push_back({std::move(after), id});
+          } else {
+            if (collapse) collapse_untraced(ts, after, chain_steps, chained);
+            scratch.clear();
+            after.encode_into(scratch);
+            if (visited.insert(scratch)) {
+              discovered.push_back({std::move(after), ShardedVisitedSet::kNoState});
+            }
+          }
+        }
+        if (!keep_going) {
+          request_stop = true;
+          break;
+        }
+      }
+      if (chained != 0) {
+        por_chained.fetch_add(chained, std::memory_order_relaxed);
+        chained = 0;
+      }
+
+      {
+        std::lock_guard<std::mutex> lock(frontier.mu);
+        frontier.working -= 1;
+        if (request_stop) frontier.stop = true;
+        for (auto& item : discovered) {
+          frontier.items.push_back(std::move(item));
+        }
+        frontier.max_size =
+            std::max<std::uint64_t>(frontier.max_size, frontier.items.size());
+      }
+      frontier.cv.notify_all();
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  for (unsigned w = 1; w < workers; ++w) pool.emplace_back(worker);
+  worker();
+  for (auto& t : pool) t.join();
+
+  result.stats.states = states.load();
+  result.stats.transitions = transitions.load();
+  result.stats.finals = finals.load();
+  result.stats.blocked = blocked.load();
+  result.stats.peak_frontier = frontier.max_size;
+  result.stats.visited_bytes = visited.bytes();
+  result.stats.por_reduced = por_reduced.load();
+  result.stats.por_chained = por_chained.load();
+  result.truncated = truncated.load();
+  return result;
+}
+
+ReachResult sequential_reach(const TransitionSystem& ts,
+                             const ReachOptions& options,
+                             const StateVisitor& visitor) {
+  const System& sys = ts.system();
+  ReachResult result;
+  // Untraced runs keep the single lock-free interned set; a trace sink
+  // replaces it (insert_traced assigns ids and records parent links).
+  VisitedSet visited;
+  const bool want_labels = options.want_labels || options.trace != nullptr;
+  const bool collapse = options.por && ts.collapse_chains();
+  std::deque<Frontier> frontier;
+  lang::StepBuffer steps;
+  lang::StepBuffer chain_steps;  // separate pool: collapse runs mid-iteration
+  std::vector<std::uint64_t> scratch;
+  {
+    Config init = ts.initial();
+    std::uint64_t id = ShardedVisitedSet::kNoState;
+    if (options.trace) {
+      id = options.trace
+               ->insert_traced(init.encode(), ShardedVisitedSet::kNoState, 0,
+                               "init")
+               .id;
+    } else {
+      visited.insert(init.encode());
+    }
+    frontier.push_back({std::move(init), id});
+  }
+  const bool bfs = options.strategy == SearchStrategy::Bfs;
+  while (!frontier.empty()) {
+    if (result.stats.states >= options.max_states) {
+      result.truncated = true;
+      break;
+    }
+    result.stats.peak_frontier =
+        std::max<std::uint64_t>(result.stats.peak_frontier, frontier.size());
+    Frontier item = bfs ? std::move(frontier.front()) : std::move(frontier.back());
+    if (bfs) {
+      frontier.pop_front();
+    } else {
+      frontier.pop_back();
+    }
+    const Config& cfg = item.cfg;
+    result.stats.states += 1;
+    if (expand_steps(ts, cfg, options, steps, want_labels)) {
+      result.stats.por_reduced += 1;
+    }
+    if (steps.empty()) {
+      if (cfg.all_done(sys)) {
+        result.stats.finals += 1;
+      } else {
+        result.stats.blocked += 1;
+      }
+    }
+    result.stats.transitions += steps.size();
+    const bool keep_going = visitor(cfg, item.id, steps.steps());
+    for (auto& step : steps.steps()) {
+      Config after = std::move(step.after);
+      if (options.trace) {
+        scratch.clear();
+        after.encode_into(scratch);
+        const auto ins = options.trace->insert_traced(
+            scratch, item.id, step.thread, std::move(step.label));
+        if (!ins.inserted) continue;
+        std::uint64_t id = ins.id;
+        if (collapse &&
+            !collapse_traced(ts, *options.trace, after, id, chain_steps,
+                             scratch, result.stats.por_chained)) {
+          continue;
+        }
+        frontier.push_back({std::move(after), id});
+      } else {
+        if (collapse) {
+          collapse_untraced(ts, after, chain_steps, result.stats.por_chained);
+        }
+        scratch.clear();
+        after.encode_into(scratch);
+        if (visited.insert(scratch)) {
+          frontier.push_back({std::move(after), ShardedVisitedSet::kNoState});
+        }
+      }
+    }
+    if (!keep_going) break;
+  }
+  result.stats.visited_bytes =
+      options.trace ? options.trace->bytes() : visited.bytes();
+  return result;
+}
+
+}  // namespace
+
+bool expand_steps(const TransitionSystem& ts, const Config& cfg,
+                  const ReachOptions& options, StepBuffer& out,
+                  bool want_labels) {
+  if (options.por) {
+    if (const auto t = ts.ample_thread(cfg)) {
+      ts.thread_successors_into(cfg, *t, out, want_labels);
+      // An empty ample set (the eligible thread's step turned out disabled)
+      // must not hide the other threads' steps: fall through to full
+      // expansion.  Cannot happen for the current eligibility rules (local
+      // steps and plain accesses are always enabled), but stays sound if
+      // they ever widen.
+      if (!out.empty()) return true;
+    }
+  }
+  if (options.fuse_local_steps) {
+    if (const auto t = ts.fusible_thread(cfg)) {
+      ts.thread_successors_into(cfg, *t, out, want_labels);
+      return false;
+    }
+  }
+  ts.successors_into(cfg, out, want_labels);
+  return false;
+}
+
+ReachResult visit_reachable(const TransitionSystem& ts,
+                            const ReachOptions& options,
+                            const StateVisitor& visitor) {
+  const unsigned workers = support::resolve_num_threads(options.num_threads);
+  if (workers <= 1) return sequential_reach(ts, options, visitor);
+  return parallel_reach(ts, options, visitor, workers);
+}
+
+ReachResult visit_reachable(const System& sys, const ReachOptions& options,
+                            const StateVisitor& visitor) {
+  const SystemTransitions ts(sys);
+  return visit_reachable(ts, options, visitor);
+}
+
+}  // namespace rc11::engine

@@ -1,0 +1,126 @@
+// rc11lib/engine/reach.hpp
+//
+// The generic reachability driver all three checkers run on: enumerate every
+// configuration reachable in a TransitionSystem exactly once — sequentially
+// or with a worker pool over a lock-striped visited set — and hand each one,
+// together with its enabled steps, to a visitor.  explore::explore,
+// og::check_outline / check_triple and refinement::build_graph are all thin
+// visitors over this driver; none of them generates successors itself.
+//
+// States are deduplicated by their canonical encoding (order-isomorphic
+// timestamp quotient — see memsem::SemanticsOptions::canonical_timestamps),
+// which is what keeps litmus-style programs finite-state.
+//
+// Partial-order reduction (ReachOptions::por): when the transition system
+// reports an ample thread for a configuration, only that thread's steps are
+// expanded.  On top of that, when the transition system allows it
+// (TransitionSystem::collapse_chains), successors whose ample thread sits at
+// a *local* instruction are fast-forwarded through that deterministic chain
+// and only the chain's stable end is visited — this is where the bulk of
+// the visited-state reduction comes from.  The reduced state graph is a
+// deterministic function of the system (see TransitionSystem::ample_thread),
+// so POR composes with any worker count, search strategy and trace sink;
+// every recorded trace edge — including chain-internal ones, which are
+// interned in the sink without being visited — is a real single transition
+// of the full semantics, so recorded traces replay unchanged
+// (witness::replay).  Reduced and full runs visit the same final and blocked
+// states; docs/SEMANTICS.md §9 gives the soundness argument.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+
+#include "engine/sharded_visited.hpp"
+#include "engine/transition_system.hpp"
+
+namespace rc11::engine {
+
+using lang::Step;
+
+/// Search order.  Both visit the same set of states (the visited set makes
+/// exploration order-insensitive); BFS yields shortest counterexample
+/// traces, DFS has the smaller frontier on deep graphs.
+enum class SearchStrategy : std::uint8_t { Dfs, Bfs };
+
+struct ExploreStats {
+  std::uint64_t states = 0;       ///< distinct states visited
+  std::uint64_t transitions = 0;  ///< transitions generated
+  std::uint64_t finals = 0;       ///< states with every thread terminated
+  std::uint64_t blocked = 0;      ///< non-final states with no transition
+  std::uint64_t peak_frontier = 0;  ///< largest unexpanded-state backlog
+  /// Heap footprint of the visited set at the end of the run (interned
+  /// arena + fingerprint tables); divide by `states` for bytes/state.
+  std::uint64_t visited_bytes = 0;
+  /// States expanded with a reduced (ample) step set instead of the full
+  /// successor relation.  Non-zero only under ReachOptions::por; the states
+  /// and edges *saved* by the reduction are the difference against a full
+  /// run (reported by bench_por and the tools' --stats).
+  std::uint64_t por_reduced = 0;
+  /// Deterministic local steps fast-forwarded by chain collapse — each one a
+  /// state that exists in the full graph but was never visited here.
+  /// Non-zero only under por with a chain-collapsing transition system.
+  std::uint64_t por_chained = 0;
+};
+
+struct ReachOptions {
+  std::uint64_t max_states = 1'000'000;
+  unsigned num_threads = 1;  ///< same convention as ExploreOptions
+  SearchStrategy strategy = SearchStrategy::Dfs;
+  bool fuse_local_steps = false;
+  /// Ample-set partial-order reduction (see the header comment).  Subsumes
+  /// fuse_local_steps when on; checked before it.
+  bool por = false;
+  bool want_labels = false;  ///< fill Step::label for the visitor
+  /// Caller-owned trace sink.  When set, the driver uses it as the visited
+  /// set: every state is interned via insert_traced (recording parent id,
+  /// acting thread and step label under the shard lock), labels are forced
+  /// on, and the visitor receives each state's id so it can reconstruct the
+  /// path to any state of interest with ShardedVisitedSet::path_to — safely
+  /// mid-run, from any worker.  Must be empty (freshly constructed) and must
+  /// outlive the call.  When null, ids passed to the visitor are
+  /// ShardedVisitedSet::kNoState and the driver owns its visited set.
+  ShardedVisitedSet* trace = nullptr;
+};
+
+/// Called exactly once per reachable configuration with its enabled steps
+/// (empty for final/blocked states).  `state_id` identifies the
+/// configuration in ReachOptions::trace (kNoState when no trace sink is
+/// set).  Return false to request a cooperative stop: in-flight workers
+/// finish their current state and no further states are claimed.  Must be
+/// thread-safe when num_threads resolves to > 1 (the driver still needs the
+/// successor configurations after the call, hence the const view).  The span
+/// points into a per-worker pooled StepBuffer and is only valid for the
+/// duration of the call.
+using StateVisitor = std::function<bool(const Config&, std::uint64_t state_id,
+                                        std::span<const Step>)>;
+
+struct ReachResult {
+  ExploreStats stats;
+  bool truncated = false;
+};
+
+/// The driver's per-state expansion policy — POR ample set, local fusion, or
+/// full successor relation — exposed so graph builders that must mirror the
+/// reduced edge relation (refinement::build_graph phase 2) expand exactly
+/// like the driver.  Returns true iff a reduced (ample) set was produced.
+bool expand_steps(const TransitionSystem& ts, const Config& cfg,
+                  const ReachOptions& options, StepBuffer& out,
+                  bool want_labels);
+
+/// Enumerates reachable configurations under `options`, invoking `visitor`
+/// once per configuration.  Deduplication uses canonical encodings with
+/// full-encoding confirmation (collision-sound), lock-striped across shards
+/// when parallel.
+[[nodiscard]] ReachResult visit_reachable(const TransitionSystem& ts,
+                                          const ReachOptions& options,
+                                          const StateVisitor& visitor);
+
+/// Convenience overload over the standard SystemTransitions (FinalState
+/// ample policy — what the explorer and the outline checker use).
+[[nodiscard]] ReachResult visit_reachable(const System& sys,
+                                          const ReachOptions& options,
+                                          const StateVisitor& visitor);
+
+}  // namespace rc11::engine

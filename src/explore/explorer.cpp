@@ -1,60 +1,21 @@
 #include "explore/explorer.hpp"
 
 #include <algorithm>
-#include <atomic>
-#include <condition_variable>
-#include <deque>
 #include <mutex>
-#include <thread>
+#include <optional>
 #include <utility>
 
-#include "explore/sharded_visited.hpp"
 #include "support/diagnostics.hpp"
 #include "support/hash.hpp"
-#include "support/intern.hpp"
-#include "support/parallel.hpp"
 
 namespace rc11::explore {
 
 namespace {
 
-/// Sequential visited set: one interned word set (open-addressing
-/// fingerprint table over a varint arena — see support/intern.hpp), kept
-/// lock-free for the num_threads == 1 paths.  Exact for the same reason as
-/// ShardedVisitedSet: fingerprint hits are confirmed against the full
-/// stored encoding.
-using VisitedSet = support::InternedWordSet;
-
-/// A frontier entry: the configuration plus its id in the trace sink (the
-/// id stays kNoState when no sink is attached).
-struct Frontier {
-  Config cfg;
-  std::uint64_t id = ShardedVisitedSet::kNoState;
-};
-
-/// The thread to expand exclusively under local-step fusion, if any.
-std::optional<ThreadId> fusible_thread(const System& sys, const Config& cfg) {
-  for (ThreadId t = 0; t < sys.num_threads(); ++t) {
-    if (cfg.thread_done(sys, t)) continue;
-    const auto kind = sys.code(t)[cfg.pc[t]].kind;
-    if (kind == lang::IKind::Assign || kind == lang::IKind::Branch ||
-        kind == lang::IKind::Jump) {
-      return t;
-    }
-  }
-  return std::nullopt;
-}
-
-void expand(const System& sys, const Config& cfg, bool fuse_local_steps,
-            bool want_labels, lang::StepBuffer& out) {
-  if (fuse_local_steps) {
-    if (const auto t = fusible_thread(sys, cfg)) {
-      lang::thread_successors(sys, cfg, *t, out, want_labels);
-      return;
-    }
-  }
-  lang::successors(sys, cfg, out, want_labels);
-}
+// Successor generation and the sequential/parallel reachability drivers live
+// in the engine layer (engine/reach.cpp, engine/transition_system.cpp); this
+// translation unit only layers invariant checking, final-config collection
+// and witness construction on top of engine::visit_reachable.
 
 /// A final configuration together with its canonical encoding.  The
 /// encoding is computed exactly once — when the config passes final
@@ -86,238 +47,7 @@ void sort_violations(std::vector<Violation>& violations) {
             });
 }
 
-// --- parallel reachability engine -------------------------------------------
-
-/// Shared frontier of the worker pool.  A single deque behind one mutex is
-/// deliberately simple: state *expansion* (successor computation + canonical
-/// encoding) dominates queue traffic by orders of magnitude, and workers pop
-/// and push in batches, so the lock is cold.  The visited set, where every
-/// generated successor lands, is the contended structure — and that one is
-/// sharded (see sharded_visited.hpp).
-struct SharedFrontier {
-  std::mutex mu;
-  std::condition_variable cv;
-  std::deque<Frontier> items;
-  unsigned working = 0;  ///< workers currently expanding a batch
-  bool stop = false;     ///< cooperative stop (visitor veto or truncation)
-  std::uint64_t max_size = 0;
-};
-
-ReachResult parallel_reach(const System& sys, const ReachOptions& options,
-                           const StateVisitor& visitor, unsigned workers) {
-  ReachResult result;
-  ShardedVisitedSet local_visited;
-  // With a trace sink the sink doubles as the visited set, so parent
-  // recording and the once-only insert decision are one atomic step.
-  ShardedVisitedSet& visited = options.trace ? *options.trace : local_visited;
-  const bool want_labels = options.want_labels || options.trace != nullptr;
-  SharedFrontier frontier;
-  // Claim budget for max_states: every popped state claims one index; claims
-  // at or beyond the cap mark truncation instead of being expanded.  This is
-  // the cooperative-parallel analogue of the sequential pre-pop bound check.
-  std::atomic<std::uint64_t> claimed{0};
-  std::atomic<std::uint64_t> states{0};
-  std::atomic<std::uint64_t> transitions{0};
-  std::atomic<std::uint64_t> finals{0};
-  std::atomic<std::uint64_t> blocked{0};
-  std::atomic<bool> truncated{false};
-
-  {
-    Config init = lang::initial_config(sys);
-    std::uint64_t id = ShardedVisitedSet::kNoState;
-    if (options.trace) {
-      id = options.trace
-               ->insert_traced(init.encode(), ShardedVisitedSet::kNoState, 0,
-                               "init")
-               .id;
-    } else {
-      visited.insert(init.encode());
-    }
-    frontier.items.push_back({std::move(init), id});
-    frontier.max_size = 1;
-  }
-
-  const bool bfs = options.strategy == SearchStrategy::Bfs;
-  constexpr std::size_t kMaxBatch = 32;
-
-  const auto worker = [&] {
-    std::vector<Frontier> batch;
-    std::vector<Frontier> discovered;
-    lang::StepBuffer steps;                // pooled successor storage
-    std::vector<std::uint64_t> scratch;    // reusable encoding buffer
-    for (;;) {
-      batch.clear();
-      {
-        std::unique_lock<std::mutex> lock(frontier.mu);
-        frontier.cv.wait(lock, [&] {
-          return frontier.stop || !frontier.items.empty() ||
-                 frontier.working == 0;
-        });
-        if (frontier.stop || (frontier.items.empty() && frontier.working == 0)) {
-          frontier.cv.notify_all();
-          return;
-        }
-        // Leave work for idle peers: take at most a 1/workers share.
-        const std::size_t take = std::min(
-            kMaxBatch,
-            std::max<std::size_t>(1, frontier.items.size() / workers));
-        for (std::size_t i = 0; i < take && !frontier.items.empty(); ++i) {
-          if (bfs) {
-            batch.push_back(std::move(frontier.items.front()));
-            frontier.items.pop_front();
-          } else {
-            batch.push_back(std::move(frontier.items.back()));
-            frontier.items.pop_back();
-          }
-        }
-        frontier.working += 1;
-      }
-
-      discovered.clear();
-      bool request_stop = false;
-      for (const Frontier& item : batch) {
-        const Config& cfg = item.cfg;
-        if (claimed.fetch_add(1, std::memory_order_relaxed) >=
-            options.max_states) {
-          truncated.store(true, std::memory_order_relaxed);
-          request_stop = true;
-          break;
-        }
-        states.fetch_add(1, std::memory_order_relaxed);
-        expand(sys, cfg, options.fuse_local_steps, want_labels, steps);
-        if (steps.empty()) {
-          (cfg.all_done(sys) ? finals : blocked)
-              .fetch_add(1, std::memory_order_relaxed);
-        }
-        transitions.fetch_add(steps.size(), std::memory_order_relaxed);
-        const bool keep_going = visitor(cfg, item.id, steps.steps());
-        for (auto& step : steps.steps()) {
-          scratch.clear();
-          step.after.encode_into(scratch);
-          if (options.trace) {
-            const auto ins = options.trace->insert_traced(
-                scratch, item.id, step.thread, std::move(step.label));
-            if (ins.inserted) {
-              discovered.push_back({std::move(step.after), ins.id});
-            }
-          } else if (visited.insert(scratch)) {
-            discovered.push_back(
-                {std::move(step.after), ShardedVisitedSet::kNoState});
-          }
-        }
-        if (!keep_going) {
-          request_stop = true;
-          break;
-        }
-      }
-
-      {
-        std::lock_guard<std::mutex> lock(frontier.mu);
-        frontier.working -= 1;
-        if (request_stop) frontier.stop = true;
-        for (auto& item : discovered) {
-          frontier.items.push_back(std::move(item));
-        }
-        frontier.max_size =
-            std::max<std::uint64_t>(frontier.max_size, frontier.items.size());
-      }
-      frontier.cv.notify_all();
-    }
-  };
-
-  std::vector<std::thread> pool;
-  pool.reserve(workers - 1);
-  for (unsigned w = 1; w < workers; ++w) pool.emplace_back(worker);
-  worker();
-  for (auto& t : pool) t.join();
-
-  result.stats.states = states.load();
-  result.stats.transitions = transitions.load();
-  result.stats.finals = finals.load();
-  result.stats.blocked = blocked.load();
-  result.stats.peak_frontier = frontier.max_size;
-  result.stats.visited_bytes = visited.bytes();
-  result.truncated = truncated.load();
-  return result;
-}
-
-ReachResult sequential_reach(const System& sys, const ReachOptions& options,
-                             const StateVisitor& visitor) {
-  ReachResult result;
-  // Untraced runs keep the single lock-free interned set; a trace sink
-  // replaces it (insert_traced assigns ids and records parent links).
-  VisitedSet visited;
-  const bool want_labels = options.want_labels || options.trace != nullptr;
-  std::deque<Frontier> frontier;
-  lang::StepBuffer steps;
-  std::vector<std::uint64_t> scratch;
-  {
-    Config init = lang::initial_config(sys);
-    std::uint64_t id = ShardedVisitedSet::kNoState;
-    if (options.trace) {
-      id = options.trace
-               ->insert_traced(init.encode(), ShardedVisitedSet::kNoState, 0,
-                               "init")
-               .id;
-    } else {
-      visited.insert(init.encode());
-    }
-    frontier.push_back({std::move(init), id});
-  }
-  const bool bfs = options.strategy == SearchStrategy::Bfs;
-  while (!frontier.empty()) {
-    if (result.stats.states >= options.max_states) {
-      result.truncated = true;
-      break;
-    }
-    result.stats.peak_frontier =
-        std::max<std::uint64_t>(result.stats.peak_frontier, frontier.size());
-    Frontier item = bfs ? std::move(frontier.front()) : std::move(frontier.back());
-    if (bfs) {
-      frontier.pop_front();
-    } else {
-      frontier.pop_back();
-    }
-    const Config& cfg = item.cfg;
-    result.stats.states += 1;
-    expand(sys, cfg, options.fuse_local_steps, want_labels, steps);
-    if (steps.empty()) {
-      if (cfg.all_done(sys)) {
-        result.stats.finals += 1;
-      } else {
-        result.stats.blocked += 1;
-      }
-    }
-    result.stats.transitions += steps.size();
-    const bool keep_going = visitor(cfg, item.id, steps.steps());
-    for (auto& step : steps.steps()) {
-      scratch.clear();
-      step.after.encode_into(scratch);
-      if (options.trace) {
-        const auto ins = options.trace->insert_traced(
-            scratch, item.id, step.thread, std::move(step.label));
-        if (ins.inserted) {
-          frontier.push_back({std::move(step.after), ins.id});
-        }
-      } else if (visited.insert(scratch)) {
-        frontier.push_back({std::move(step.after), ShardedVisitedSet::kNoState});
-      }
-    }
-    if (!keep_going) break;
-  }
-  result.stats.visited_bytes =
-      options.trace ? options.trace->bytes() : visited.bytes();
-  return result;
-}
-
 }  // namespace
-
-ReachResult visit_reachable(const System& sys, const ReachOptions& options,
-                            const StateVisitor& visitor) {
-  const unsigned workers = support::resolve_num_threads(options.num_threads);
-  if (workers <= 1) return sequential_reach(sys, options, visitor);
-  return parallel_reach(sys, options, visitor, workers);
-}
 
 ExploreResult explore(const System& sys, const ExploreOptions& options,
                       const Invariant& invariant) {
@@ -336,6 +66,7 @@ ExploreResult explore(const System& sys, const ExploreOptions& options,
   ropts.num_threads = options.num_threads;
   ropts.strategy = options.strategy;
   ropts.fuse_local_steps = options.fuse_local_steps;
+  ropts.por = options.por;
   ropts.trace = trace_store ? &*trace_store : nullptr;
 
   const std::uint64_t init_digest =

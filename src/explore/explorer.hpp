@@ -6,11 +6,12 @@
 // questions on finite instantiations by enumerating every reachable
 // configuration of the operational semantics.
 //
-// States are deduplicated by their canonical encoding (order-isomorphic
-// timestamp quotient — see memsem::SemanticsOptions::canonical_timestamps),
-// which is what keeps litmus-style programs finite-state: reads only advance
-// views monotonically and the set of modifying operations is bounded by the
-// program's writes.
+// The enumeration itself lives in the shared engine layer — see
+// engine/reach.hpp (generic reachability driver, sequential and parallel)
+// and engine/transition_system.hpp (successor generation + independence
+// metadata + ample-set POR).  This header re-exports the driver types under
+// their historic explore:: names and adds the explorer proper: invariant
+// evaluation, final-configuration collection and witness construction.
 
 #pragma once
 
@@ -21,22 +22,27 @@
 #include <string>
 #include <vector>
 
+#include "engine/reach.hpp"
 #include "lang/config.hpp"
 #include "witness/witness.hpp"
 
 namespace rc11::explore {
-
-class ShardedVisitedSet;
 
 using lang::Config;
 using lang::Step;
 using lang::System;
 using lang::ThreadId;
 
-/// Search order.  Both visit the same set of states (the visited set makes
-/// exploration order-insensitive); BFS yields shortest counterexample
-/// traces, DFS has the smaller frontier on deep graphs.
-enum class SearchStrategy : std::uint8_t { Dfs, Bfs };
+// Driver vocabulary, re-exported from the engine layer (the definitions
+// moved there when og::check_outline and refinement::build_graph were ported
+// onto the same driver).
+using engine::ExploreStats;
+using engine::ReachOptions;
+using engine::ReachResult;
+using engine::SearchStrategy;
+using engine::ShardedVisitedSet;
+using engine::StateVisitor;
+using engine::visit_reachable;
 
 struct ExploreOptions {
   /// Hard cap on distinct states; exploration reports truncation beyond it.
@@ -46,17 +52,17 @@ struct ExploreOptions {
   /// sequential search — required for BFS shortest-trace guarantees and kept
   /// as the default for Owicki–Gries outline checking; 0 resolves to
   /// std::thread::hardware_concurrency(); N > 1 runs a shared-frontier pool
-  /// over a lock-striped visited set (sharded_visited.hpp).  For every thread
-  /// count the *set* of visited states, final configurations, outcomes and
-  /// the presence of violations are identical (final configs and violations
-  /// are sorted canonically before returning); only per-run orderings — which
-  /// violation is reported first under stop_on_violation, which states fall
-  /// inside a max_states truncation — may differ.  The invariant callback
-  /// must be thread-safe when more than one worker resolves.  track_traces
-  /// composes with every thread count: parent links are recorded per interned
-  /// state under the visited-set shard lock, so a parallel run's trace may
-  /// differ from a sequential run's but is always a real execution (and
-  /// always replays — see witness::replay).
+  /// over a lock-striped visited set (engine/sharded_visited.hpp).  For
+  /// every thread count the *set* of visited states, final configurations,
+  /// outcomes and the presence of violations are identical (final configs
+  /// and violations are sorted canonically before returning); only per-run
+  /// orderings — which violation is reported first under stop_on_violation,
+  /// which states fall inside a max_states truncation — may differ.  The
+  /// invariant callback must be thread-safe when more than one worker
+  /// resolves.  track_traces composes with every thread count: parent links
+  /// are recorded per interned state under the visited-set shard lock, so a
+  /// parallel run's trace may differ from a sequential run's but is always a
+  /// real execution (and always replays — see witness::replay).
   unsigned num_threads = 1;
   /// Sound reduction for outcome-set exploration: when some thread's next
   /// instruction is *local* (Assign / Branch / Jump — deterministic, no
@@ -66,6 +72,18 @@ struct ExploreOptions {
   /// program counters are pruned.  Leave off when checking proof outlines
   /// (annotations quantify over the *full* interleaving set).
   bool fuse_local_steps = false;
+  /// Ample-set partial-order reduction in the shared driver (subsumes
+  /// fuse_local_steps; adds the cycle proviso and private relaxed accesses —
+  /// see engine/transition_system.hpp).  Sound for final-register values,
+  /// reachable outcomes, deadlocks and the final/blocked state sets; the
+  /// reduced graph is identical for every num_threads, and witnesses from
+  /// reduced runs replay through the full semantics.  Per-state invariants
+  /// are evaluated on the reduced state set: violations found are real, and
+  /// violations occurring at final/blocked states are never missed, but a
+  /// violation confined to a pruned intermediate interleaving may be (the
+  /// RC11_POR_CROSSCHECK test suite checks exact agreement on the corpus —
+  /// see docs/SEMANTICS.md §9).  Default off.
+  bool por = false;
   /// Stop at the first invariant violation (otherwise keep counting).
   bool stop_on_violation = true;
   /// Record parent links and step labels so violations come with a full
@@ -86,17 +104,6 @@ struct Violation {
   std::optional<witness::Witness> witness;
 };
 
-struct ExploreStats {
-  std::uint64_t states = 0;       ///< distinct states visited
-  std::uint64_t transitions = 0;  ///< transitions generated
-  std::uint64_t finals = 0;       ///< states with every thread terminated
-  std::uint64_t blocked = 0;      ///< non-final states with no transition
-  std::uint64_t peak_frontier = 0;  ///< largest unexpanded-state backlog
-  /// Heap footprint of the visited set at the end of the run (interned
-  /// arena + fingerprint tables); divide by `states` for bytes/state.
-  std::uint64_t visited_bytes = 0;
-};
-
 struct ExploreResult {
   ExploreStats stats;
   /// Deduplicated (iff collect_finals) and sorted by canonical encoding, so
@@ -115,55 +122,6 @@ struct ExploreResult {
 /// Must be thread-safe when ExploreOptions::num_threads resolves to > 1.
 using Invariant =
     std::function<std::optional<std::string>(const System&, const Config&)>;
-
-// --- generic reachability driver --------------------------------------------
-//
-// The engine underneath explore(), og::check_outline and
-// refinement::build_graph: enumerate every reachable configuration exactly
-// once — sequentially or with a worker pool — and hand each one, together
-// with its enabled steps, to a visitor.
-
-struct ReachOptions {
-  std::uint64_t max_states = 1'000'000;
-  unsigned num_threads = 1;  ///< same convention as ExploreOptions
-  SearchStrategy strategy = SearchStrategy::Dfs;
-  bool fuse_local_steps = false;
-  bool want_labels = false;  ///< fill Step::label for the visitor
-  /// Caller-owned trace sink.  When set, the driver uses it as the visited
-  /// set: every state is interned via insert_traced (recording parent id,
-  /// acting thread and step label under the shard lock), labels are forced
-  /// on, and the visitor receives each state's id so it can reconstruct the
-  /// path to any state of interest with ShardedVisitedSet::path_to — safely
-  /// mid-run, from any worker.  Must be empty (freshly constructed) and must
-  /// outlive the call.  When null, ids passed to the visitor are
-  /// ShardedVisitedSet::kNoState and the driver owns its visited set.
-  ShardedVisitedSet* trace = nullptr;
-};
-
-/// Called exactly once per reachable configuration with its enabled steps
-/// (empty for final/blocked states).  `state_id` identifies the
-/// configuration in ReachOptions::trace (kNoState when no trace sink is
-/// set).  Return false to request a cooperative stop: in-flight workers
-/// finish their current state and no further states are claimed.  Must be
-/// thread-safe when num_threads resolves to > 1 (the driver still needs the
-/// successor configurations after the call, hence the const view).  The span
-/// points into a per-worker pooled StepBuffer and is only valid for the
-/// duration of the call.
-using StateVisitor = std::function<bool(const Config&, std::uint64_t state_id,
-                                        std::span<const Step>)>;
-
-struct ReachResult {
-  ExploreStats stats;
-  bool truncated = false;
-};
-
-/// Enumerates reachable configurations under `options`, invoking `visitor`
-/// once per configuration.  Deduplication uses canonical encodings with
-/// full-encoding confirmation (collision-sound), lock-striped across shards
-/// when parallel.
-[[nodiscard]] ReachResult visit_reachable(const System& sys,
-                                          const ReachOptions& options,
-                                          const StateVisitor& visitor);
 
 /// Explores all configurations reachable from the initial configuration.
 /// `invariant` (if given) is evaluated at every reachable configuration.

@@ -1,203 +1,16 @@
 // rc11lib/explore/sharded_visited.hpp
 //
-// A lock-striped visited set over canonical state encodings, shared by the
-// parallel exploration engine (explorer.cpp), the parallel proof-outline
-// checker and the parallel refinement graph builder.
-//
-// Layout: N shards (N a power of two), each an independently locked
-// support::InternedWordSet — an open-addressing fingerprint table whose
-// 16-byte entries point into a per-shard append-only varint arena.  A state
-// is routed to the shard named by the *top* bits of its 64-bit encoding
-// digest, and the digest then indexes the open-addressing table inside the
-// shard, so the two levels consume disjoint bits and states spread evenly.
-// There is no per-state heap allocation: duplicates touch only the table,
-// and new states append their compressed encoding to the shard arena.
-//
-// Soundness: exactly like the sequential visited set, a fingerprint hit is
-// confirmed against the complete stored encoding before an insert is
-// refused — a digest collision can never make exploration drop a genuinely
-// new state, it only costs a memcmp.  Because each encoding maps to exactly
-// one shard, the per-shard mutex makes insert() linearisable: of two racing
-// inserts of the same encoding exactly one returns true, which is the
-// property the exploration engine needs (every reachable state is expanded
-// exactly once, regardless of which worker discovered it).
-//
-// Parent tracking (the witness subsystem's trace source): insert_traced()
-// additionally records, per *newly interned* state and under the same shard
-// lock, the id of the state it was generated from plus a step descriptor
-// (acting thread + label).  Every state receives its parent exactly once —
-// from whichever worker won the insert race — and that parent was interned
-// strictly earlier, so the links form a forest rooted at the initial state
-// and path_to() always terminates.  This is what makes counterexample
-// traces schedule-independent in *validity* (any recorded path is a real
-// execution) even though the specific path may vary run to run.
+// Compatibility shim: the lock-striped visited set moved into the shared
+// engine layer (engine/sharded_visited.hpp) when the three checkers were
+// ported onto engine::visit_reachable.  Existing includes and the
+// explore::ShardedVisitedSet spelling keep working.
 
 #pragma once
 
-#include <cstdint>
-#include <mutex>
-#include <span>
-#include <string>
-#include <vector>
-
-#include "memsem/types.hpp"
-#include "support/hash.hpp"
-#include "support/intern.hpp"
+#include "engine/sharded_visited.hpp"
 
 namespace rc11::explore {
 
-class ShardedVisitedSet {
- public:
-  /// Sentinel parent for the initial state / "no id available" marker.
-  static constexpr std::uint64_t kNoState = ~0ULL;
-
-  /// One parent link: how a state was first reached.
-  struct TraceEdge {
-    std::uint64_t state = kNoState;   ///< the state this edge leads *to*
-    std::uint64_t parent = kNoState;  ///< state it was generated from
-    memsem::ThreadId thread = 0;      ///< acting thread of the step
-    std::string label;                ///< human-readable step description
-  };
-
-  struct TracedInsert {
-    bool inserted = false;
-    std::uint64_t id = kNoState;  ///< valid iff inserted
-  };
-
-  /// `shard_count` is rounded up to a power of two (at least 1).  64 shards
-  /// keep the expected queue depth per mutex negligible for any realistic
-  /// worker count while costing only a few KiB empty.
-  explicit ShardedVisitedSet(unsigned shard_count = 64) {
-    unsigned n = 1;
-    while (n < shard_count && n < (1U << 16)) n <<= 1;
-    shards_ = std::vector<Shard>(n);
-    shard_shift_ = 64U;
-    shard_bits_ = 0;
-    for (unsigned v = n; v > 1; v >>= 1) {
-      shard_shift_ -= 1;
-      shard_bits_ += 1;
-    }
-  }
-
-  /// Returns true iff the encoding was newly inserted.  Thread-safe.  The
-  /// words are only copied (compressed, into the shard arena) when they are
-  /// genuinely new; a duplicate allocates nothing.
-  bool insert(std::span<const std::uint64_t> encoding) {
-    const std::uint64_t digest = support::hash_words(encoding);
-    Shard& shard = shards_[shard_of(digest)];
-    std::lock_guard<std::mutex> lock(shard.mu);
-    return shard.set.insert(encoding, digest);
-  }
-
-  /// Inserts the encoding and, iff it is new, records its parent link under
-  /// the same shard lock (so id assignment and parent recording are one
-  /// atomic step).  `parent` is the id a previous insert_traced returned for
-  /// the state the step was taken from, or kNoState for the initial state.
-  /// The label is consumed only for genuinely new states.  Thread-safe; a
-  /// set used with insert_traced must use it exclusively.
-  TracedInsert insert_traced(std::span<const std::uint64_t> encoding,
-                             std::uint64_t parent, memsem::ThreadId thread,
-                             std::string&& label) {
-    const std::uint64_t digest = support::hash_words(encoding);
-    const std::size_t si = shard_of(digest);
-    Shard& shard = shards_[si];
-    std::lock_guard<std::mutex> lock(shard.mu);
-    const auto ided = shard.set.insert_ided(encoding, digest);
-    if (!ided.inserted) return {false, kNoState};
-    // Local ids are dense per shard; parents_ grows in lockstep with them.
-    shard.parents.push_back({parent, thread, std::move(label)});
-    return {true, compose_id(si, ided.id)};
-  }
-
-  /// Reconstructs the unique recorded path from the initial state to `id`:
-  /// edges in execution order, each naming the acting thread, the step label
-  /// and the reached state's id.  Thread-safe against concurrent inserts
-  /// (each shard lookup takes its shard lock; locks are never nested), so a
-  /// violating state can be reconstructed mid-exploration.
-  [[nodiscard]] std::vector<TraceEdge> path_to(std::uint64_t id) const {
-    std::vector<TraceEdge> edges;
-    std::uint64_t cur = id;
-    while (cur != kNoState) {
-      const std::size_t si = shard_index(cur);
-      const std::uint32_t local = local_id(cur);
-      const Shard& shard = shards_[si];
-      std::lock_guard<std::mutex> lock(shard.mu);
-      const ParentEntry& entry = shard.parents.at(local);
-      if (entry.parent == kNoState) break;  // root: no incoming step
-      edges.push_back({cur, entry.parent, entry.thread, entry.label});
-      cur = entry.parent;
-    }
-    std::reverse(edges.begin(), edges.end());
-    return edges;
-  }
-
-  /// Decodes the canonical encoding of a state interned via insert_traced,
-  /// appending its words to `out`.  Thread-safe (shard-locked).
-  void decode_state(std::uint64_t id, std::vector<std::uint64_t>& out) const {
-    const Shard& shard = shards_[shard_index(id)];
-    std::lock_guard<std::mutex> lock(shard.mu);
-    shard.set.decode(local_id(id), out);
-  }
-
-  /// Total states inserted.  Takes each shard lock briefly, so it is safe
-  /// (if approximate) while inserts are in flight; callers read it after
-  /// workers have joined for an exact count.
-  [[nodiscard]] std::size_t size() const {
-    std::size_t total = 0;
-    for (auto& shard : shards_) {
-      std::lock_guard<std::mutex> lock(shard.mu);
-      total += shard.set.size();
-    }
-    return total;
-  }
-
-  /// Total heap footprint of all shards (arena + fingerprint tables + parent
-  /// links), for ExploreStats::visited_bytes.  Same locking discipline as
-  /// size().
-  [[nodiscard]] std::size_t bytes() const {
-    std::size_t total = 0;
-    for (auto& shard : shards_) {
-      std::lock_guard<std::mutex> lock(shard.mu);
-      total += shard.set.bytes() + shard.parents.capacity() * sizeof(ParentEntry);
-      for (const auto& p : shard.parents) total += p.label.capacity();
-    }
-    return total;
-  }
-
- private:
-  struct ParentEntry {
-    std::uint64_t parent = kNoState;
-    memsem::ThreadId thread = 0;
-    std::string label;
-  };
-
-  struct Shard {
-    mutable std::mutex mu;
-    support::InternedWordSet set;
-    std::vector<ParentEntry> parents;  ///< by local id (insert_traced only)
-  };
-
-  [[nodiscard]] std::size_t shard_of(std::uint64_t digest) const noexcept {
-    return shard_shift_ >= 64U ? 0 : static_cast<std::size_t>(digest >> shard_shift_);
-  }
-
-  // Global ids interleave (local id << bits) | shard so they stay dense-ish
-  // and both halves are recoverable without a lookup.
-  [[nodiscard]] std::uint64_t compose_id(std::size_t shard,
-                                         std::uint32_t local) const noexcept {
-    return (static_cast<std::uint64_t>(local) << shard_bits_) |
-           static_cast<std::uint64_t>(shard);
-  }
-  [[nodiscard]] std::size_t shard_index(std::uint64_t id) const noexcept {
-    return static_cast<std::size_t>(id & ((1ULL << shard_bits_) - 1));
-  }
-  [[nodiscard]] std::uint32_t local_id(std::uint64_t id) const noexcept {
-    return static_cast<std::uint32_t>(id >> shard_bits_);
-  }
-
-  std::vector<Shard> shards_;
-  unsigned shard_shift_ = 64;
-  unsigned shard_bits_ = 0;
-};
+using ShardedVisitedSet = engine::ShardedVisitedSet;
 
 }  // namespace rc11::explore

@@ -55,6 +55,40 @@ std::string Config::to_string(const System& sys) const {
   return os.str();
 }
 
+StepMeta access_footprint(const Instr& in) {
+  StepMeta m;
+  switch (in.kind) {
+    case IKind::Assign:
+    case IKind::Branch:
+    case IKind::Jump:
+      return m;  // Local: no location, no flags
+    case IKind::Load:
+      m.access = memsem::AccessKind::Read;
+      m.sync = in.order != memsem::MemOrder::Relaxed;
+      break;
+    case IKind::Store:
+      m.access = memsem::AccessKind::Write;
+      m.sync = in.order != memsem::MemOrder::Relaxed;
+      break;
+    case IKind::Cas:
+    case IKind::Fai:
+      // Conservative: CAS failure steps only read, but the footprint is per
+      // instruction and RMWs are always RA.
+      m.access = memsem::AccessKind::Update;
+      m.sync = true;
+      break;
+    case IKind::LockAcquire:
+    case IKind::LockRelease:
+    case IKind::Push:
+    case IKind::Pop:
+      m.access = memsem::AccessKind::Object;
+      m.sync = true;
+      break;
+  }
+  m.loc = in.loc;
+  return m;
+}
+
 Config initial_config(const System& sys) {
   Config cfg{std::vector<std::uint32_t>(sys.num_threads(), 0),
              {},
@@ -101,6 +135,7 @@ void add_step(StepBuffer& out, const System& sys, const Config& cfg,
   Step& step = out.push(cfg);
   step.thread = t;
   step.label.clear();
+  step.meta = access_footprint(in);
   step.after.pc[t] += 1;
   mutate(step.after);
   if (want_labels) step.label = describe(sys, t, in, label_suffix);

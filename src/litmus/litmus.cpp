@@ -4,10 +4,12 @@
 
 #include "explore/explorer.hpp"
 #include "memsem/types.hpp"
+#include "support/diagnostics.hpp"
 
 namespace rc11::litmus {
 
 using lang::c;
+using lang::Expr;
 using memsem::kStackEmpty;
 
 namespace {
@@ -400,5 +402,47 @@ std::vector<LitmusTest> all_tests() {
   tests.push_back(fig2_stack_mp_sync());
   return tests;
 }
+
+namespace {
+
+// Shared shape of the two compute-MP workloads; `spin` switches the consumer
+// between a single acquiring load and a do-until spin on the flag.
+System mp_compute_impl(unsigned work, bool spin) {
+  support::require(work >= 1, "mp_compute needs work >= 1");
+  System sys;
+  const auto d = sys.client_var("d", 0);
+  const auto f = sys.client_var("f", 0);
+
+  auto t0 = sys.thread();
+  auto v = t0.reg("v");
+  t0.assign(v, c(1), "v := 1");
+  for (unsigned w = 1; w < work; ++w) {
+    t0.assign(v, Expr{v} + c(2), "v := v + 2");
+  }
+  t0.store(d, Expr{v}, "d := v");
+  t0.store_rel(f, c(1), "f :=R 1");
+
+  auto t1 = sys.thread();
+  auto r1 = t1.reg("r1");
+  auto r2 = t1.reg("r2");
+  auto s = t1.reg("s");
+  if (spin) {
+    t1.do_until([&] { t1.load_acq(r1, f, "r1 <-A f"); }, Expr{r1} == c(1));
+  } else {
+    t1.load_acq(r1, f, "r1 <-A f");
+  }
+  t1.load(r2, d, "r2 <- d");
+  t1.assign(s, Expr{r2} * c(2), "s := r2 * 2");
+  for (unsigned w = 1; w < work; ++w) {
+    t1.assign(s, Expr{s} + c(1), "s := s + 1");
+  }
+  return sys;
+}
+
+}  // namespace
+
+System mp_compute(unsigned work) { return mp_compute_impl(work, false); }
+
+System mp_spin_compute(unsigned work) { return mp_compute_impl(work, true); }
 
 }  // namespace rc11::litmus

@@ -120,4 +120,18 @@ CausalityTest s_shape();
 
 std::vector<CausalityTest> all_causality_tests();
 
+/// Message passing with computed payload: the producer assembles its message
+/// through a chain of `work` local assignments before the d-then-release-f
+/// handoff, and the consumer post-processes what it read through another
+/// chain of `work` local assignments.  Not a litmus test (no fixed expected
+/// outcome set — sweep `work`); this is the message-passing benchmark family
+/// of the partial-order reduction: every local step interleaves with the
+/// other thread in the full graph but collapses under --por.
+[[nodiscard]] System mp_compute(unsigned work);
+
+/// mp_compute with a spinning consumer: the consumer acquires f in a
+/// do-until loop instead of a single load, adding the spin states a real
+/// message-passing idiom has.
+[[nodiscard]] System mp_spin_compute(unsigned work);
+
 }  // namespace rc11::litmus

@@ -91,4 +91,36 @@ ClientProgram counter_client(unsigned threads, unsigned rounds,
   };
 }
 
+ClientProgram worker_client(unsigned threads, unsigned rounds, unsigned work,
+                            ClientArtifacts* artifacts) {
+  support::require(threads >= 1 && rounds >= 1 && work >= 1,
+                   "worker_client needs threads, rounds and work >= 1");
+  return [threads, rounds, work, artifacts](System& sys, LockObject& lock) {
+    const auto x = sys.client_var("x", 0);
+    if (artifacts != nullptr) {
+      artifacts->vars = {x};
+      artifacts->regs.clear();
+    }
+    for (unsigned t = 0; t < threads; ++t) {
+      auto tb = sys.thread();
+      auto ok = tb.reg("ok");
+      auto r = tb.reg("r");
+      auto v = tb.reg("v");
+      if (artifacts != nullptr) {
+        artifacts->regs.push_back(r);
+      }
+      for (unsigned k = 0; k < rounds; ++k) {
+        lock.emit_acquire(tb, ok);
+        tb.load(r, x, "r <- x");
+        tb.assign(v, Expr{r} + c(1), "v := r + 1");
+        for (unsigned w = 1; w < work; ++w) {
+          tb.assign(v, Expr{v} + c(0), "v := v");
+        }
+        tb.store(x, Expr{v}, "x := v");
+        lock.emit_release(tb);
+      }
+    }
+  };
+}
+
 }  // namespace rc11::locks

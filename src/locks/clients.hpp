@@ -41,4 +41,14 @@ ClientProgram mgc_client(unsigned threads, unsigned rounds,
 ClientProgram counter_client(unsigned threads, unsigned rounds,
                              ClientArtifacts* artifacts = nullptr);
 
+/// counter_client with a working section: each round acquires, loads x,
+/// computes the new value through a chain of `work` local assignments, stores
+/// it back and releases.  The benchmark family of the partial-order
+/// reduction: the local chain interleaves with every other thread in the
+/// full state graph but collapses to nothing under POR, so the reduction
+/// factor grows with `work` (work = 1 degenerates to counter_client's shape
+/// with a separate store register).
+ClientProgram worker_client(unsigned threads, unsigned rounds, unsigned work,
+                            ClientArtifacts* artifacts = nullptr);
+
 }  // namespace rc11::locks

@@ -24,21 +24,15 @@ void AbstractLock::emit_release(ThreadBuilder& tb) {
 // --- sequence lock -----------------------------------------------------------
 
 void SeqLock::declare(System& sys) {
-  regs_.clear();  // a LockObject may be reused across instantiations
+  regs_.reset();  // a LockObject may be reused across instantiations
   glb_ = sys.library_var("glb", 0);
 }
 
 SeqLock::ThreadRegs& SeqLock::regs_for(ThreadBuilder& tb) {
-  const auto t = tb.id();
-  auto it = regs_.find(t);
-  if (it == regs_.end()) {
-    ThreadRegs regs{
-        tb.reg("slk_r", 0, Component::Library),
-        tb.reg("slk_loc", 0, Component::Library),
-    };
-    it = regs_.emplace(t, regs).first;
-  }
-  return it->second;
+  return regs_.get(tb, [](ThreadBuilder& b) {
+    return ThreadRegs{b.reg("slk_r", 0, Component::Library),
+                      b.reg("slk_loc", 0, Component::Library)};
+  });
 }
 
 void SeqLock::emit_acquire(ThreadBuilder& tb, Reg dst) {
@@ -68,22 +62,16 @@ void SeqLock::emit_release(ThreadBuilder& tb) {
 // --- ticket lock ---------------------------------------------------------------
 
 void TicketLock::declare(System& sys) {
-  regs_.clear();
+  regs_.reset();
   nt_ = sys.library_var("nt", 0);
   sn_ = sys.library_var("sn", 0);
 }
 
 TicketLock::ThreadRegs& TicketLock::regs_for(ThreadBuilder& tb) {
-  const auto t = tb.id();
-  auto it = regs_.find(t);
-  if (it == regs_.end()) {
-    ThreadRegs regs{
-        tb.reg("tkt_mt", 0, Component::Library),
-        tb.reg("tkt_sn", 0, Component::Library),
-    };
-    it = regs_.emplace(t, regs).first;
-  }
-  return it->second;
+  return regs_.get(tb, [](ThreadBuilder& b) {
+    return ThreadRegs{b.reg("tkt_mt", 0, Component::Library),
+                      b.reg("tkt_sn", 0, Component::Library)};
+  });
 }
 
 void TicketLock::emit_acquire(ThreadBuilder& tb, Reg dst) {
@@ -106,18 +94,14 @@ void TicketLock::emit_release(ThreadBuilder& tb) {
 // --- CAS spinlock ---------------------------------------------------------------
 
 void CasSpinLock::declare(System& sys) {
-  regs_.clear();
+  regs_.reset();
   glb_ = sys.library_var("glb", 0);
 }
 
 CasSpinLock::ThreadRegs& CasSpinLock::regs_for(ThreadBuilder& tb) {
-  const auto t = tb.id();
-  auto it = regs_.find(t);
-  if (it == regs_.end()) {
-    ThreadRegs regs{tb.reg("tas_loc", 0, Component::Library)};
-    it = regs_.emplace(t, regs).first;
-  }
-  return it->second;
+  return regs_.get(tb, [](ThreadBuilder& b) {
+    return ThreadRegs{b.reg("tas_loc", 0, Component::Library)};
+  });
 }
 
 void CasSpinLock::emit_acquire(ThreadBuilder& tb, Reg dst) {
@@ -134,21 +118,15 @@ void CasSpinLock::emit_release(ThreadBuilder& tb) {
 // --- TTAS lock --------------------------------------------------------------------
 
 void TTASLock::declare(System& sys) {
-  regs_.clear();
+  regs_.reset();
   glb_ = sys.library_var("glb", 0);
 }
 
 TTASLock::ThreadRegs& TTASLock::regs_for(ThreadBuilder& tb) {
-  const auto t = tb.id();
-  auto it = regs_.find(t);
-  if (it == regs_.end()) {
-    ThreadRegs regs{
-        tb.reg("ttas_r", 0, Component::Library),
-        tb.reg("ttas_loc", 0, Component::Library),
-    };
-    it = regs_.emplace(t, regs).first;
-  }
-  return it->second;
+  return regs_.get(tb, [](ThreadBuilder& b) {
+    return ThreadRegs{b.reg("ttas_r", 0, Component::Library),
+                      b.reg("ttas_loc", 0, Component::Library)};
+  });
 }
 
 void TTASLock::emit_acquire(ThreadBuilder& tb, Reg dst) {
@@ -170,10 +148,7 @@ void TTASLock::emit_release(ThreadBuilder& tb) {
 // --- instantiation ---------------------------------------------------------------
 
 System instantiate(const ClientProgram& client, LockObject& object) {
-  System sys;
-  object.declare(sys);
-  client(sys, object);
-  return sys;
+  return og::instantiate_object(client, object);
 }
 
 }  // namespace rc11::locks

@@ -20,9 +20,9 @@
 #include <functional>
 #include <memory>
 #include <string>
-#include <unordered_map>
 
 #include "lang/system.hpp"
+#include "og/catalog.hpp"
 
 namespace rc11::locks {
 
@@ -95,7 +95,7 @@ class SeqLock final : public LockObject {
 
   LocId glb_ = 0;
   bool releasing_release_;
-  std::unordered_map<std::uint32_t, ThreadRegs> regs_;
+  og::PerThreadRegs<ThreadRegs> regs_;
 };
 
 /// The ticket lock of Section 6.3:
@@ -123,7 +123,7 @@ class TicketLock final : public LockObject {
   LocId nt_ = 0;  ///< next ticket
   LocId sn_ = 0;  ///< serving now
   bool releasing_release_;
-  std::unordered_map<std::uint32_t, ThreadRegs> regs_;
+  og::PerThreadRegs<ThreadRegs> regs_;
 };
 
 /// A test-and-set spinlock (extra implementation of the same specification):
@@ -143,7 +143,7 @@ class CasSpinLock final : public LockObject {
   ThreadRegs& regs_for(ThreadBuilder& tb);
 
   LocId glb_ = 0;
-  std::unordered_map<std::uint32_t, ThreadRegs> regs_;
+  og::PerThreadRegs<ThreadRegs> regs_;
 };
 
 /// A test-and-test-and-set spinlock: spins on a relaxed-free read loop and
@@ -166,7 +166,7 @@ class TTASLock final : public LockObject {
   ThreadRegs& regs_for(ThreadBuilder& tb);
 
   LocId glb_ = 0;
-  std::unordered_map<std::uint32_t, ThreadRegs> regs_;
+  og::PerThreadRegs<ThreadRegs> regs_;
 };
 
 /// A client program parameterised by the object that fills its holes

@@ -58,6 +58,26 @@ enum class OpKind : std::uint8_t {
 /// grammar of Section 3.1; CAS and FAI are always RA).
 enum class MemOrder : std::uint8_t { Relaxed, Acquire, Release, AcqRel };
 
+/// Access footprint of one program step, for the engine's independence
+/// relation (engine/transition_system.hpp).  Classifies what the step does
+/// to the shared state: nothing (Local), a plain read, a plain write, an
+/// atomic read-modify-write, or an abstract object method call (which reads
+/// *and* writes the object's history and always synchronises).
+enum class AccessKind : std::uint8_t {
+  Local,   ///< register/control only — touches no location
+  Read,    ///< plain load
+  Write,   ///< plain store
+  Update,  ///< CAS / FAI — reads and writes the location
+  Object,  ///< lock/stack/queue method call on an abstract object
+};
+
+/// True iff a step with this footprint can modify the accessed location's
+/// history (the "at least one write" side of the dependence relation).
+[[nodiscard]] constexpr bool writes_location(AccessKind k) noexcept {
+  return k == AccessKind::Write || k == AccessKind::Update ||
+         k == AccessKind::Object;
+}
+
 /// The distinguished value returned by a pop on an empty stack or a dequeue
 /// on an empty queue (Empty in the paper's [s.pop_emp] assertions).
 inline constexpr Value kStackEmpty = -1;

@@ -1,16 +1,12 @@
 #include "og/proof_outline.hpp"
 
 #include <atomic>
-#include <deque>
 #include <mutex>
 #include <optional>
 #include <span>
 
-#include "explore/sharded_visited.hpp"
 #include "support/diagnostics.hpp"
 #include "support/hash.hpp"
-#include "support/intern.hpp"
-#include "support/parallel.hpp"
 
 namespace rc11::og {
 
@@ -45,11 +41,6 @@ std::uint32_t ProofOutline::terminal_pc(ThreadId t) const {
 }
 
 namespace {
-
-/// Visited set over canonical encodings: the shared interned representation
-/// (open-addressing fingerprint table over a varint arena, exact via
-/// full-encoding confirmation — support/intern.hpp).
-using Visited = support::InternedWordSet;
 
 /// Evaluates every outline obligation at one reachable configuration —
 /// validity (global invariant + the annotation at every thread's current pc)
@@ -129,6 +120,7 @@ OutlineCheckResult check_outline(const System& sys, const ProofOutline& outline,
   explore::ReachOptions ropts;
   ropts.max_states = options.max_states;
   ropts.num_threads = options.num_threads;
+  ropts.por = options.por;
   ropts.want_labels = true;  // interference messages cite the step label
   ropts.trace = trace_store ? &*trace_store : nullptr;
 
@@ -199,48 +191,34 @@ TripleCheckResult check_triple(const System& sys, const Assertion& pre,
                                const StatementFilter& filter,
                                const TriplePost& post,
                                std::uint64_t max_states) {
+  // The triple quantifies over every reachable instance of the filtered
+  // statement, so the full (unreduced) driver enumerates states and hands
+  // each one its enabled steps — no private successor loop.
   TripleCheckResult result;
-  Visited visited;
-  std::deque<Config> frontier;
-  std::uint64_t states = 0;
-  lang::StepBuffer steps;
-  std::vector<std::uint64_t> scratch;
-
-  {
-    Config init = lang::initial_config(sys);
-    visited.insert(init.encode());
-    frontier.push_back(std::move(init));
-  }
-
-  while (!frontier.empty() && states < max_states) {
-    Config cfg = std::move(frontier.back());
-    frontier.pop_back();
-    states += 1;
-
-    const bool pre_holds = pre.eval(sys, cfg);
-    lang::successors(sys, cfg, steps, /*want_labels=*/true);
-    for (auto& step : steps.steps()) {
-      const Instr& in = sys.code(step.thread)[cfg.pc[step.thread]];
-      if (pre_holds && filter(step.thread, in)) {
-        result.instances_checked += 1;
-        if (!post(sys, cfg, step.after)) {
-          result.valid = false;
-          ObligationFailure failure;
-          failure.obligation =
-              support::concat("triple violated by step [", step.label, "]");
-          failure.state_dump =
-              cfg.to_string(sys) + "-- after --\n" + step.after.to_string(sys);
-          result.failures.push_back(std::move(failure));
+  explore::ReachOptions ropts;
+  ropts.max_states = max_states;
+  ropts.want_labels = true;  // failure messages cite the step label
+  (void)explore::visit_reachable(
+      sys, ropts,
+      [&](const Config& cfg, std::uint64_t /*id*/,
+          std::span<const Step> steps) -> bool {
+        if (!pre.eval(sys, cfg)) return true;
+        for (const auto& step : steps) {
+          const Instr& in = sys.code(step.thread)[cfg.pc[step.thread]];
+          if (!filter(step.thread, in)) continue;
+          result.instances_checked += 1;
+          if (!post(sys, cfg, step.after)) {
+            result.valid = false;
+            ObligationFailure failure;
+            failure.obligation =
+                support::concat("triple violated by step [", step.label, "]");
+            failure.state_dump = cfg.to_string(sys) + "-- after --\n" +
+                                 step.after.to_string(sys);
+            result.failures.push_back(std::move(failure));
+          }
         }
-      }
-      scratch.clear();
-      step.after.encode_into(scratch);
-      if (visited.insert(scratch)) {
-        frontier.push_back(std::move(step.after));
-      }
-    }
-  }
-
+        return true;
+      });
   return result;
 }
 

@@ -99,6 +99,15 @@ struct OutlineCheckOptions {
   /// attached to each may differ run to run (every recorded trace is still a
   /// real execution and replays — see witness::replay).
   unsigned num_threads = 1;
+  /// Ample-set POR in the shared driver (see explore::ExploreOptions::por).
+  /// Annotations and interference obligations are evaluated on the reduced
+  /// state set: failures found are real, and failures at final/blocked
+  /// states (postconditions, deadlocks) are never missed, but an obligation
+  /// violated only at a pruned intermediate interleaving may be — POR trades
+  /// the full quantification of the Owicki–Gries side conditions for
+  /// outcome-level soundness.  The RC11_POR_CROSSCHECK suite checks exact
+  /// verdict agreement on the outline corpus.  Default off.
+  bool por = false;
 };
 
 /// Checks outline validity (and, optionally, interference freedom) over the

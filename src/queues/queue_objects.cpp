@@ -34,7 +34,7 @@ void AbstractQueue::emit_dequeue(ThreadBuilder& tb, Reg dst, bool acquiring) {
 void LockedRingQueue::declare(System& sys) {
   support::require(capacity_ >= 1 && capacity_ <= 8,
                    "LockedRingQueue capacity must be in [1, 8]");
-  regs_.clear();
+  regs_.reset();
   lk_ = sys.library_var("qlk", 0);
   hd_ = sys.library_var("qhd", 0);
   tl_ = sys.library_var("qtl", 0);
@@ -45,17 +45,11 @@ void LockedRingQueue::declare(System& sys) {
 }
 
 LockedRingQueue::ThreadRegs& LockedRingQueue::regs_for(ThreadBuilder& tb) {
-  const auto t = tb.id();
-  auto it = regs_.find(t);
-  if (it == regs_.end()) {
-    ThreadRegs regs{
-        tb.reg("lrq_loc", 0, Component::Library),
-        tb.reg("lrq_hd", 0, Component::Library),
-        tb.reg("lrq_tl", 0, Component::Library),
-    };
-    it = regs_.emplace(t, regs).first;
-  }
-  return it->second;
+  return regs_.get(tb, [](ThreadBuilder& b) {
+    return ThreadRegs{b.reg("lrq_loc", 0, Component::Library),
+                      b.reg("lrq_hd", 0, Component::Library),
+                      b.reg("lrq_tl", 0, Component::Library)};
+  });
 }
 
 void LockedRingQueue::emit_lock(ThreadBuilder& tb) {
@@ -124,10 +118,7 @@ void LockedRingQueue::emit_dequeue(ThreadBuilder& tb, Reg dst,
 // --- instantiation / clients ------------------------------------------------------
 
 System instantiate(const QueueClientProgram& client, QueueObject& object) {
-  System sys;
-  object.declare(sys);
-  client(sys, object);
-  return sys;
+  return og::instantiate_object(client, object);
 }
 
 QueueClientProgram publication_client(QueueClientArtifacts* artifacts) {

@@ -21,10 +21,10 @@
 
 #include <functional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "lang/system.hpp"
+#include "og/catalog.hpp"
 
 namespace rc11::queues {
 
@@ -89,7 +89,7 @@ class LockedRingQueue final : public QueueObject {
   LocId hd_ = 0;
   LocId tl_ = 0;
   std::vector<LocId> slots_;
-  std::unordered_map<std::uint32_t, ThreadRegs> regs_;
+  og::PerThreadRegs<ThreadRegs> regs_;
 };
 
 using QueueClientProgram = std::function<void(System&, QueueObject&)>;

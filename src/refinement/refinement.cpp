@@ -6,7 +6,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
-#include "explore/explorer.hpp"
+#include "engine/reach.hpp"
 #include "support/diagnostics.hpp"
 #include "support/hash.hpp"
 #include "support/parallel.hpp"
@@ -69,15 +69,20 @@ std::uint64_t hash_words(const std::vector<std::uint64_t>& words) {
   return h.digest();
 }
 
-/// Two-phase parallel graph construction (see build_graph's doc comment).
-/// Phase 1 collects every reachable configuration through the shared
-/// parallel driver; states are then sorted by canonical encoding so indices
-/// are schedule-independent.  Phase 2 recomputes each state's successors
-/// concurrently and resolves them against the sorted encoding index by
-/// binary search — purely read-only lookups, so no locking is needed.
-StateGraph build_graph_parallel(const System& sys, std::uint64_t max_states,
-                                bool want_labels, unsigned num_threads) {
+}  // namespace
+
+StateGraph build_graph(const System& sys, std::uint64_t max_states,
+                       bool want_labels, unsigned num_threads, bool por) {
+  // Two-phase construction on the shared reachability driver, for every
+  // thread count.  Phase 1 collects every reachable configuration; states
+  // are then sorted by canonical encoding so indices are
+  // schedule-independent.  Phase 2 recomputes each state's successors —
+  // through engine::expand_steps, so edges mirror exactly the (possibly
+  // POR-reduced) relation phase 1 explored — and resolves them against the
+  // sorted encoding index by binary search: purely read-only lookups, so no
+  // locking is needed.
   StateGraph graph;
+  const engine::SystemTransitions ts(sys, engine::AmplePolicy::ClientInvisible);
 
   struct Keyed {
     std::vector<std::uint64_t> enc;
@@ -85,11 +90,12 @@ StateGraph build_graph_parallel(const System& sys, std::uint64_t max_states,
   };
   std::vector<Keyed> collected;
   std::mutex mu;
-  explore::ReachOptions ropts;
+  engine::ReachOptions ropts;
   ropts.max_states = max_states;
   ropts.num_threads = num_threads;
-  const auto reach = explore::visit_reachable(
-      sys, ropts,
+  ropts.por = por;
+  const auto reach = engine::visit_reachable(
+      ts, ropts,
       [&](const Config& cfg, std::uint64_t /*id*/,
           std::span<const lang::Step>) -> bool {
         Keyed k{cfg.encode(), cfg};
@@ -124,7 +130,7 @@ StateGraph build_graph_parallel(const System& sys, std::uint64_t max_states,
 
   {
     const auto init = index_of(lang::initial_config(sys).encode());
-    RC11_REQUIRE(init.has_value(), "initial state missing from parallel graph");
+    RC11_REQUIRE(init.has_value(), "initial state missing from state graph");
     graph.initial = *init;
   }
 
@@ -133,7 +139,7 @@ StateGraph build_graph_parallel(const System& sys, std::uint64_t max_states,
     // thread_local is the per-worker hook).
     thread_local lang::StepBuffer steps;
     thread_local std::vector<std::uint64_t> scratch;
-    lang::successors(sys, graph.states[i], steps, want_labels);
+    engine::expand_steps(ts, graph.states[i], ropts, steps, want_labels);
     for (auto& step : steps.steps()) {
       scratch.clear();
       step.after.encode_into(scratch);
@@ -152,70 +158,16 @@ StateGraph build_graph_parallel(const System& sys, std::uint64_t max_states,
   return graph;
 }
 
-}  // namespace
-
-StateGraph build_graph(const System& sys, std::uint64_t max_states,
-                       bool want_labels, unsigned num_threads) {
-  if (support::resolve_num_threads(num_threads) > 1) {
-    return build_graph_parallel(sys, max_states, want_labels, num_threads);
-  }
-  StateGraph graph;
-  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> index;
-  // Encodings stored per state so a bucket probe compares against the cached
-  // key instead of re-encoding the stored configuration every time.
-  std::vector<std::vector<std::uint64_t>> encodings;
-  std::vector<std::uint64_t> scratch;
-  lang::StepBuffer steps;
-
-  const auto lookup_or_insert = [&](Config&& cfg) -> std::pair<std::uint32_t, bool> {
-    scratch.clear();
-    cfg.encode_into(scratch);
-    auto& bucket = index[support::hash_words(scratch)];
-    for (const auto idx : bucket) {
-      if (encodings[idx] == scratch) return {idx, false};
-    }
-    const auto idx = static_cast<std::uint32_t>(graph.states.size());
-    graph.states.push_back(std::move(cfg));
-    encodings.emplace_back(scratch);
-    graph.succ.emplace_back();
-    if (want_labels) {
-      graph.labels.emplace_back();
-      graph.threads.emplace_back();
-    }
-    bucket.push_back(idx);
-    return {idx, true};
-  };
-
-  lookup_or_insert(lang::initial_config(sys));
-  for (std::uint32_t next = 0; next < graph.states.size(); ++next) {
-    if (graph.states.size() >= max_states) {
-      graph.truncated = true;
-      break;
-    }
-    // NOTE: states vector may reallocate while expanding, so copy the config.
-    const Config cfg = graph.states[next];
-    lang::successors(sys, cfg, steps, want_labels);
-    for (auto& step : steps.steps()) {
-      const auto [idx, fresh] = lookup_or_insert(std::move(step.after));
-      graph.succ[next].push_back(idx);
-      if (want_labels) {
-        graph.labels[next].push_back(std::move(step.label));
-        graph.threads[next].push_back(step.thread);
-      }
-    }
-  }
-  return graph;
-}
-
 SimulationResult check_forward_simulation(const System& abstract_sys,
                                           const System& concrete_sys,
                                           const SimulationOptions& options) {
   SimulationResult result;
   const StateGraph abs =
       build_graph(abstract_sys, options.max_states, /*want_labels=*/false,
-                  options.num_threads);
-  const StateGraph conc = build_graph(concrete_sys, options.max_states,
-                                      /*want_labels=*/true, options.num_threads);
+                  options.num_threads, options.por);
+  const StateGraph conc =
+      build_graph(concrete_sys, options.max_states,
+                  /*want_labels=*/true, options.num_threads, options.por);
   result.abstract_states = abs.num_states();
   result.concrete_states = conc.num_states();
   result.truncated = abs.truncated || conc.truncated;
@@ -377,12 +329,12 @@ TraceInclusionResult check_trace_inclusion(const System& abstract_sys,
   TraceInclusionResult result;
   const StateGraph abs =
       build_graph(abstract_sys, options.max_states, /*want_labels=*/false,
-                  options.num_threads);
+                  options.num_threads, options.por);
   // The concrete graph carries labels and threads so an unmatchable step can
   // be reported as a replayable run, not just a state dump.
   const StateGraph conc =
       build_graph(concrete_sys, options.max_states, /*want_labels=*/true,
-                  options.num_threads);
+                  options.num_threads, options.por);
   if (abs.truncated || conc.truncated) {
     result.truncated = true;
     result.what = "state graph truncated; increase max_states";

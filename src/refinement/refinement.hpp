@@ -88,23 +88,35 @@ struct StateGraph {
 /// counterexample reporting and DOT export).
 ///
 /// num_threads follows the explore::ExploreOptions convention (1 sequential,
-/// 0 hardware concurrency).  The parallel build runs in two phases — collect
-/// all reachable states through the shared parallel driver, then resolve
-/// every state's successor edges concurrently against the index — and
-/// numbers states by canonical encoding, so the resulting graph is
-/// *identical for every thread count* (sequential builds keep the historic
-/// discovery-order numbering; the two numberings describe the same graph up
-/// to isomorphism, which is all the refinement checkers depend on).
+/// 0 hardware concurrency).  The build runs in two phases for every thread
+/// count — collect all reachable states through the shared reachability
+/// driver, then resolve every state's successor edges against the index —
+/// and numbers states by canonical encoding, so the resulting graph is
+/// *identical for every thread count*.
+///
+/// With `por`, both phases use the ClientInvisible ample policy of
+/// engine::SystemTransitions: states are collected over the reduced relation
+/// and every edge is a real single step of that same relation (no chain
+/// collapse — graph consumers need single-step edges), so counterexample
+/// runs over a reduced graph still replay through the full semantics.
+/// Reduced here means only projection-invisible steps are ever pruned, which
+/// preserves the stutter-closed projection traces the refinement checkers
+/// compare (docs/SEMANTICS.md §9).
 [[nodiscard]] StateGraph build_graph(const System& sys,
                                      std::uint64_t max_states = 1'000'000,
                                      bool want_labels = false,
-                                     unsigned num_threads = 1);
+                                     unsigned num_threads = 1,
+                                     bool por = false);
 
 struct SimulationOptions {
   std::uint64_t max_states = 1'000'000;  ///< per system
   /// Workers for graph construction and client projection (the fixpoint
   /// itself stays sequential); same convention as ExploreOptions.
   unsigned num_threads = 1;
+  /// Build both state graphs with client-invisible ample-set POR (see
+  /// build_graph).  Verdicts agree with the unreduced check on the
+  /// RC11_POR_CROSSCHECK corpus; default off.
+  bool por = false;
 };
 
 struct SimulationResult {
@@ -140,6 +152,10 @@ struct TraceInclusionOptions {
   /// Workers for graph construction and client projection (the subset
   /// construction stays sequential); same convention as ExploreOptions.
   unsigned num_threads = 1;
+  /// Build both state graphs with client-invisible ample-set POR (see
+  /// build_graph).  Verdicts agree with the unreduced check on the
+  /// RC11_POR_CROSSCHECK corpus; default off.
+  bool por = false;
 };
 
 struct TraceInclusionResult {

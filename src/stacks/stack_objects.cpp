@@ -34,7 +34,7 @@ void AbstractStack::emit_pop(ThreadBuilder& tb, Reg dst, bool acquiring) {
 void LockedVectorStack::declare(System& sys) {
   support::require(capacity_ >= 1 && capacity_ <= 8,
                    "LockedVectorStack capacity must be in [1, 8]");
-  regs_.clear();
+  regs_.reset();
   lk_ = sys.library_var("slk", 0);
   cnt_ = sys.library_var("scnt", 0);
   slots_.clear();
@@ -44,16 +44,10 @@ void LockedVectorStack::declare(System& sys) {
 }
 
 LockedVectorStack::ThreadRegs& LockedVectorStack::regs_for(ThreadBuilder& tb) {
-  const auto t = tb.id();
-  auto it = regs_.find(t);
-  if (it == regs_.end()) {
-    ThreadRegs regs{
-        tb.reg("svs_loc", 0, Component::Library),
-        tb.reg("svs_cnt", 0, Component::Library),
-    };
-    it = regs_.emplace(t, regs).first;
-  }
-  return it->second;
+  return regs_.get(tb, [](ThreadBuilder& b) {
+    return ThreadRegs{b.reg("svs_loc", 0, Component::Library),
+                      b.reg("svs_cnt", 0, Component::Library)};
+  });
 }
 
 void LockedVectorStack::emit_lock(ThreadBuilder& tb) {
@@ -124,10 +118,7 @@ void LockedVectorStack::emit_pop(ThreadBuilder& tb, Reg dst,
 // --- instantiation / clients ------------------------------------------------------
 
 System instantiate(const StackClientProgram& client, StackObject& object) {
-  System sys;
-  object.declare(sys);
-  client(sys, object);
-  return sys;
+  return og::instantiate_object(client, object);
 }
 
 StackClientProgram publication_client(StackClientArtifacts* artifacts) {

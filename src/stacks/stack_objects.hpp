@@ -33,10 +33,10 @@
 
 #include <functional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "lang/system.hpp"
+#include "og/catalog.hpp"
 
 namespace rc11::stacks {
 
@@ -103,7 +103,7 @@ class LockedVectorStack final : public StackObject {
   LocId lk_ = 0;
   LocId cnt_ = 0;
   std::vector<LocId> slots_;
-  std::unordered_map<std::uint32_t, ThreadRegs> regs_;
+  og::PerThreadRegs<ThreadRegs> regs_;
 };
 
 /// A client program over stack holes (the analogue of locks::ClientProgram).

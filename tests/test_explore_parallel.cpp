@@ -7,15 +7,23 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
+#include "engine/sharded_visited.hpp"
 #include "explore/explorer.hpp"
 #include "litmus/litmus.hpp"
+#include "locks/clients.hpp"
+#include "locks/lock_objects.hpp"
 #include "parser/parser.hpp"
+#include "support/hash.hpp"
+#include "witness/witness.hpp"
 
 namespace {
 
@@ -199,6 +207,90 @@ TEST(ParallelExplore, ZeroResolvesToHardwareConcurrency) {
   const auto result = explore::explore(program.sys, opts);
   EXPECT_EQ(result.stats.states, 14u);
   EXPECT_EQ(result.stats.finals, 4u);
+}
+
+// Stress insert_traced/path_to under *real* contention: a single shard means
+// every insert of every worker serialises on one mutex, which is the worst
+// case for the id-assignment + parent-recording atomicity the witness
+// subsystem depends on.  Eight workers race a hand-rolled BFS over the
+// ticket-lock/most-general-client graph (331 states), then every interned
+// state's reconstructed path must replay through the full semantics, step by
+// step, onto the state it claims to reach.
+TEST(ParallelExplore, TracedInsertsOnOneShardReplayUnderContention) {
+  locks::TicketLock lock;
+  const System sys = locks::instantiate(locks::mgc_client(2, 2), lock);
+
+  engine::ShardedVisitedSet visited(1);  // force all workers onto one mutex
+
+  const Config init = lang::initial_config(sys);
+  std::vector<std::uint64_t> enc;
+  init.encode_into(enc);
+  const auto root = visited.insert_traced(
+      enc, engine::ShardedVisitedSet::kNoState, 0, "");
+  ASSERT_TRUE(root.inserted);
+
+  std::mutex mu;
+  std::vector<std::pair<Config, std::uint64_t>> frontier{{init, root.id}};
+  std::vector<std::uint64_t> ids{root.id};
+  std::atomic<unsigned> working{0};
+
+  constexpr unsigned kWorkers = 8;
+  std::vector<std::thread> workers;
+  for (unsigned w = 0; w < kWorkers; ++w) {
+    workers.emplace_back([&] {
+      std::vector<std::uint64_t> scratch;
+      for (;;) {
+        std::pair<Config, std::uint64_t> item{init, 0};  // placeholder copy
+        {
+          std::lock_guard<std::mutex> lk(mu);
+          if (frontier.empty()) {
+            if (working.load() == 0) return;  // drained and nobody producing
+            continue;
+          }
+          item = std::move(frontier.back());
+          frontier.pop_back();
+          working.fetch_add(1);
+        }
+        for (auto& step : lang::successors(sys, item.first, true)) {
+          scratch.clear();
+          step.after.encode_into(scratch);
+          const auto ins = visited.insert_traced(
+              scratch, item.second, step.thread, std::move(step.label));
+          if (!ins.inserted) continue;
+          std::lock_guard<std::mutex> lk(mu);
+          ids.push_back(ins.id);
+          frontier.emplace_back(std::move(step.after), ins.id);
+        }
+        working.fetch_sub(1);
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+
+  // The racing BFS visited exactly the full reachable graph.
+  const auto reference = explore::explore(sys, ExploreOptions{});
+  EXPECT_EQ(ids.size(), reference.stats.states);
+  EXPECT_EQ(visited.size(), reference.stats.states);
+
+  // Every interned state gets a replayable path: wrap path_to's edges as a
+  // witness (digests recovered from the interned encodings) and push it
+  // through witness::replay, which re-executes against lang::successors.
+  std::vector<std::uint64_t> words;
+  for (const auto id : ids) {
+    const auto edges = visited.path_to(id);
+    witness::Witness w;
+    w.kind = "invariant";
+    w.source = "test";
+    w.initial_digest = witness::config_digest(init);
+    for (const auto& edge : edges) {
+      words.clear();
+      visited.decode_state(edge.state, words);
+      w.steps.push_back({edge.thread, edge.label, support::hash_words(words)});
+    }
+    const auto r = witness::replay(sys, w);
+    ASSERT_TRUE(r.ok) << "path to state " << id << ": " << r.error;
+    ASSERT_EQ(r.steps_applied, edges.size());
+  }
 }
 
 }  // namespace

@@ -1,0 +1,292 @@
+// Partial-order reduction: soundness, exactness and the reduction headline.
+//
+// The always-on tests check that POR preserves everything it promises to
+// preserve — final-configuration sets, litmus outcome sets, outline and
+// refinement verdicts, witness replayability — on representative systems,
+// at one worker and at four, and that it actually reduces the targeted
+// benchmark families by >= 2x.
+//
+// Setting RC11_POR_CROSSCHECK=1 in the environment widens the comparison to
+// the complete corpus: every litmus test, every causality test, every case
+// study, every sample program and every lock-implementation/client pairing,
+// each checked for exact final-state agreement between the reduced and full
+// explorations (this is the CI "por" job's configuration).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "explore/explorer.hpp"
+#include "litmus/case_studies.hpp"
+#include "litmus/litmus.hpp"
+#include "locks/clients.hpp"
+#include "locks/lock_objects.hpp"
+#include "og/catalog.hpp"
+#include "parser/parser.hpp"
+#include "refinement/refinement.hpp"
+#include "witness/witness.hpp"
+
+namespace {
+
+using namespace rc11;
+using explore::ExploreOptions;
+using lang::System;
+
+bool crosscheck_enabled() {
+  const char* v = std::getenv("RC11_POR_CROSSCHECK");
+  return v != nullptr && *v != '\0' && std::string(v) != "0";
+}
+
+std::vector<std::vector<std::uint64_t>> final_encodings(
+    const explore::ExploreResult& result) {
+  std::vector<std::vector<std::uint64_t>> encodings;
+  encodings.reserve(result.final_configs.size());
+  for (const auto& cfg : result.final_configs) {
+    encodings.push_back(cfg.encode());
+  }
+  return encodings;
+}
+
+/// Full vs. reduced exploration of `sys` must agree on the final-state set,
+/// the blocked count (deadlocks) and truncation, at every worker count.
+void expect_por_exact(const System& sys, const std::string& what) {
+  ExploreOptions full;
+  const auto reference = explore::explore(sys, full);
+  for (const unsigned workers : {1U, 4U}) {
+    ExploreOptions reduced;
+    reduced.por = true;
+    reduced.num_threads = workers;
+    const auto r = explore::explore(sys, reduced);
+    EXPECT_EQ(final_encodings(r), final_encodings(reference))
+        << what << " (threads " << workers << "): final-state sets differ";
+    EXPECT_EQ(r.stats.blocked, reference.stats.blocked)
+        << what << " (threads " << workers << "): blocked counts differ";
+    EXPECT_EQ(r.truncated, reference.truncated) << what;
+    EXPECT_LE(r.stats.states, reference.stats.states)
+        << what << ": a reduction may never visit MORE states";
+  }
+}
+
+double reduction_factor(const System& sys) {
+  ExploreOptions full;
+  ExploreOptions reduced;
+  reduced.por = true;
+  const auto a = explore::explore(sys, full);
+  const auto b = explore::explore(sys, reduced);
+  EXPECT_EQ(final_encodings(a), final_encodings(b));
+  return static_cast<double>(a.stats.states) /
+         static_cast<double>(b.stats.states);
+}
+
+TEST(Por, LitmusOutcomeSetsExact) {
+  for (const auto& test : litmus::all_tests()) {
+    expect_por_exact(test.sys, test.name);
+    // The outcome set is the litmus verdict itself: with POR on it must
+    // still equal the allowed set exactly.
+    ExploreOptions reduced;
+    reduced.por = true;
+    const auto result = explore::explore(test.sys, reduced);
+    EXPECT_EQ(explore::final_register_values(test.sys, result, test.observed),
+              test.allowed)
+        << test.name << " outcome set changed under POR";
+  }
+}
+
+TEST(Por, CausalityTestsExact) {
+  for (const auto& test : litmus::all_causality_tests()) {
+    expect_por_exact(test.sys, test.name);
+  }
+}
+
+TEST(Por, CaseStudiesExact) {
+  expect_por_exact(litmus::peterson_counter().sys, "peterson");
+  expect_por_exact(litmus::dekker_counter().sys, "dekker");
+  expect_por_exact(litmus::barrier_exchange().sys, "barrier");
+}
+
+TEST(Por, ComputeWorkloadsExact) {
+  for (const unsigned work : {1U, 3U}) {
+    expect_por_exact(litmus::mp_compute(work),
+                     "mp_compute(" + std::to_string(work) + ")");
+    expect_por_exact(litmus::mp_spin_compute(work),
+                     "mp_spin_compute(" + std::to_string(work) + ")");
+  }
+  locks::TicketLock ticket;
+  expect_por_exact(locks::instantiate(locks::worker_client(2, 1, 3), ticket),
+                   "ticket worker(2,1,3)");
+}
+
+TEST(Por, OutlineVerdictsAgree) {
+  for (const bool por : {false, true}) {
+    og::OutlineCheckOptions opts;
+    opts.por = por;
+    {
+      const auto ex = og::make_fig3();
+      EXPECT_TRUE(og::check_outline(ex.sys, ex.outline, opts).valid)
+          << "fig3 por=" << por;
+    }
+    {
+      const auto ex = og::make_fig3_broken();
+      EXPECT_FALSE(og::check_outline(ex.sys, ex.outline, opts).valid)
+          << "fig3-broken por=" << por;
+    }
+    {
+      const auto ex = og::make_fig7();
+      EXPECT_TRUE(og::check_outline(ex.sys, ex.outline, opts).valid)
+          << "fig7 por=" << por;
+    }
+    {
+      const auto ex = og::make_fig7_broken();
+      EXPECT_FALSE(og::check_outline(ex.sys, ex.outline, opts).valid)
+          << "fig7-broken por=" << por;
+    }
+  }
+}
+
+TEST(Por, RefinementVerdictsAgree) {
+  locks::AbstractLock abstract;
+  locks::SeqLock good;
+  locks::SeqLock broken(/*releasing_release=*/false);
+  const auto abs_sys = locks::instantiate(locks::fig7_client(), abstract);
+  const auto good_sys = locks::instantiate(locks::fig7_client(), good);
+  const auto broken_sys = locks::instantiate(locks::fig7_client(), broken);
+
+  for (const bool por : {false, true}) {
+    refinement::SimulationOptions sim;
+    sim.por = por;
+    refinement::TraceInclusionOptions tr;
+    tr.por = por;
+    EXPECT_TRUE(
+        refinement::check_forward_simulation(abs_sys, good_sys, sim).holds)
+        << "por=" << por;
+    EXPECT_TRUE(refinement::check_trace_inclusion(abs_sys, good_sys, tr).holds)
+        << "por=" << por;
+    EXPECT_FALSE(
+        refinement::check_trace_inclusion(abs_sys, broken_sys, tr).holds)
+        << "por=" << por;
+  }
+}
+
+TEST(Por, WitnessesFromReducedRunsReplay) {
+  // An invariant that fails somewhere in the middle of the ticket-lock
+  // counter run; the reduced exploration must still produce a witness that
+  // replays step-for-step through the FULL semantics.
+  locks::TicketLock ticket;
+  const auto sys = locks::instantiate(locks::counter_client(2, 1), ticket);
+
+  for (const unsigned workers : {1U, 4U}) {
+    ExploreOptions opts;
+    opts.por = true;
+    opts.track_traces = true;
+    opts.num_threads = workers;
+    opts.stop_on_violation = false;
+    const auto result = explore::explore(
+        sys, opts,
+        [](const System& s, const lang::Config& cfg)
+            -> std::optional<std::string> {
+          // Violated at every complete run: POR keeps all final states, so
+          // witnesses exist and must replay through the full semantics.
+          if (!cfg.all_done(s)) return std::nullopt;
+          return "final state reached";
+        });
+    ASSERT_FALSE(result.violations.empty()) << "workers=" << workers;
+    for (const auto& v : result.violations) {
+      ASSERT_TRUE(v.witness.has_value());
+      const auto r = witness::replay(sys, *v.witness);
+      EXPECT_TRUE(r.ok) << "workers=" << workers << ": " << r.error;
+    }
+  }
+}
+
+TEST(Por, ReductionHeadlineOnTargetFamilies) {
+  // The tentpole's perf criterion: >= 2x fewer visited states on the
+  // ticket-lock and message-passing benchmark families.
+  locks::TicketLock t1, t2;
+  EXPECT_GE(reduction_factor(
+                locks::instantiate(locks::worker_client(2, 2, 4), t1)),
+            2.0)
+      << "ticket-lock family (worker 2x2, work 4)";
+  EXPECT_GE(reduction_factor(
+                locks::instantiate(locks::worker_client(3, 1, 3), t2)),
+            2.0)
+      << "ticket-lock family (worker 3x1, work 3)";
+  EXPECT_GE(reduction_factor(litmus::mp_compute(4)), 2.0)
+      << "message-passing family (mp_compute, work 4)";
+  EXPECT_GE(reduction_factor(litmus::mp_spin_compute(3)), 2.0)
+      << "message-passing family (mp_spin_compute, work 3)";
+}
+
+TEST(Por, ReducedGraphIdenticalAcrossWorkerCounts) {
+  const auto sys = litmus::mp_spin_compute(2);
+  ExploreOptions base;
+  base.por = true;
+  const auto reference = explore::explore(sys, base);
+  for (const unsigned workers : {2U, 8U}) {
+    ExploreOptions opts;
+    opts.por = true;
+    opts.num_threads = workers;
+    const auto r = explore::explore(sys, opts);
+    EXPECT_EQ(r.stats.states, reference.stats.states) << workers;
+    EXPECT_EQ(final_encodings(r), final_encodings(reference)) << workers;
+  }
+}
+
+// --- the full-corpus cross-check (RC11_POR_CROSSCHECK=1; the CI por job) ----
+
+TEST(PorCrosscheck, FullCorpusAgreement) {
+  if (!crosscheck_enabled()) {
+    GTEST_SKIP() << "set RC11_POR_CROSSCHECK=1 to run the full corpus";
+  }
+
+  // Every litmus + causality test (again, for completeness of the corpus
+  // under one roof), every sample program, every lock implementation under
+  // every client.
+  for (const auto& test : litmus::all_tests()) {
+    expect_por_exact(test.sys, "litmus " + test.name);
+  }
+  for (const auto& test : litmus::all_causality_tests()) {
+    expect_por_exact(test.sys, "causality " + test.name);
+  }
+  expect_por_exact(litmus::peterson_counter().sys, "peterson");
+  expect_por_exact(litmus::dekker_counter().sys, "dekker");
+  expect_por_exact(litmus::barrier_exchange().sys, "barrier");
+  for (const unsigned work : {1U, 2U, 4U}) {
+    expect_por_exact(litmus::mp_compute(work), "mp_compute");
+    expect_por_exact(litmus::mp_spin_compute(work), "mp_spin_compute");
+  }
+
+  const char* programs[] = {
+      "lock_client_abstract.rc11", "lock_client_broken.rc11",
+      "lock_client_seqlock.rc11",  "mp_broken_outline.rc11",
+      "mp_stack.rc11",             "mp_verified.rc11",
+      "sb.rc11",                   "ticket_lock.rc11",
+  };
+  for (const char* name : programs) {
+    const auto program = parser::parse_file(std::string(RC11_SRC_DIR) +
+                                            "/tools/programs/" + name);
+    expect_por_exact(program.sys, name);
+  }
+
+  const std::vector<locks::ClientProgram> clients = {
+      locks::fig7_client(),
+      locks::mgc_client(2, 2),
+      locks::counter_client(2, 1),
+      locks::worker_client(2, 1, 2),
+  };
+  locks::AbstractLock abstract;
+  locks::SeqLock seq;
+  locks::TicketLock ticket;
+  locks::CasSpinLock cas;
+  locks::TTASLock ttas;
+  locks::LockObject* lock_impls[] = {&abstract, &seq, &ticket, &cas, &ttas};
+  for (const auto& client : clients) {
+    for (auto* lock : lock_impls) {
+      expect_por_exact(locks::instantiate(client, *lock), lock->name());
+    }
+  }
+}
+
+}  // namespace

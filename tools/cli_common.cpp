@@ -1,0 +1,108 @@
+#include "cli_common.hpp"
+
+#include <fstream>
+#include <iostream>
+
+namespace rc11::cli {
+
+FlagStatus parse_common_flag(int argc, char** argv, int& i,
+                             CommonOptions& out) {
+  const std::string arg = argv[i];
+  const auto value = [&](std::string& dst) {
+    if (++i >= argc) return false;
+    dst = argv[i];
+    return true;
+  };
+  if (arg == "--max-states") {
+    return ++i < argc && parse_num(argv[i], out.max_states)
+               ? FlagStatus::Consumed
+               : FlagStatus::Error;
+  }
+  if (arg == "--threads") {
+    return ++i < argc && parse_num(argv[i], out.num_threads)
+               ? FlagStatus::Consumed
+               : FlagStatus::Error;
+  }
+  if (arg == "--por") {
+    out.por = true;
+    return FlagStatus::Consumed;
+  }
+  if (arg == "--stats") {
+    out.stats = true;
+    return FlagStatus::Consumed;
+  }
+  if (arg == "--json") {
+    return value(out.json_path) ? FlagStatus::Consumed : FlagStatus::Error;
+  }
+  if (arg == "--witness") {
+    return value(out.witness_path) ? FlagStatus::Consumed : FlagStatus::Error;
+  }
+  if (arg == "--replay") {
+    return value(out.replay_path) ? FlagStatus::Consumed : FlagStatus::Error;
+  }
+  return FlagStatus::NotMine;
+}
+
+int run_replay(const lang::System& sys, const CommonOptions& opts) {
+  const auto w = witness::load(opts.replay_path);
+  const auto r = witness::replay(sys, w);
+  if (r.ok) {
+    std::cout << "replay OK: " << w.steps.size()
+              << " step(s) re-executed, final digest matches\n";
+    return kExitOk;
+  }
+  std::cout << "replay FAILED after " << r.steps_applied
+            << " step(s): " << r.error << "\n";
+  return kExitFail;
+}
+
+void print_stats(const engine::ExploreStats& stats, bool por) {
+  const auto per_state =
+      stats.states ? stats.visited_bytes / stats.states : 0;
+  std::cout << "peak frontier:  " << stats.peak_frontier << "\n"
+            << "visited bytes:  " << stats.visited_bytes << " (" << per_state
+            << " B/state)\n";
+  if (por) {
+    std::cout << "por reduced:    " << stats.por_reduced
+              << " state(s) expanded with an ample set\n"
+              << "por chained:    " << stats.por_chained
+              << " local step(s) collapsed (states never visited)\n";
+  }
+}
+
+witness::Json stats_json(const engine::ExploreStats& stats) {
+  auto j = witness::Json::object();
+  j.set("states", witness::Json::integer(static_cast<std::int64_t>(stats.states)));
+  j.set("transitions",
+        witness::Json::integer(static_cast<std::int64_t>(stats.transitions)));
+  j.set("finals", witness::Json::integer(static_cast<std::int64_t>(stats.finals)));
+  j.set("blocked",
+        witness::Json::integer(static_cast<std::int64_t>(stats.blocked)));
+  j.set("peak_frontier",
+        witness::Json::integer(static_cast<std::int64_t>(stats.peak_frontier)));
+  j.set("visited_bytes",
+        witness::Json::integer(static_cast<std::int64_t>(stats.visited_bytes)));
+  if (stats.por_reduced != 0 || stats.por_chained != 0) {
+    j.set("por_reduced",
+          witness::Json::integer(static_cast<std::int64_t>(stats.por_reduced)));
+    j.set("por_chained",
+          witness::Json::integer(static_cast<std::int64_t>(stats.por_chained)));
+  }
+  return j;
+}
+
+void write_json_summary(const witness::Json& summary, const std::string& path) {
+  std::ofstream out{path};
+  out << summary.dump() << "\n";
+  std::cout << "json summary written to " << path << "\n";
+}
+
+void write_witness(const lang::System& sys, const witness::Witness& w,
+                   const std::string& path) {
+  const auto minimized = witness::minimize(sys, w);
+  witness::save(minimized, path);
+  std::cout << "witness (" << minimized.steps.size()
+            << " step(s)) written to " << path << "\n";
+}
+
+}  // namespace rc11::cli

@@ -1,0 +1,91 @@
+// tools/cli_common.hpp
+//
+// Flag parsing, exit-code conventions and output helpers shared by the three
+// command-line binaries (rc11-run, rc11-verify, rc11-refine).  Every flag
+// that means the same thing in more than one tool — --max-states, --threads,
+// --por, --stats, --json, --witness, --replay — is parsed here exactly once,
+// so the tools cannot drift apart in spelling, value handling or exit codes.
+
+#pragma once
+
+#include <charconv>
+#include <cstdint>
+#include <string>
+
+#include "engine/reach.hpp"
+#include "lang/system.hpp"
+#include "witness/json.hpp"
+#include "witness/witness.hpp"
+
+namespace rc11::cli {
+
+// Exit-code conventions, uniform across the three tools:
+//   0 success (outcomes printed / outline valid / refinement holds)
+//   1 usage or parse errors
+//   2 definite negative verdict (invariant violation, outline invalid,
+//     refinement fails, witness replay diverged)
+//   3 inconclusive (a state or product bound was hit; verdicts unreliable)
+inline constexpr int kExitOk = 0;
+inline constexpr int kExitUsage = 1;
+inline constexpr int kExitFail = 2;
+inline constexpr int kExitInconclusive = 3;
+
+/// Whole-string numeric parse; rejects "abc", "8x", "" instead of aborting.
+template <typename T>
+[[nodiscard]] bool parse_num(const std::string& s, T& out) {
+  const char* end = s.data() + s.size();
+  const auto [ptr, ec] = std::from_chars(s.data(), end, out);
+  return ec == std::errc{} && ptr == end;
+}
+
+/// The flags every tool accepts, with their shared defaults.
+struct CommonOptions {
+  std::uint64_t max_states = 1'000'000;
+  unsigned num_threads = 1;  ///< 0 = hardware concurrency
+  bool por = false;          ///< ample-set partial-order reduction
+  bool stats = false;        ///< print exploration statistics
+  std::string witness_path;  ///< write first counterexample as JSON witness
+  std::string replay_path;   ///< re-execute a JSON witness instead of checking
+  std::string json_path;     ///< write a machine-readable run summary
+};
+
+/// Usage-line fragment for the shared flags (tools append their own).
+inline constexpr const char* kCommonUsage =
+    "[--max-states N] [--threads N] [--por] [--stats] [--json FILE] "
+    "[--witness FILE] [--replay FILE]";
+
+enum class FlagStatus : std::uint8_t {
+  Consumed,  ///< argv[i] (plus its value, if any) was a common flag
+  NotMine,   ///< not a common flag; the tool should try its own
+  Error,     ///< common flag with a missing or malformed value
+};
+
+/// Tries to consume argv[i] as a common flag, advancing `i` over the flag's
+/// value when it takes one.
+[[nodiscard]] FlagStatus parse_common_flag(int argc, char** argv, int& i,
+                                           CommonOptions& out);
+
+/// The shared --replay implementation: load the witness at
+/// `opts.replay_path`, re-execute it against `sys`, narrate the outcome.
+/// Returns kExitOk when every step replays, kExitFail otherwise.
+[[nodiscard]] int run_replay(const lang::System& sys,
+                             const CommonOptions& opts);
+
+/// The shared --stats block: peak frontier, visited-set memory and — under
+/// --por — how much the reduction saved (reduced expansions and states
+/// skipped by chain collapse).
+void print_stats(const engine::ExploreStats& stats, bool por);
+
+/// ExploreStats as a JSON object (states, transitions, finals, blocked, and
+/// the POR counters when non-zero) for --json summaries.
+[[nodiscard]] witness::Json stats_json(const engine::ExploreStats& stats);
+
+/// Writes a --json summary document and narrates where it went.
+void write_json_summary(const witness::Json& summary, const std::string& path);
+
+/// The shared --witness emission: minimize `w` against `sys`, save it to
+/// `path` and narrate the step count.
+void write_witness(const lang::System& sys, const witness::Witness& w,
+                   const std::string& path);
+
+}  // namespace rc11::cli

@@ -6,10 +6,15 @@
 // Usage:
 //   rc11-refine [options] abstract.rc11 concrete.rc11
 //
-// Options:
+// Options (see tools/cli_common.hpp for the flags shared by every tool):
 //   --max-states N    per-system exploration bound (default 1000000)
 //   --threads N       workers for graph construction and client projection
 //                     (0 = hardware concurrency, default 1)
+//   --por             client-invisible ample reduction while building the
+//                     two state graphs (graph edges stay single steps, so
+//                     counterexamples replay unchanged)
+//   --stats           also print the per-check size accounting
+//   --json FILE       write a machine-readable run summary
 //   --trace-only      skip the Def. 8 simulation, run only trace inclusion
 //   --witness FILE    write the counterexample run (a run of the *concrete*
 //                     program) as a JSON witness, minimized before emission
@@ -22,11 +27,11 @@
 // parse errors, 2 refinement fails (or --replay diverged), 3 inconclusive
 // (truncated).
 
-#include <charconv>
 #include <iostream>
 #include <optional>
 #include <string>
 
+#include "cli_common.hpp"
 #include "parser/parser.hpp"
 #include "refinement/refinement.hpp"
 #include "witness/witness.hpp"
@@ -34,18 +39,9 @@
 namespace {
 
 int usage() {
-  std::cerr << "usage: rc11-refine [--max-states N] [--threads N] "
-               "[--trace-only] [--witness FILE] [--replay FILE] "
-               "abstract.rc11 concrete.rc11\n";
-  return 1;
-}
-
-/// Whole-string numeric parse; rejects "abc", "8x", "" instead of aborting.
-template <typename T>
-bool parse_num(const std::string& s, T& out) {
-  const char* end = s.data() + s.size();
-  const auto [ptr, ec] = std::from_chars(s.data(), end, out);
-  return ec == std::errc{} && ptr == end;
+  std::cerr << "usage: rc11-refine " << rc11::cli::kCommonUsage
+            << " [--trace-only] abstract.rc11 concrete.rc11\n";
+  return rc11::cli::kExitUsage;
 }
 
 }  // namespace
@@ -55,32 +51,21 @@ int main(int argc, char** argv) {
 
   std::string abs_path;
   std::string conc_path;
-  refinement::SimulationOptions sim_opts;
-  refinement::TraceInclusionOptions trace_opts;
+  cli::CommonOptions common;
   bool trace_only = false;
-  std::string witness_path;
-  std::string replay_path;
 
   for (int i = 1; i < argc; ++i) {
+    switch (cli::parse_common_flag(argc, argv, i, common)) {
+      case cli::FlagStatus::Consumed:
+        continue;
+      case cli::FlagStatus::Error:
+        return usage();
+      case cli::FlagStatus::NotMine:
+        break;
+    }
     const std::string arg = argv[i];
-    if (arg == "--max-states") {
-      if (++i >= argc || !parse_num(argv[i], sim_opts.max_states)) {
-        return usage();
-      }
-      trace_opts.max_states = sim_opts.max_states;
-    } else if (arg == "--threads") {
-      if (++i >= argc || !parse_num(argv[i], sim_opts.num_threads)) {
-        return usage();
-      }
-      trace_opts.num_threads = sim_opts.num_threads;
-    } else if (arg == "--trace-only") {
+    if (arg == "--trace-only") {
       trace_only = true;
-    } else if (arg == "--witness") {
-      if (++i >= argc) return usage();
-      witness_path = argv[i];
-    } else if (arg == "--replay") {
-      if (++i >= argc) return usage();
-      replay_path = argv[i];
     } else if (!arg.empty() && arg[0] == '-') {
       return usage();
     } else if (abs_path.empty()) {
@@ -93,27 +78,30 @@ int main(int argc, char** argv) {
   }
   if (abs_path.empty() || conc_path.empty()) return usage();
 
+  refinement::SimulationOptions sim_opts;
+  sim_opts.max_states = common.max_states;
+  sim_opts.num_threads = common.num_threads;
+  sim_opts.por = common.por;
+  refinement::TraceInclusionOptions trace_opts;
+  trace_opts.max_states = common.max_states;
+  trace_opts.num_threads = common.num_threads;
+  trace_opts.por = common.por;
+
   try {
     const auto abs = parser::parse_file(abs_path);
     const auto conc = parser::parse_file(conc_path);
 
-    if (!replay_path.empty()) {
-      const auto w = witness::load(replay_path);
-      const auto r = witness::replay(conc.sys, w);
-      if (r.ok) {
-        std::cout << "replay OK: " << w.steps.size()
-                  << " step(s) re-executed against the concrete program, "
-                     "final digest matches\n";
-        return 0;
-      }
-      std::cout << "replay FAILED after " << r.steps_applied
-                << " step(s): " << r.error << "\n";
-      return 2;
+    if (!common.replay_path.empty()) {
+      return cli::run_replay(conc.sys, common);
     }
 
     bool refines = true;
     bool inconclusive = false;
     std::optional<witness::Witness> counterexample;
+    auto summary = witness::Json::object();
+    summary.set("tool", witness::Json::string("rc11-refine"));
+    summary.set("abstract", witness::Json::string(abs_path));
+    summary.set("concrete", witness::Json::string(conc_path));
 
     if (!trace_only) {
       const auto sim =
@@ -123,6 +111,10 @@ int main(int argc, char** argv) {
                 << sim.abstract_states << " states, conc "
                 << sim.concrete_states << " states, " << sim.surviving_pairs
                 << "/" << sim.candidate_pairs << " pairs survive]\n";
+      if (common.stats) {
+        std::cout << "  refinement iterations: " << sim.refinement_iterations
+                  << "\n";
+      }
       if (!sim.holds) {
         std::cout << "  diagnosis: " << sim.diagnosis << "\n";
         for (const auto& step : sim.counterexample) {
@@ -132,6 +124,22 @@ int main(int argc, char** argv) {
       }
       refines = refines && sim.holds;
       inconclusive = inconclusive || sim.truncated;
+
+      auto sim_json = witness::Json::object();
+      sim_json.set("holds", witness::Json::boolean(sim.holds));
+      sim_json.set("abstract_states",
+                   witness::Json::integer(
+                       static_cast<std::int64_t>(sim.abstract_states)));
+      sim_json.set("concrete_states",
+                   witness::Json::integer(
+                       static_cast<std::int64_t>(sim.concrete_states)));
+      sim_json.set("candidate_pairs",
+                   witness::Json::integer(
+                       static_cast<std::int64_t>(sim.candidate_pairs)));
+      sim_json.set("surviving_pairs",
+                   witness::Json::integer(
+                       static_cast<std::int64_t>(sim.surviving_pairs)));
+      summary.set("simulation", std::move(sim_json));
     }
 
     const auto tr =
@@ -148,26 +156,36 @@ int main(int argc, char** argv) {
     refines = refines && tr.holds;
     inconclusive = inconclusive || tr.truncated;
 
-    if (!witness_path.empty()) {
+    auto tr_json = witness::Json::object();
+    tr_json.set("holds", witness::Json::boolean(tr.holds));
+    tr_json.set("product_nodes",
+                witness::Json::integer(
+                    static_cast<std::int64_t>(tr.product_nodes)));
+    summary.set("trace_inclusion", std::move(tr_json));
+
+    if (!common.witness_path.empty()) {
       if (counterexample) {
-        const auto w = witness::minimize(conc.sys, *counterexample);
-        witness::save(w, witness_path);
-        std::cout << "witness (" << w.steps.size() << " step(s), concrete run)"
-                  << " written to " << witness_path << "\n";
+        cli::write_witness(conc.sys, *counterexample, common.witness_path);
       } else {
-        std::cout << "no counterexample run; " << witness_path
+        std::cout << "no counterexample run; " << common.witness_path
                   << " not written\n";
       }
     }
 
+    summary.set("refines", witness::Json::boolean(refines));
+    summary.set("inconclusive", witness::Json::boolean(inconclusive));
+    if (!common.json_path.empty()) {
+      cli::write_json_summary(summary, common.json_path);
+    }
+
     if (inconclusive) {
       std::cout << "INCONCLUSIVE: exploration truncated\n";
-      return 3;
+      return cli::kExitInconclusive;
     }
     std::cout << (refines ? "REFINES" : "DOES NOT REFINE") << "\n";
-    return refines ? 0 : 2;
+    return refines ? cli::kExitOk : cli::kExitFail;
   } catch (const std::exception& e) {
     std::cerr << "rc11-refine: " << e.what() << "\n";
-    return 1;
+    return cli::kExitUsage;
   }
 }

@@ -4,10 +4,13 @@
 // Usage:
 //   rc11-run [options] program.rc11
 //
-// Options:
+// Options (see tools/cli_common.hpp for the flags shared by every tool):
 //   --max-states N      exploration bound (default 1000000)
 //   --threads N         exploration workers (0 = hardware, default 1)
-//   --stats             also print peak frontier / visited-set memory
+//   --por               ample-set partial-order reduction (sound for the
+//                       outcome set; composes with --threads and --witness)
+//   --stats             also print peak frontier / visited memory / POR savings
+//   --json FILE         write a machine-readable run summary
 //   --disassemble       print the compiled per-thread code first
 //   --no-ctview         ablation A1: disable cross-component view transfer
 //   --no-covered        ablation A2: disable covered-set enforcement
@@ -18,16 +21,15 @@
 //   --replay FILE       re-execute a JSON witness against the program instead
 //                       of exploring; exit 0 iff every step replays
 //
-// Exit status: 0 on success, 1 on usage/parse errors, 2 if exploration was
-// truncated, an --invariant violation was found, or a --replay diverged.
+// Exit status: 0 on success, 1 on usage/parse errors, 2 if an --invariant
+// violation was found or a --replay diverged, 3 if exploration was truncated.
 
-#include <charconv>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 
-#include <fstream>
-
+#include "cli_common.hpp"
 #include "explore/dot.hpp"
 #include "explore/explorer.hpp"
 #include "parser/parser.hpp"
@@ -37,19 +39,11 @@
 namespace {
 
 int usage() {
-  std::cerr << "usage: rc11-run [--max-states N] [--threads N] [--stats] "
-               "[--disassemble] [--no-ctview] [--no-covered] "
+  std::cerr << "usage: rc11-run " << rc11::cli::kCommonUsage
+            << " [--disassemble] [--no-ctview] [--no-covered] "
                "[--raw-timestamps] [--dot FILE] [--invariant EXPR] "
-               "[--witness FILE] [--replay FILE] program.rc11\n";
-  return 1;
-}
-
-/// Whole-string numeric parse; rejects "abc", "8x", "" instead of aborting.
-template <typename T>
-bool parse_num(const std::string& s, T& out) {
-  const char* end = s.data() + s.size();
-  const auto [ptr, ec] = std::from_chars(s.data(), end, out);
-  return ec == std::errc{} && ptr == end;
+               "program.rc11\n";
+  return rc11::cli::kExitUsage;
 }
 
 }  // namespace
@@ -58,25 +52,24 @@ int main(int argc, char** argv) {
   using namespace rc11;
 
   std::string path;
-  explore::ExploreOptions opts;
+  cli::CommonOptions common;
   memsem::SemanticsOptions sem;
   bool disassemble = false;
-  bool stats = false;
   std::string dot_path;
   std::string invariant_src;
-  std::string witness_path;
-  std::string replay_path;
 
   for (int i = 1; i < argc; ++i) {
+    switch (cli::parse_common_flag(argc, argv, i, common)) {
+      case cli::FlagStatus::Consumed:
+        continue;
+      case cli::FlagStatus::Error:
+        return usage();
+      case cli::FlagStatus::NotMine:
+        break;
+    }
     const std::string arg = argv[i];
-    if (arg == "--max-states") {
-      if (++i >= argc || !parse_num(argv[i], opts.max_states)) return usage();
-    } else if (arg == "--threads") {
-      if (++i >= argc || !parse_num(argv[i], opts.num_threads)) return usage();
-    } else if (arg == "--disassemble") {
+    if (arg == "--disassemble") {
       disassemble = true;
-    } else if (arg == "--stats") {
-      stats = true;
     } else if (arg == "--no-ctview") {
       sem.cross_component_view_transfer = false;
     } else if (arg == "--no-covered") {
@@ -89,12 +82,6 @@ int main(int argc, char** argv) {
     } else if (arg == "--invariant") {
       if (++i >= argc) return usage();
       invariant_src = argv[i];
-    } else if (arg == "--witness") {
-      if (++i >= argc) return usage();
-      witness_path = argv[i];
-    } else if (arg == "--replay") {
-      if (++i >= argc) return usage();
-      replay_path = argv[i];
     } else if (!arg.empty() && arg[0] == '-') {
       return usage();
     } else if (path.empty()) {
@@ -109,22 +96,18 @@ int main(int argc, char** argv) {
     auto program = parser::parse_file(path);
     program.sys.set_options(sem);
 
-    if (!replay_path.empty()) {
-      const auto w = witness::load(replay_path);
-      const auto r = witness::replay(program.sys, w);
-      if (r.ok) {
-        std::cout << "replay OK: " << w.steps.size()
-                  << " step(s) re-executed, final digest matches\n";
-        return 0;
-      }
-      std::cout << "replay FAILED after " << r.steps_applied
-                << " step(s): " << r.error << "\n";
-      return 2;
+    if (!common.replay_path.empty()) {
+      return cli::run_replay(program.sys, common);
     }
 
     if (disassemble) {
       std::cout << program.sys.disassemble() << "\n";
     }
+
+    explore::ExploreOptions opts;
+    opts.max_states = common.max_states;
+    opts.num_threads = common.num_threads;
+    opts.por = common.por;
 
     explore::Invariant invariant;
     if (!invariant_src.empty()) {
@@ -136,7 +119,7 @@ int main(int argc, char** argv) {
         return "invariant " + invariant_src + " violated";
       };
       // A witness needs parent links; traces are how the explorer builds them.
-      if (!witness_path.empty()) opts.track_traces = true;
+      if (!common.witness_path.empty()) opts.track_traces = true;
     }
 
     if (!dot_path.empty()) {
@@ -154,14 +137,8 @@ int main(int argc, char** argv) {
               << "transitions: " << result.stats.transitions << "\n"
               << "finals:      " << result.stats.finals << "\n"
               << "blocked:     " << result.stats.blocked << "\n";
-    if (stats) {
-      const auto per_state =
-          result.stats.states
-              ? result.stats.visited_bytes / result.stats.states
-              : 0;
-      std::cout << "peak frontier:  " << result.stats.peak_frontier << "\n"
-                << "visited bytes:  " << result.stats.visited_bytes << " ("
-                << per_state << " B/state)\n";
+    if (common.stats) {
+      cli::print_stats(result.stats, common.por);
     }
     if (result.truncated) {
       std::cout << "WARNING: exploration truncated at " << opts.max_states
@@ -187,30 +164,42 @@ int main(int argc, char** argv) {
       std::cout << "\n";
     }
 
+    if (!common.json_path.empty()) {
+      auto summary = witness::Json::object();
+      summary.set("tool", witness::Json::string("rc11-run"));
+      summary.set("program", witness::Json::string(path));
+      summary.set("truncated", witness::Json::boolean(result.truncated));
+      summary.set("violations",
+                  witness::Json::integer(
+                      static_cast<std::int64_t>(result.violations.size())));
+      summary.set("outcomes", witness::Json::integer(
+                                  static_cast<std::int64_t>(outcomes.size())));
+      summary.set("stats", cli::stats_json(result.stats));
+      cli::write_json_summary(summary, common.json_path);
+    }
+
     if (!result.violations.empty()) {
       const auto& v = result.violations.front();
       std::cout << "\nVIOLATION: " << v.what << "\n";
       for (const auto& step : v.trace) {
         std::cout << "  " << step << "\n";
       }
-      if (!witness_path.empty()) {
+      if (!common.witness_path.empty()) {
         if (v.witness) {
-          const auto w = witness::minimize(program.sys, *v.witness);
-          witness::save(w, witness_path);
-          std::cout << "witness (" << w.steps.size() << " step(s)) written to "
-                    << witness_path << "\n";
+          cli::write_witness(program.sys, *v.witness, common.witness_path);
         } else {
           std::cout << "no witness recorded (trace tracking was off)\n";
         }
       }
-      return 2;
+      return cli::kExitFail;
     }
-    if (!witness_path.empty()) {
-      std::cout << "no violation found; " << witness_path << " not written\n";
+    if (!common.witness_path.empty()) {
+      std::cout << "no violation found; " << common.witness_path
+                << " not written\n";
     }
-    return result.truncated ? 2 : 0;
+    return result.truncated ? cli::kExitInconclusive : cli::kExitOk;
   } catch (const std::exception& e) {
     std::cerr << "rc11-run: " << e.what() << "\n";
-    return 1;
+    return cli::kExitUsage;
   }
 }

@@ -5,10 +5,15 @@
 // Usage:
 //   rc11-verify [options] program.rc11
 //
-// Options:
+// Options (see tools/cli_common.hpp for the flags shared by every tool):
 //   --max-states N       exploration bound (default 1000000)
 //   --threads N          exploration workers (0 = hardware, default 1;
 //                        traces and witnesses work at every thread count)
+//   --por                ample-set partial-order reduction (failures found
+//                        are real; see og/proof_outline.hpp for the caveat)
+//   --stats              also print peak frontier / visited memory / POR
+//                        savings
+//   --json FILE          write a machine-readable run summary
 //   --no-interference    skip the pairwise Owicki-Gries side condition
 //   --all-failures       report every failed obligation, not just the first
 //   --trace              include a counterexample run with each failure
@@ -20,10 +25,11 @@
 // Exit status: 0 valid, 1 usage/parse errors, 2 outline invalid (or --replay
 // diverged), 3 inconclusive (state bound hit).
 
-#include <charconv>
 #include <iostream>
+#include <sstream>
 #include <string>
 
+#include "cli_common.hpp"
 #include "og/proof_outline.hpp"
 #include "parser/parser.hpp"
 #include "witness/witness.hpp"
@@ -31,18 +37,10 @@
 namespace {
 
 int usage() {
-  std::cerr << "usage: rc11-verify [--max-states N] [--threads N] "
-               "[--no-interference] [--all-failures] [--trace] "
-               "[--witness FILE] [--replay FILE] program.rc11\n";
-  return 1;
-}
-
-/// Whole-string numeric parse; rejects "abc", "8x", "" instead of aborting.
-template <typename T>
-bool parse_num(const std::string& s, T& out) {
-  const char* end = s.data() + s.size();
-  const auto [ptr, ec] = std::from_chars(s.data(), end, out);
-  return ec == std::errc{} && ptr == end;
+  std::cerr << "usage: rc11-verify " << rc11::cli::kCommonUsage
+            << " [--no-interference] [--all-failures] [--trace] "
+               "program.rc11\n";
+  return rc11::cli::kExitUsage;
 }
 
 }  // namespace
@@ -51,28 +49,24 @@ int main(int argc, char** argv) {
   using namespace rc11;
 
   std::string path;
+  cli::CommonOptions common;
   og::OutlineCheckOptions opts;
-  std::string witness_path;
-  std::string replay_path;
   for (int i = 1; i < argc; ++i) {
+    switch (cli::parse_common_flag(argc, argv, i, common)) {
+      case cli::FlagStatus::Consumed:
+        continue;
+      case cli::FlagStatus::Error:
+        return usage();
+      case cli::FlagStatus::NotMine:
+        break;
+    }
     const std::string arg = argv[i];
-    if (arg == "--max-states") {
-      if (++i >= argc || !parse_num(argv[i], opts.max_states)) return usage();
-    } else if (arg == "--threads") {
-      if (++i >= argc || !parse_num(argv[i], opts.num_threads)) return usage();
-    } else if (arg == "--no-interference") {
+    if (arg == "--no-interference") {
       opts.check_interference = false;
     } else if (arg == "--all-failures") {
       opts.stop_at_first_failure = false;
     } else if (arg == "--trace") {
       opts.track_traces = true;
-    } else if (arg == "--witness") {
-      if (++i >= argc) return usage();
-      witness_path = argv[i];
-      opts.track_traces = true;  // witnesses ride on the recorded parents
-    } else if (arg == "--replay") {
-      if (++i >= argc) return usage();
-      replay_path = argv[i];
     } else if (!arg.empty() && arg[0] == '-') {
       return usage();
     } else if (path.empty()) {
@@ -83,41 +77,61 @@ int main(int argc, char** argv) {
   }
   if (path.empty()) return usage();
 
+  opts.max_states = common.max_states;
+  opts.num_threads = common.num_threads;
+  opts.por = common.por;
+  if (!common.witness_path.empty()) {
+    opts.track_traces = true;  // witnesses ride on the recorded parents
+  }
+
   try {
     const auto program = parser::parse_file(path);
-    if (!replay_path.empty()) {
-      const auto w = witness::load(replay_path);
-      const auto r = witness::replay(program.sys, w);
-      if (r.ok) {
-        std::cout << "replay OK: " << w.steps.size()
-                  << " step(s) re-executed, final digest matches\n";
-        return 0;
-      }
-      std::cout << "replay FAILED after " << r.steps_applied
-                << " step(s): " << r.error << "\n";
-      return 2;
+    if (!common.replay_path.empty()) {
+      return cli::run_replay(program.sys, common);
     }
     if (!program.outline) {
       std::cerr << "rc11-verify: " << path << " has no outline { ... } block\n";
-      return 1;
+      return cli::kExitUsage;
     }
     const auto result =
         og::check_outline(program.sys, *program.outline, opts);
     std::cout << "states explored:     " << result.stats.states << "\n"
               << "obligations checked: " << result.obligations_checked << "\n";
-    if (result.stats.states >= opts.max_states) {
+    if (common.stats) {
+      cli::print_stats(result.stats, common.por);
+    }
+
+    const bool inconclusive = result.stats.states >= opts.max_states;
+    if (!common.json_path.empty()) {
+      auto summary = witness::Json::object();
+      summary.set("tool", witness::Json::string("rc11-verify"));
+      summary.set("program", witness::Json::string(path));
+      summary.set("valid", witness::Json::boolean(result.valid));
+      summary.set("inconclusive", witness::Json::boolean(inconclusive));
+      summary.set("obligations_checked",
+                  witness::Json::integer(static_cast<std::int64_t>(
+                      result.obligations_checked)));
+      summary.set("failures",
+                  witness::Json::integer(
+                      static_cast<std::int64_t>(result.failures.size())));
+      summary.set("stats", cli::stats_json(result.stats));
+      cli::write_json_summary(summary, common.json_path);
+    }
+
+    if (inconclusive) {
       std::cout << "INCONCLUSIVE: state bound reached\n";
-      return 3;
+      return cli::kExitInconclusive;
     }
     if (result.valid) {
       std::cout << "outline VALID"
                 << (opts.check_interference ? " (incl. interference freedom)"
                                             : "")
                 << "\n";
-      if (!witness_path.empty()) {
-        std::cout << "no failures; " << witness_path << " not written\n";
+      if (!common.witness_path.empty()) {
+        std::cout << "no failures; " << common.witness_path
+                  << " not written\n";
       }
-      return 0;
+      return cli::kExitOk;
     }
     std::cout << "outline INVALID — " << result.failures.size()
               << " failed obligation(s):\n";
@@ -136,25 +150,23 @@ int main(int argc, char** argv) {
         std::cout << "    " << line << "\n";
       }
     }
-    if (!witness_path.empty()) {
+    if (!common.witness_path.empty()) {
       bool written = false;
       for (const auto& failure : result.failures) {
         if (!failure.witness) continue;
-        const auto w = witness::minimize(program.sys, *failure.witness);
-        witness::save(w, witness_path);
-        std::cout << "witness (" << w.steps.size() << " step(s)) written to "
-                  << witness_path << "\n";
+        cli::write_witness(program.sys, *failure.witness,
+                           common.witness_path);
         written = true;
         break;
       }
       if (!written) {
-        std::cout << "no witness recorded; " << witness_path
+        std::cout << "no witness recorded; " << common.witness_path
                   << " not written\n";
       }
     }
-    return 2;
+    return cli::kExitFail;
   } catch (const std::exception& e) {
     std::cerr << "rc11-verify: " << e.what() << "\n";
-    return 1;
+    return cli::kExitUsage;
   }
 }
