@@ -9,6 +9,8 @@
 #include <utility>
 #include <vector>
 
+#include "engine/checkpoint.hpp"
+#include "support/diagnostics.hpp"
 #include "support/intern.hpp"
 #include "support/parallel.hpp"
 
@@ -29,6 +31,46 @@ struct Frontier {
   Config cfg;
   std::uint64_t id = ShardedVisitedSet::kNoState;
 };
+
+/// Seeds a run from a checkpoint (ReachOptions::resume): every checkpointed
+/// state enters the visited set — the trace sink when one is attached (with
+/// its recorded parent link and enqueued flag, so a later checkpoint of the
+/// resumed run is still faithful), the plain set otherwise — and every
+/// *enqueued* state goes on the frontier for (re-)expansion.  Chain-internal
+/// POR states are interned but never enqueued, exactly as the original run
+/// left them.  Works for both drivers: `untraced` is the sequential
+/// InternedWordSet or the parallel ShardedVisitedSet.
+template <typename UntracedSet>
+void seed_from_checkpoint(const TransitionSystem& ts, const Checkpoint& ckpt,
+                          ShardedVisitedSet* trace, UntracedSet& untraced,
+                          std::deque<Frontier>& frontier) {
+  std::vector<Config> configs = restore_states(ts, ckpt);
+  std::vector<std::uint64_t> ids;
+  if (trace != nullptr) {
+    ids.assign(configs.size(), ShardedVisitedSet::kNoState);
+  }
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    const Checkpoint::State& state = ckpt.states[i];
+    if (trace != nullptr) {
+      const std::uint64_t parent =
+          state.parent < 0 ? ShardedVisitedSet::kNoState
+                           : ids[static_cast<std::size_t>(state.parent)];
+      const auto ins =
+          trace->insert_traced(state.encoding, parent, state.thread,
+                               std::string(state.label), state.enqueued);
+      RC11_REQUIRE(ins.inserted,
+                   "resume requires an empty trace sink and a duplicate-free "
+                   "checkpoint");
+      ids[i] = ins.id;
+      if (state.enqueued) frontier.push_back({std::move(configs[i]), ins.id});
+    } else if (state.enqueued) {
+      // Untraced runs never intern chain-internal states; seeding only the
+      // enqueued ones reproduces an uninterrupted untraced visited set.
+      untraced.insert(state.encoding);
+      frontier.push_back({std::move(configs[i]), ShardedVisitedSet::kNoState});
+    }
+  }
+}
 
 // --- POR chain collapse ------------------------------------------------------
 
@@ -74,17 +116,25 @@ bool collapse_traced(const TransitionSystem& ts, ShardedVisitedSet& sink,
                      Config& cfg, std::uint64_t& id, StepBuffer& buf,
                      std::vector<std::uint64_t>& scratch,
                      std::uint64_t& chained) {
-  while (const auto t = chain_thread(ts, cfg)) {
+  auto t = chain_thread(ts, cfg);
+  while (t) {
     ts.thread_successors_into(cfg, *t, buf, /*want_labels=*/true);
     auto& step = buf.steps()[0];
+    // Chain-internal states are interned (witnesses need the edges) but
+    // never enqueued — a checkpoint must not resurrect them as frontier
+    // work.  Only the chain's stable end, which the caller pushes onto the
+    // frontier, is marked enqueued.
+    const auto next = chain_thread(ts, step.after);
     scratch.clear();
     step.after.encode_into(scratch);
     const auto ins =
-        sink.insert_traced(scratch, id, step.thread, std::move(step.label));
+        sink.insert_traced(scratch, id, step.thread, std::move(step.label),
+                           /*enqueued=*/!next.has_value());
     if (!ins.inserted) return false;
     id = ins.id;
     cfg = std::move(step.after);
     chained += 1;
+    t = next;
   }
   return true;
 }
@@ -118,19 +168,23 @@ ReachResult parallel_reach(const TransitionSystem& ts,
   const bool want_labels = options.want_labels || options.trace != nullptr;
   const bool collapse = options.por && ts.collapse_chains();
   SharedFrontier frontier;
-  // Claim budget for max_states: every popped state claims one index; claims
-  // at or beyond the cap mark truncation instead of being expanded.  This is
+  // Every popped state claims one index from the budget enforcer; claims
+  // beyond a limit mark the stop reason instead of being expanded.  This is
   // the cooperative-parallel analogue of the sequential pre-pop bound check.
-  std::atomic<std::uint64_t> claimed{0};
+  BudgetEnforcer enforcer(options.budget, options.cancel, options.fault,
+                          [&visited] { return visited.bytes(); });
   std::atomic<std::uint64_t> states{0};
   std::atomic<std::uint64_t> transitions{0};
   std::atomic<std::uint64_t> finals{0};
   std::atomic<std::uint64_t> blocked{0};
   std::atomic<std::uint64_t> por_reduced{0};
   std::atomic<std::uint64_t> por_chained{0};
-  std::atomic<bool> truncated{false};
 
-  {
+  if (options.resume != nullptr) {
+    seed_from_checkpoint(ts, *options.resume, options.trace, visited,
+                         frontier.items);
+    frontier.max_size = frontier.items.size();
+  } else {
     Config init = ts.initial();
     std::uint64_t id = ShardedVisitedSet::kNoState;
     if (options.trace) {
@@ -187,9 +241,10 @@ ReachResult parallel_reach(const TransitionSystem& ts,
       bool request_stop = false;
       for (const Frontier& item : batch) {
         const Config& cfg = item.cfg;
-        if (claimed.fetch_add(1, std::memory_order_relaxed) >=
-            options.max_states) {
-          truncated.store(true, std::memory_order_relaxed);
+        if (enforcer.claim() != StopReason::Complete) {
+          // Remaining batch items are dropped without being expanded; they
+          // stay recoverable through a checkpoint (they are interned and
+          // marked enqueued, and resume re-expands every enqueued state).
           request_stop = true;
           break;
         }
@@ -206,10 +261,16 @@ ReachResult parallel_reach(const TransitionSystem& ts,
         for (auto& step : steps.steps()) {
           Config after = std::move(step.after);
           if (options.trace) {
+            // A successor that opens a deterministic chain is itself
+            // chain-internal: collapse will fast-forward through it and
+            // enqueue the chain's end instead.
+            const bool chain_start =
+                collapse && chain_thread(ts, after).has_value();
             scratch.clear();
             after.encode_into(scratch);
             const auto ins = options.trace->insert_traced(
-                scratch, item.id, step.thread, std::move(step.label));
+                scratch, item.id, step.thread, std::move(step.label),
+                /*enqueued=*/!chain_start);
             if (!ins.inserted) continue;
             std::uint64_t id = ins.id;
             if (collapse &&
@@ -265,7 +326,7 @@ ReachResult parallel_reach(const TransitionSystem& ts,
   result.stats.visited_bytes = visited.bytes();
   result.stats.por_reduced = por_reduced.load();
   result.stats.por_chained = por_chained.load();
-  result.truncated = truncated.load();
+  result.stop = enforcer.reason();
   return result;
 }
 
@@ -279,11 +340,19 @@ ReachResult sequential_reach(const TransitionSystem& ts,
   VisitedSet visited;
   const bool want_labels = options.want_labels || options.trace != nullptr;
   const bool collapse = options.por && ts.collapse_chains();
+  BudgetEnforcer enforcer(options.budget, options.cancel, options.fault,
+                          [&]() -> std::uint64_t {
+                            return options.trace ? options.trace->bytes()
+                                                 : visited.bytes();
+                          });
   std::deque<Frontier> frontier;
   lang::StepBuffer steps;
   lang::StepBuffer chain_steps;  // separate pool: collapse runs mid-iteration
   std::vector<std::uint64_t> scratch;
-  {
+  if (options.resume != nullptr) {
+    seed_from_checkpoint(ts, *options.resume, options.trace, visited,
+                         frontier);
+  } else {
     Config init = ts.initial();
     std::uint64_t id = ShardedVisitedSet::kNoState;
     if (options.trace) {
@@ -298,8 +367,9 @@ ReachResult sequential_reach(const TransitionSystem& ts,
   }
   const bool bfs = options.strategy == SearchStrategy::Bfs;
   while (!frontier.empty()) {
-    if (result.stats.states >= options.max_states) {
-      result.truncated = true;
+    if (const StopReason gate = enforcer.claim();
+        gate != StopReason::Complete) {
+      result.stop = gate;
       break;
     }
     result.stats.peak_frontier =
@@ -327,10 +397,14 @@ ReachResult sequential_reach(const TransitionSystem& ts,
     for (auto& step : steps.steps()) {
       Config after = std::move(step.after);
       if (options.trace) {
+        // Same chain-start rule as the parallel driver: see above.
+        const bool chain_start =
+            collapse && chain_thread(ts, after).has_value();
         scratch.clear();
         after.encode_into(scratch);
         const auto ins = options.trace->insert_traced(
-            scratch, item.id, step.thread, std::move(step.label));
+            scratch, item.id, step.thread, std::move(step.label),
+            /*enqueued=*/!chain_start);
         if (!ins.inserted) continue;
         std::uint64_t id = ins.id;
         if (collapse &&
@@ -386,6 +460,18 @@ bool expand_steps(const TransitionSystem& ts, const Config& cfg,
 ReachResult visit_reachable(const TransitionSystem& ts,
                             const ReachOptions& options,
                             const StateVisitor& visitor) {
+  if (options.resume != nullptr) {
+    // The enqueued set is a function of the reduction: a checkpoint taken
+    // under POR seeds a different frontier than a full run needs (and vice
+    // versa), so the settings must agree.  Thread count and strategy are
+    // free to change — they never affect which states are enqueued.
+    support::require(
+        options.resume->por == options.por,
+        "checkpoint was recorded with --por ",
+        options.resume->por ? "on" : "off", " but this run has it ",
+        options.por ? "on" : "off",
+        "; resume must use the same reduction setting");
+  }
   const unsigned workers = support::resolve_num_threads(options.num_threads);
   if (workers <= 1) return sequential_reach(ts, options, visitor);
   return parallel_reach(ts, options, visitor, workers);

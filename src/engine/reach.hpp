@@ -32,10 +32,13 @@
 #include <functional>
 #include <span>
 
+#include "engine/budget.hpp"
 #include "engine/sharded_visited.hpp"
 #include "engine/transition_system.hpp"
 
 namespace rc11::engine {
+
+struct Checkpoint;  // engine/checkpoint.hpp
 
 using lang::Step;
 
@@ -65,7 +68,10 @@ struct ExploreStats {
 };
 
 struct ReachOptions {
-  std::uint64_t max_states = 1'000'000;
+  /// Resource limits (state cap, memory cap, wall-clock deadline).  The
+  /// historic max_states bound lives in budget.max_states; ReachResult::stop
+  /// names whichever limit ended the run.
+  Budget budget;
   unsigned num_threads = 1;  ///< same convention as ExploreOptions
   SearchStrategy strategy = SearchStrategy::Dfs;
   bool fuse_local_steps = false;
@@ -82,6 +88,22 @@ struct ReachOptions {
   /// outlive the call.  When null, ids passed to the visitor are
   /// ShardedVisitedSet::kNoState and the driver owns its visited set.
   ShardedVisitedSet* trace = nullptr;
+  /// Cooperative cancellation: when set, workers poll the token once per
+  /// claimed state and the run stops with StopReason::Interrupted once it
+  /// fires.  The token outlives the call; null disables the check.
+  const CancelToken* cancel = nullptr;
+  /// Deterministic fault injection for robustness tests (see
+  /// engine::FaultPlan); unarmed by default.
+  FaultPlan fault;
+  /// Resume a previous run from a checkpoint: the driver seeds its visited
+  /// set with every checkpointed state and its frontier with every enqueued
+  /// one, then explores normally — the visitor observes exactly the state
+  /// set of an uninterrupted run (see engine/checkpoint.hpp for the
+  /// argument).  `por` must match the checkpoint's, the trace sink (if any)
+  /// must be empty, and the checkpoint must fit the transition system
+  /// (validated by re-execution; support::Error otherwise).  Must outlive
+  /// the call.
+  const Checkpoint* resume = nullptr;
 };
 
 /// Called exactly once per reachable configuration with its enabled steps
@@ -98,7 +120,12 @@ using StateVisitor = std::function<bool(const Config&, std::uint64_t state_id,
 
 struct ReachResult {
   ExploreStats stats;
-  bool truncated = false;
+  /// Why the run ended.  Complete covers full enumeration *and* a visitor
+  /// veto (stopping was the visitor's decision, not resource exhaustion);
+  /// every other value means the enumeration is partial.
+  StopReason stop = StopReason::Complete;
+  /// Compat accessor for the historic `truncated` flag.
+  [[nodiscard]] bool truncated() const { return stop != StopReason::Complete; }
 };
 
 /// The driver's per-state expansion policy — POR ample set, local fusion, or

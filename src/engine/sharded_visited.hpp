@@ -94,11 +94,15 @@ class ShardedVisitedSet {
   /// the same shard lock (so id assignment and parent recording are one
   /// atomic step).  `parent` is the id a previous insert_traced returned for
   /// the state the step was taken from, or kNoState for the initial state.
-  /// The label is consumed only for genuinely new states.  Thread-safe; a
-  /// set used with insert_traced must use it exclusively.
+  /// The label is consumed only for genuinely new states.  `enqueued` marks
+  /// states the driver puts on its frontier; POR chain collapse passes false
+  /// for chain-internal states, which are interned for witness traces but
+  /// never independently expanded — a checkpoint must not resurrect them as
+  /// frontier work.  Thread-safe; a set used with insert_traced must use it
+  /// exclusively.
   TracedInsert insert_traced(std::span<const std::uint64_t> encoding,
                              std::uint64_t parent, memsem::ThreadId thread,
-                             std::string&& label) {
+                             std::string&& label, bool enqueued = true) {
     const std::uint64_t digest = support::hash_words(encoding);
     const std::size_t si = shard_of(digest);
     Shard& shard = shards_[si];
@@ -106,7 +110,8 @@ class ShardedVisitedSet {
     const auto ided = shard.set.insert_ided(encoding, digest);
     if (!ided.inserted) return {false, kNoState};
     // Local ids are dense per shard; parents_ grows in lockstep with them.
-    shard.parents.push_back({parent, thread, std::move(label)});
+    shard.parents.push_back({parent, thread, std::move(label), enqueued});
+    shard.label_bytes += shard.parents.back().label.capacity();
     return {true, compose_id(si, ided.id)};
   }
 
@@ -153,16 +158,55 @@ class ShardedVisitedSet {
   }
 
   /// Total heap footprint of all shards (arena + fingerprint tables + parent
-  /// links), for ExploreStats::visited_bytes.  Same locking discipline as
-  /// size().
+  /// links), for ExploreStats::visited_bytes.  O(shard count): label sizes
+  /// are accumulated incrementally at insert time, so the memory-budget
+  /// enforcer can probe this periodically without walking every parent
+  /// entry.  Same locking discipline as size().
   [[nodiscard]] std::size_t bytes() const {
     std::size_t total = 0;
     for (auto& shard : shards_) {
       std::lock_guard<std::mutex> lock(shard.mu);
-      total += shard.set.bytes() + shard.parents.capacity() * sizeof(ParentEntry);
-      for (const auto& p : shard.parents) total += p.label.capacity();
+      total += shard.set.bytes() +
+               shard.parents.capacity() * sizeof(ParentEntry) +
+               shard.label_bytes;
     }
     return total;
+  }
+
+  /// One interned state, fully materialised for checkpointing: its id, its
+  /// recorded parent link, whether the driver enqueued it, and its decoded
+  /// canonical encoding.
+  struct SnapshotEntry {
+    std::uint64_t id = kNoState;
+    std::uint64_t parent = kNoState;
+    memsem::ThreadId thread = 0;
+    std::string label;
+    bool enqueued = true;
+    std::vector<std::uint64_t> encoding;
+  };
+
+  /// Materialises every state interned via insert_traced, in unspecified
+  /// order (parents are *not* guaranteed to precede children; the checkpoint
+  /// writer orders them).  Call only after workers have joined.
+  [[nodiscard]] std::vector<SnapshotEntry> snapshot() const {
+    std::vector<SnapshotEntry> out;
+    out.reserve(size());
+    for (std::size_t si = 0; si < shards_.size(); ++si) {
+      const Shard& shard = shards_[si];
+      std::lock_guard<std::mutex> lock(shard.mu);
+      for (std::uint32_t local = 0; local < shard.parents.size(); ++local) {
+        const ParentEntry& entry = shard.parents[local];
+        SnapshotEntry snap;
+        snap.id = compose_id(si, local);
+        snap.parent = entry.parent;
+        snap.thread = entry.thread;
+        snap.label = entry.label;
+        snap.enqueued = entry.enqueued;
+        shard.set.decode(local, snap.encoding);
+        out.push_back(std::move(snap));
+      }
+    }
+    return out;
   }
 
  private:
@@ -170,12 +214,14 @@ class ShardedVisitedSet {
     std::uint64_t parent = kNoState;
     memsem::ThreadId thread = 0;
     std::string label;
+    bool enqueued = true;
   };
 
   struct Shard {
     mutable std::mutex mu;
     support::InternedWordSet set;
     std::vector<ParentEntry> parents;  ///< by local id (insert_traced only)
+    std::size_t label_bytes = 0;       ///< sum of parents[i].label.capacity()
   };
 
   [[nodiscard]] std::size_t shard_of(std::uint64_t digest) const noexcept {

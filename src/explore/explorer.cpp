@@ -5,6 +5,7 @@
 #include <optional>
 #include <utility>
 
+#include "engine/checkpoint.hpp"
 #include "support/diagnostics.hpp"
 #include "support/hash.hpp"
 
@@ -59,15 +60,24 @@ ExploreResult explore(const System& sys, const ExploreOptions& options,
   // next to state expansion).
   ExploreResult result;
   std::optional<ShardedVisitedSet> trace_store;
-  if (options.track_traces) trace_store.emplace();
+  // Checkpoints are built from the trace sink, so requesting one implies
+  // trace recording.
+  if (options.track_traces || !options.checkpoint_path.empty()) {
+    trace_store.emplace();
+  }
 
   ReachOptions ropts;
-  ropts.max_states = options.max_states;
+  ropts.budget.max_states = options.max_states;
+  ropts.budget.max_visited_bytes = options.max_visited_bytes;
+  ropts.budget.deadline_ms = options.deadline_ms;
   ropts.num_threads = options.num_threads;
   ropts.strategy = options.strategy;
   ropts.fuse_local_steps = options.fuse_local_steps;
   ropts.por = options.por;
   ropts.trace = trace_store ? &*trace_store : nullptr;
+  ropts.cancel = options.cancel;
+  ropts.fault = options.fault;
+  ropts.resume = options.resume;
 
   const std::uint64_t init_digest =
       options.track_traces ? witness::config_digest(lang::initial_config(sys))
@@ -131,7 +141,14 @@ ExploreResult explore(const System& sys, const ExploreOptions& options,
       });
 
   result.stats = reach.stats;
-  result.truncated = reach.truncated;
+  result.stop = reach.stop;
+  result.truncated = reach.truncated();
+  if (!options.checkpoint_path.empty() && reach.truncated()) {
+    engine::save_checkpoint(
+        engine::make_checkpoint(*trace_store, reach.stats, reach.stop,
+                                options.por),
+        options.checkpoint_path);
+  }
   result.final_configs = sort_keyed_configs(finals);
   result.violations = std::move(violations);
   sort_violations(result.violations);

@@ -92,6 +92,26 @@ struct ExploreOptions {
   bool track_traces = false;
   /// Keep a copy of every final configuration (needed for outcome sets).
   bool collect_finals = true;
+  /// Memory budget for the visited set in bytes (0 = unlimited); exceeding
+  /// it stops the run with StopReason::MemCap and valid partial results.
+  std::uint64_t max_visited_bytes = 0;
+  /// Wall-clock deadline in milliseconds (0 = none); expiry stops the run
+  /// with StopReason::Deadline.
+  std::uint64_t deadline_ms = 0;
+  /// Cooperative cancellation token (see engine::CancelToken); polled once
+  /// per claimed state.  Must outlive the call; null disables the check.
+  const engine::CancelToken* cancel = nullptr;
+  /// Deterministic fault injection (robustness tests; see engine::FaultPlan).
+  engine::FaultPlan fault;
+  /// Resume from a checkpoint of an earlier stopped run (must outlive the
+  /// call; `por` must match the checkpoint's).  Verdicts, states,
+  /// transitions, finals and blocked counts equal an uninterrupted run's.
+  const engine::Checkpoint* resume = nullptr;
+  /// When non-empty and the run stops early (any StopReason other than
+  /// Complete), write a checkpoint file here.  Implies trace recording (the
+  /// checkpoint is built from the trace sink), so violations carry witnesses
+  /// as under track_traces.
+  std::string checkpoint_path;
 };
 
 /// An invariant violation with an optional counterexample trace.
@@ -112,7 +132,10 @@ struct ExploreResult {
   /// Sorted by (what, state_dump); identical modulo traces for any thread
   /// count when stop_on_violation is off.
   std::vector<Violation> violations;
-  bool truncated = false;  ///< hit max_states: results are a lower bound
+  /// Why the run ended; anything but Complete means partial results (a
+  /// stop_on_violation stop is Complete — stopping was the caller's choice).
+  engine::StopReason stop = engine::StopReason::Complete;
+  bool truncated = false;  ///< stop != Complete: results are a lower bound
 
   [[nodiscard]] bool ok() const { return violations.empty() && !truncated; }
 };

@@ -5,6 +5,7 @@
 #include <optional>
 #include <span>
 
+#include "engine/checkpoint.hpp"
 #include "support/diagnostics.hpp"
 #include "support/hash.hpp"
 
@@ -112,17 +113,26 @@ OutlineCheckResult check_outline(const System& sys, const ProofOutline& outline,
   // thread-count-independent (failures arrive unordered when parallel).
   OutlineCheckResult result;
   std::optional<explore::ShardedVisitedSet> trace_store;
-  if (options.track_traces) trace_store.emplace();
+  // Checkpoints are built from the trace sink, so requesting one implies
+  // trace recording.
+  if (options.track_traces || !options.checkpoint_path.empty()) {
+    trace_store.emplace();
+  }
   std::atomic<std::uint64_t> obligations{0};
   std::atomic<bool> valid{true};
   std::mutex failures_mu;
 
   explore::ReachOptions ropts;
-  ropts.max_states = options.max_states;
+  ropts.budget.max_states = options.max_states;
+  ropts.budget.max_visited_bytes = options.max_visited_bytes;
+  ropts.budget.deadline_ms = options.deadline_ms;
   ropts.num_threads = options.num_threads;
   ropts.por = options.por;
   ropts.want_labels = true;  // interference messages cite the step label
   ropts.trace = trace_store ? &*trace_store : nullptr;
+  ropts.cancel = options.cancel;
+  ropts.fault = options.fault;
+  ropts.resume = options.resume;
 
   const std::uint64_t init_digest =
       options.track_traces ? witness::config_digest(lang::initial_config(sys))
@@ -183,7 +193,14 @@ OutlineCheckResult check_outline(const System& sys, const ProofOutline& outline,
 
   result.valid = valid.load();
   result.stats = reach.stats;
+  result.stop = reach.stop;
   result.obligations_checked = obligations.load();
+  if (!options.checkpoint_path.empty() && reach.truncated()) {
+    engine::save_checkpoint(
+        engine::make_checkpoint(*trace_store, reach.stats, reach.stop,
+                                options.por),
+        options.checkpoint_path);
+  }
   return result;
 }
 
@@ -196,7 +213,7 @@ TripleCheckResult check_triple(const System& sys, const Assertion& pre,
   // each one its enabled steps — no private successor loop.
   TripleCheckResult result;
   explore::ReachOptions ropts;
-  ropts.max_states = max_states;
+  ropts.budget.max_states = max_states;
   ropts.want_labels = true;  // failure messages cite the step label
   (void)explore::visit_reachable(
       sys, ropts,

@@ -82,6 +82,13 @@ struct OutlineCheckResult {
   std::vector<ObligationFailure> failures;
   explore::ExploreStats stats;  ///< size of the examined state space
   std::uint64_t obligations_checked = 0;
+  /// Why the enumeration ended; anything but Complete means only part of
+  /// the state space was checked and `valid` is not a proof (a
+  /// stop_at_first_failure stop is Complete — the verdict is definite).
+  engine::StopReason stop = engine::StopReason::Complete;
+  [[nodiscard]] bool truncated() const {
+    return stop != engine::StopReason::Complete;
+  }
 };
 
 struct OutlineCheckOptions {
@@ -108,6 +115,15 @@ struct OutlineCheckOptions {
   /// outcome-level soundness.  The RC11_POR_CROSSCHECK suite checks exact
   /// verdict agreement on the outline corpus.  Default off.
   bool por = false;
+  /// Resource governance and resumability — same semantics as the matching
+  /// explore::ExploreOptions fields.
+  std::uint64_t max_visited_bytes = 0;  ///< bytes; 0 = unlimited
+  std::uint64_t deadline_ms = 0;        ///< wall clock; 0 = none
+  const engine::CancelToken* cancel = nullptr;
+  engine::FaultPlan fault;
+  const engine::Checkpoint* resume = nullptr;
+  /// Written when the run stops early; implies trace recording.
+  std::string checkpoint_path;
 };
 
 /// Checks outline validity (and, optionally, interference freedom) over the

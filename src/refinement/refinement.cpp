@@ -71,8 +71,7 @@ std::uint64_t hash_words(const std::vector<std::uint64_t>& words) {
 
 }  // namespace
 
-StateGraph build_graph(const System& sys, std::uint64_t max_states,
-                       bool want_labels, unsigned num_threads, bool por) {
+StateGraph build_graph(const System& sys, const GraphOptions& options) {
   // Two-phase construction on the shared reachability driver, for every
   // thread count.  Phase 1 collects every reachable configuration; states
   // are then sorted by canonical encoding so indices are
@@ -83,6 +82,8 @@ StateGraph build_graph(const System& sys, std::uint64_t max_states,
   // locking is needed.
   StateGraph graph;
   const engine::SystemTransitions ts(sys, engine::AmplePolicy::ClientInvisible);
+  const bool want_labels = options.want_labels;
+  const unsigned num_threads = options.num_threads;
 
   struct Keyed {
     std::vector<std::uint64_t> enc;
@@ -91,9 +92,13 @@ StateGraph build_graph(const System& sys, std::uint64_t max_states,
   std::vector<Keyed> collected;
   std::mutex mu;
   engine::ReachOptions ropts;
-  ropts.max_states = max_states;
+  ropts.budget.max_states = options.max_states;
+  ropts.budget.max_visited_bytes = options.max_visited_bytes;
+  ropts.budget.deadline_ms = options.deadline_ms;
   ropts.num_threads = num_threads;
-  ropts.por = por;
+  ropts.por = options.por;
+  ropts.cancel = options.cancel;
+  ropts.fault = options.fault;
   const auto reach = engine::visit_reachable(
       ts, ropts,
       [&](const Config& cfg, std::uint64_t /*id*/,
@@ -103,7 +108,8 @@ StateGraph build_graph(const System& sys, std::uint64_t max_states,
         collected.push_back(std::move(k));
         return true;
       });
-  graph.truncated = reach.truncated;
+  graph.stop = reach.stop;
+  graph.truncated = reach.truncated();
 
   std::sort(collected.begin(), collected.end(),
             [](const Keyed& a, const Keyed& b) { return a.enc < b.enc; });
@@ -158,21 +164,83 @@ StateGraph build_graph(const System& sys, std::uint64_t max_states,
   return graph;
 }
 
+StateGraph build_graph(const System& sys, std::uint64_t max_states,
+                       bool want_labels, unsigned num_threads, bool por) {
+  GraphOptions options;
+  options.max_states = max_states;
+  options.want_labels = want_labels;
+  options.num_threads = num_threads;
+  options.por = por;
+  return build_graph(sys, options);
+}
+
+namespace {
+
+/// Diagnosis for an incomplete graph build: says *which* graph (abstract vs
+/// concrete) stopped on *which* bound, with the matching remedy — sourced
+/// from StopReason instead of the old generic "state graph truncated".
+std::string truncation_diagnosis(const StateGraph& abs, const StateGraph& conc) {
+  const auto describe = [](const char* which,
+                           engine::StopReason stop) -> std::string {
+    const char* hint = nullptr;
+    switch (stop) {
+      case engine::StopReason::Complete:
+        return {};
+      case engine::StopReason::StateCap:
+        hint = "hit the state cap; increase max_states";
+        break;
+      case engine::StopReason::MemCap:
+        hint = "hit the memory budget; raise --mem-budget";
+        break;
+      case engine::StopReason::Deadline:
+        hint = "hit the deadline; raise --deadline-ms";
+        break;
+      case engine::StopReason::Interrupted:
+        hint = "was interrupted before completing";
+        break;
+      case engine::StopReason::InjectedFault:
+        hint = "stopped on an injected fault (RC11_FAULT)";
+        break;
+    }
+    return support::concat(which, " state graph ", hint);
+  };
+  std::string msg = describe("abstract", abs.stop);
+  const std::string conc_msg = describe("concrete", conc.stop);
+  if (!msg.empty() && !conc_msg.empty()) msg += "; ";
+  return msg + conc_msg;
+}
+
+/// Forwards the shared resource-governance knobs of the two checker option
+/// structs into a GraphOptions.
+template <typename CheckOptions>
+GraphOptions graph_options(const CheckOptions& options, bool want_labels) {
+  GraphOptions gopts;
+  gopts.max_states = options.max_states;
+  gopts.want_labels = want_labels;
+  gopts.num_threads = options.num_threads;
+  gopts.por = options.por;
+  gopts.max_visited_bytes = options.max_visited_bytes;
+  gopts.deadline_ms = options.deadline_ms;
+  gopts.cancel = options.cancel;
+  gopts.fault = options.fault;
+  return gopts;
+}
+
+}  // namespace
+
 SimulationResult check_forward_simulation(const System& abstract_sys,
                                           const System& concrete_sys,
                                           const SimulationOptions& options) {
   SimulationResult result;
   const StateGraph abs =
-      build_graph(abstract_sys, options.max_states, /*want_labels=*/false,
-                  options.num_threads, options.por);
+      build_graph(abstract_sys, graph_options(options, /*want_labels=*/false));
   const StateGraph conc =
-      build_graph(concrete_sys, options.max_states,
-                  /*want_labels=*/true, options.num_threads, options.por);
+      build_graph(concrete_sys, graph_options(options, /*want_labels=*/true));
   result.abstract_states = abs.num_states();
   result.concrete_states = conc.num_states();
   result.truncated = abs.truncated || conc.truncated;
   if (result.truncated) {
-    result.diagnosis = "state graph truncated; increase max_states";
+    result.diagnosis = truncation_diagnosis(abs, conc);
     return result;
   }
 
@@ -328,16 +396,14 @@ TraceInclusionResult check_trace_inclusion(const System& abstract_sys,
                                            const TraceInclusionOptions& options) {
   TraceInclusionResult result;
   const StateGraph abs =
-      build_graph(abstract_sys, options.max_states, /*want_labels=*/false,
-                  options.num_threads, options.por);
+      build_graph(abstract_sys, graph_options(options, /*want_labels=*/false));
   // The concrete graph carries labels and threads so an unmatchable step can
   // be reported as a replayable run, not just a state dump.
   const StateGraph conc =
-      build_graph(concrete_sys, options.max_states, /*want_labels=*/true,
-                  options.num_threads, options.por);
+      build_graph(concrete_sys, graph_options(options, /*want_labels=*/true));
   if (abs.truncated || conc.truncated) {
     result.truncated = true;
-    result.what = "state graph truncated; increase max_states";
+    result.what = truncation_diagnosis(abs, conc);
     return result;
   }
 

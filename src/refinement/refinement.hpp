@@ -31,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "engine/budget.hpp"
 #include "lang/config.hpp"
 #include "witness/witness.hpp"
 
@@ -73,7 +74,10 @@ struct StateGraph {
   /// lets counterexample runs over this graph become replayable witnesses.
   std::vector<std::vector<ThreadId>> threads;
   std::uint32_t initial = 0;
-  bool truncated = false;
+  /// Why the build's exploration ended; anything but Complete means the
+  /// graph is missing states and downstream verdicts are unreliable.
+  engine::StopReason stop = engine::StopReason::Complete;
+  bool truncated = false;  ///< stop != Complete (compat mirror)
 
   [[nodiscard]] std::size_t num_states() const { return states.size(); }
   [[nodiscard]] std::size_t num_edges() const {
@@ -102,6 +106,25 @@ struct StateGraph {
 /// Reduced here means only projection-invisible steps are ever pruned, which
 /// preserves the stutter-closed projection traces the refinement checkers
 /// compare (docs/SEMANTICS.md §9).
+struct GraphOptions {
+  std::uint64_t max_states = 1'000'000;
+  bool want_labels = false;
+  unsigned num_threads = 1;
+  bool por = false;
+  /// Resource governance (same semantics as explore::ExploreOptions):
+  /// exceeding a budget stops the build with the matching StateGraph::stop.
+  /// Checkpoint/resume is not offered for graph builds — refinement checks
+  /// build two graphs per run, so a single checkpoint file is ambiguous.
+  std::uint64_t max_visited_bytes = 0;  ///< bytes; 0 = unlimited
+  std::uint64_t deadline_ms = 0;        ///< wall clock; 0 = none
+  const engine::CancelToken* cancel = nullptr;
+  engine::FaultPlan fault;
+};
+
+[[nodiscard]] StateGraph build_graph(const System& sys,
+                                     const GraphOptions& options);
+
+/// Positional compat overload (historic signature).
 [[nodiscard]] StateGraph build_graph(const System& sys,
                                      std::uint64_t max_states = 1'000'000,
                                      bool want_labels = false,
@@ -117,6 +140,14 @@ struct SimulationOptions {
   /// build_graph).  Verdicts agree with the unreduced check on the
   /// RC11_POR_CROSSCHECK corpus; default off.
   bool por = false;
+  /// Resource governance, applied to *each* graph build separately (a
+  /// deadline therefore bounds each phase, not the whole check); the
+  /// cancellation token is shared, so one Ctrl-C stops whichever phase is
+  /// running.
+  std::uint64_t max_visited_bytes = 0;  ///< bytes per graph; 0 = unlimited
+  std::uint64_t deadline_ms = 0;        ///< wall clock per graph; 0 = none
+  const engine::CancelToken* cancel = nullptr;
+  engine::FaultPlan fault;
 };
 
 struct SimulationResult {
@@ -156,6 +187,12 @@ struct TraceInclusionOptions {
   /// build_graph).  Verdicts agree with the unreduced check on the
   /// RC11_POR_CROSSCHECK corpus; default off.
   bool por = false;
+  /// Resource governance for the graph builds (per build; see
+  /// SimulationOptions for the sharing semantics).
+  std::uint64_t max_visited_bytes = 0;  ///< bytes per graph; 0 = unlimited
+  std::uint64_t deadline_ms = 0;        ///< wall clock per graph; 0 = none
+  const engine::CancelToken* cancel = nullptr;
+  engine::FaultPlan fault;
 };
 
 struct TraceInclusionResult {

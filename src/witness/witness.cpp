@@ -15,8 +15,6 @@
 
 namespace rc11::witness {
 
-namespace {
-
 /// Digests travel as fixed-width hex strings: JSON numbers cannot hold a full
 /// uint64 portably, and the string form is greppable against renderer output.
 std::string digest_to_hex(std::uint64_t digest) {
@@ -39,6 +37,8 @@ std::uint64_t digest_from_hex(const std::string& text) {
                    "witness: malformed digest '", text, "'");
   return value;
 }
+
+namespace {
 
 std::string short_digest(std::uint64_t digest) {
   return digest_to_hex(digest).substr(0, 8);  // "0x" + 6 nibbles

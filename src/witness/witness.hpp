@@ -84,6 +84,14 @@ struct Witness {
 /// digest stored in WitnessStep::after_digest.
 [[nodiscard]] std::uint64_t config_digest(const lang::Config& cfg);
 
+/// Fixed-width "0x" + 16-nibble rendering of a 64-bit word, and its inverse.
+/// This is how digests travel in witness files and how raw encoding words
+/// travel in checkpoint files (engine/checkpoint.hpp) — JSON numbers cannot
+/// hold a full uint64 portably.  digest_from_hex throws support::Error on
+/// malformed input.
+[[nodiscard]] std::string digest_to_hex(std::uint64_t digest);
+[[nodiscard]] std::uint64_t digest_from_hex(const std::string& text);
+
 // --- emission / parsing -----------------------------------------------------
 
 /// Serialises to the versioned JSON schema (docs/FORMAT.md).

@@ -1,0 +1,467 @@
+// Resource governance and checkpoint/resume: budgets must stop runs with
+// the honest StopReason at every thread count and POR setting, partial
+// results must stay valid, injected faults must degrade gracefully (no
+// deadlock, no lie about why the run ended), and a checkpointed run resumed
+// later must reach verdicts identical to an uninterrupted run.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/budget.hpp"
+#include "engine/checkpoint.hpp"
+#include "engine/transition_system.hpp"
+#include "explore/explorer.hpp"
+#include "og/proof_outline.hpp"
+#include "parser/parser.hpp"
+#include "support/diagnostics.hpp"
+
+namespace {
+
+using namespace rc11;
+using engine::StopReason;
+using explore::ExploreOptions;
+
+std::string prog(const std::string& name) {
+  return std::string(RC11_SRC_DIR) + "/tools/programs/" + name;
+}
+
+/// A temp-file path that cleans up after itself.
+struct TempFile {
+  std::string path;
+  explicit TempFile(const std::string& name)
+      : path(::testing::TempDir() + name) {}
+  ~TempFile() { std::remove(path.c_str()); }
+};
+
+std::vector<lang::Reg> all_regs(const lang::System& sys) {
+  std::vector<lang::Reg> regs;
+  for (lang::ThreadId t = 0; t < sys.num_threads(); ++t) {
+    for (lang::RegId r = 0; r < sys.num_regs(t); ++r) {
+      regs.push_back(lang::Reg{t, r});
+    }
+  }
+  return regs;
+}
+
+// --- StopReason / FaultPlan parsing -----------------------------------------
+
+TEST(Budget, StopReasonNamesRoundTrip) {
+  for (const auto reason :
+       {StopReason::Complete, StopReason::StateCap, StopReason::MemCap,
+        StopReason::Deadline, StopReason::Interrupted,
+        StopReason::InjectedFault}) {
+    EXPECT_EQ(engine::stop_reason_from_string(engine::to_string(reason)),
+              reason);
+  }
+  EXPECT_THROW((void)engine::stop_reason_from_string("out-of-quota"),
+               support::Error);
+  EXPECT_THROW((void)engine::stop_reason_from_string(""), support::Error);
+}
+
+TEST(Budget, FaultPlanParses) {
+  const auto insert = engine::FaultPlan::parse("insert:7");
+  EXPECT_EQ(insert.kind, engine::FaultPlan::Kind::FailInsert);
+  EXPECT_EQ(insert.at_state, 7u);
+
+  const auto stall = engine::FaultPlan::parse("stall:12:250");
+  EXPECT_EQ(stall.kind, engine::FaultPlan::Kind::Stall);
+  EXPECT_EQ(stall.at_state, 12u);
+  EXPECT_EQ(stall.stall_ms, 250u);
+
+  const auto mem = engine::FaultPlan::parse("mem:3");
+  EXPECT_EQ(mem.kind, engine::FaultPlan::Kind::TripMem);
+  EXPECT_EQ(mem.at_state, 3u);
+}
+
+TEST(Budget, FaultPlanRejectsMalformedSpecs) {
+  for (const char* bad : {"", "insert", "insert:", "insert:0", "insert:x",
+                          "stall:5", "stall:5:", "stall:0:10", "mem:-1",
+                          "oom:5", "insert:5:9"}) {
+    SCOPED_TRACE(bad);
+    EXPECT_THROW((void)engine::FaultPlan::parse(bad), support::Error);
+  }
+}
+
+// --- Truncation exactness under contention ----------------------------------
+
+// Every (threads, por) combination must stop for the *same* reason and leave
+// partial stats that are internally consistent: the state cap admits at most
+// max_states expansions, and every expanded state was really counted.
+TEST(Budget, StateCapIdenticalAcrossThreadsAndPor) {
+  const auto program = parser::parse_file(prog("ticket_lock.rc11"));
+  for (const bool por : {false, true}) {
+    for (const unsigned workers : {1u, 4u}) {
+      SCOPED_TRACE("por=" + std::to_string(por) +
+                   " workers=" + std::to_string(workers));
+      ExploreOptions opts;
+      opts.max_states = 20;  // below the 47 (full) / 39 (POR) reachable
+      opts.num_threads = workers;
+      opts.por = por;
+      const auto result = explore::explore(program.sys, opts);
+      EXPECT_EQ(result.stop, StopReason::StateCap);
+      EXPECT_TRUE(result.truncated);
+      EXPECT_GE(result.stats.states, 1u);
+      EXPECT_LE(result.stats.states, opts.max_states);
+      EXPECT_GE(result.stats.transitions, result.stats.states - 1);
+      EXPECT_GT(result.stats.peak_frontier, 0u);
+      EXPECT_GT(result.stats.visited_bytes, 0u);
+    }
+  }
+}
+
+TEST(Budget, MemCapIdenticalAcrossThreadsAndPor) {
+  // lock_client_seqlock has enough states that the every-32-claims probe
+  // always fires before the frontier drains.
+  const auto program = parser::parse_file(prog("lock_client_seqlock.rc11"));
+  for (const bool por : {false, true}) {
+    for (const unsigned workers : {1u, 4u}) {
+      SCOPED_TRACE("por=" + std::to_string(por) +
+                   " workers=" + std::to_string(workers));
+      ExploreOptions opts;
+      opts.max_visited_bytes = 64;  // absurdly small: first probe trips
+      opts.num_threads = workers;
+      opts.por = por;
+      const auto result = explore::explore(program.sys, opts);
+      EXPECT_EQ(result.stop, StopReason::MemCap);
+      EXPECT_TRUE(result.truncated);
+      EXPECT_GE(result.stats.states, 1u);
+      EXPECT_GT(result.stats.visited_bytes, opts.max_visited_bytes);
+    }
+  }
+}
+
+TEST(Budget, PreCancelledTokenStopsImmediately) {
+  const auto program = parser::parse_file(prog("ticket_lock.rc11"));
+  engine::CancelToken token;
+  token.cancel();
+  for (const unsigned workers : {1u, 4u}) {
+    SCOPED_TRACE("workers=" + std::to_string(workers));
+    ExploreOptions opts;
+    opts.num_threads = workers;
+    opts.cancel = &token;
+    const auto result = explore::explore(program.sys, opts);
+    EXPECT_EQ(result.stop, StopReason::Interrupted);
+    EXPECT_TRUE(result.truncated);
+    EXPECT_LT(result.stats.states, 47u);
+  }
+}
+
+TEST(Budget, CancelMidRunDrainsWorkers) {
+  const auto program = parser::parse_file(prog("lock_client_seqlock.rc11"));
+  engine::CancelToken token;
+  ExploreOptions opts;
+  opts.num_threads = 4;
+  opts.cancel = &token;
+  // Hold one worker at the 10th claim so the cancel lands mid-run; peers
+  // must keep draining and the join must not deadlock.
+  opts.fault = engine::FaultPlan::parse("stall:10:100");
+  std::thread canceller([&token] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    token.cancel();
+  });
+  const auto result = explore::explore(program.sys, opts);
+  canceller.join();
+  EXPECT_TRUE(result.truncated);
+  // The stall makes Interrupted the overwhelmingly likely reason, but a
+  // racing decision is fine as long as the run stopped honestly.
+  EXPECT_NE(result.stop, StopReason::Complete);
+}
+
+// --- Fault injection --------------------------------------------------------
+
+TEST(Budget, InjectedInsertFaultReportsItself) {
+  const auto program = parser::parse_file(prog("ticket_lock.rc11"));
+  for (const unsigned workers : {1u, 4u}) {
+    SCOPED_TRACE("workers=" + std::to_string(workers));
+    ExploreOptions opts;
+    opts.num_threads = workers;
+    opts.fault = engine::FaultPlan::parse("insert:10");
+    const auto result = explore::explore(program.sys, opts);
+    EXPECT_EQ(result.stop, StopReason::InjectedFault);
+    EXPECT_LT(result.stats.states, 47u);
+  }
+}
+
+TEST(Budget, InjectedMemFaultReportsMemCap) {
+  const auto program = parser::parse_file(prog("ticket_lock.rc11"));
+  ExploreOptions opts;
+  opts.fault = engine::FaultPlan::parse("mem:5");
+  const auto result = explore::explore(program.sys, opts);
+  EXPECT_EQ(result.stop, StopReason::MemCap);
+}
+
+TEST(Budget, StallFaultAloneStillCompletesExactly) {
+  const auto program = parser::parse_file(prog("ticket_lock.rc11"));
+  const auto regs = all_regs(program.sys);
+  const auto baseline = explore::explore(program.sys, ExploreOptions{});
+  ASSERT_EQ(baseline.stop, StopReason::Complete);
+
+  ExploreOptions opts;
+  opts.num_threads = 4;
+  opts.fault = engine::FaultPlan::parse("stall:10:50");
+  const auto result = explore::explore(program.sys, opts);
+  EXPECT_EQ(result.stop, StopReason::Complete);
+  EXPECT_EQ(result.stats.states, baseline.stats.states);
+  EXPECT_EQ(explore::final_register_values(program.sys, result, regs),
+            explore::final_register_values(program.sys, baseline, regs));
+}
+
+TEST(Budget, StallPlusDeadlineTripsDeadlineDeterministically) {
+  const auto program = parser::parse_file(prog("ticket_lock.rc11"));
+  for (const unsigned workers : {1u, 4u}) {
+    SCOPED_TRACE("workers=" + std::to_string(workers));
+    ExploreOptions opts;
+    opts.num_threads = workers;
+    opts.deadline_ms = 5;
+    // The stalled claim probes the clock unconditionally after sleeping
+    // past the deadline, so the reason is deterministic.
+    opts.fault = engine::FaultPlan::parse("stall:10:100");
+    const auto result = explore::explore(program.sys, opts);
+    EXPECT_EQ(result.stop, StopReason::Deadline);
+    EXPECT_TRUE(result.truncated);
+  }
+}
+
+// --- Checkpoint / resume ----------------------------------------------------
+
+/// Runs `name` truncated at half its reachable-state count, checkpoints,
+/// resumes, and requires the resumed run's verdicts to equal an
+/// uninterrupted run bit for bit.
+void roundtrip_case(const std::string& name, unsigned workers, bool por) {
+  SCOPED_TRACE(name + " workers=" + std::to_string(workers) +
+               " por=" + std::to_string(por));
+  const auto program = parser::parse_file(prog(name));
+  const auto regs = all_regs(program.sys);
+
+  ExploreOptions full_opts;
+  full_opts.num_threads = workers;
+  full_opts.por = por;
+  const auto full = explore::explore(program.sys, full_opts);
+  ASSERT_EQ(full.stop, StopReason::Complete);
+  ASSERT_GE(full.stats.states, 4u) << "program too small to interrupt";
+
+  TempFile ck("budget_roundtrip_" + name + std::to_string(workers) +
+              (por ? "p" : "") + ".json");
+  ExploreOptions trunc_opts = full_opts;
+  trunc_opts.max_states = full.stats.states / 2;
+  trunc_opts.checkpoint_path = ck.path;
+  const auto truncated = explore::explore(program.sys, trunc_opts);
+  ASSERT_EQ(truncated.stop, StopReason::StateCap);
+
+  const auto ckpt = engine::load_checkpoint(ck.path);
+  EXPECT_EQ(ckpt.stop, StopReason::StateCap);
+  EXPECT_EQ(ckpt.por, por);
+  EXPECT_GE(ckpt.states.size(), truncated.stats.states);
+
+  ExploreOptions resume_opts = full_opts;
+  resume_opts.resume = &ckpt;
+  const auto resumed = explore::explore(program.sys, resume_opts);
+  EXPECT_EQ(resumed.stop, StopReason::Complete);
+  EXPECT_EQ(resumed.stats.states, full.stats.states);
+  EXPECT_EQ(resumed.stats.transitions, full.stats.transitions);
+  EXPECT_EQ(resumed.stats.finals, full.stats.finals);
+  EXPECT_EQ(resumed.stats.blocked, full.stats.blocked);
+  EXPECT_EQ(explore::final_register_values(program.sys, resumed, regs),
+            explore::final_register_values(program.sys, full, regs));
+}
+
+TEST(Checkpoint, ResumeMatchesUninterruptedRun) {
+  // Three corpus families — a lock implementation, a data structure client
+  // and a seqlock client — each resumed with 4 workers and POR on (plus a
+  // sequential unreduced sanity combination).
+  for (const auto* name :
+       {"ticket_lock.rc11", "mp_stack.rc11", "lock_client_seqlock.rc11"}) {
+    roundtrip_case(name, 4, true);
+    roundtrip_case(name, 1, false);
+  }
+}
+
+TEST(Checkpoint, ResumeCanChangeThreadCountAndStrategy) {
+  const auto program = parser::parse_file(prog("ticket_lock.rc11"));
+  const auto full = explore::explore(program.sys, ExploreOptions{});
+
+  TempFile ck("budget_threads.json");
+  ExploreOptions trunc_opts;
+  trunc_opts.max_states = 20;
+  trunc_opts.num_threads = 1;
+  trunc_opts.checkpoint_path = ck.path;
+  (void)explore::explore(program.sys, trunc_opts);
+
+  const auto ckpt = engine::load_checkpoint(ck.path);
+  ExploreOptions resume_opts;
+  resume_opts.num_threads = 4;  // checkpointed sequentially, resumed parallel
+  resume_opts.strategy = explore::SearchStrategy::Bfs;
+  resume_opts.resume = &ckpt;
+  const auto resumed = explore::explore(program.sys, resume_opts);
+  EXPECT_EQ(resumed.stop, StopReason::Complete);
+  EXPECT_EQ(resumed.stats.states, full.stats.states);
+  EXPECT_EQ(resumed.stats.finals, full.stats.finals);
+}
+
+TEST(Checkpoint, PorMismatchIsRejected) {
+  const auto program = parser::parse_file(prog("ticket_lock.rc11"));
+  TempFile ck("budget_pormismatch.json");
+  ExploreOptions trunc_opts;
+  trunc_opts.max_states = 15;
+  trunc_opts.por = true;
+  trunc_opts.checkpoint_path = ck.path;
+  (void)explore::explore(program.sys, trunc_opts);
+
+  const auto ckpt = engine::load_checkpoint(ck.path);
+  ExploreOptions resume_opts;
+  resume_opts.por = false;  // mismatch
+  resume_opts.resume = &ckpt;
+  EXPECT_THROW((void)explore::explore(program.sys, resume_opts),
+               support::Error);
+}
+
+TEST(Checkpoint, JsonRoundTripPreservesEverything) {
+  const auto program = parser::parse_file(prog("sb.rc11"));
+  TempFile ck("budget_json.json");
+  ExploreOptions opts;
+  opts.max_states = 8;
+  opts.checkpoint_path = ck.path;
+  (void)explore::explore(program.sys, opts);
+
+  const auto a = engine::load_checkpoint(ck.path);
+  const auto b = engine::from_json(engine::to_json(a));
+  EXPECT_EQ(b.version, a.version);
+  EXPECT_EQ(b.por, a.por);
+  EXPECT_EQ(b.stop, a.stop);
+  EXPECT_EQ(b.stats.states, a.stats.states);
+  EXPECT_EQ(b.stats.visited_bytes, a.stats.visited_bytes);
+  ASSERT_EQ(b.states.size(), a.states.size());
+  for (std::size_t i = 0; i < a.states.size(); ++i) {
+    EXPECT_EQ(b.states[i].parent, a.states[i].parent);
+    EXPECT_EQ(b.states[i].thread, a.states[i].thread);
+    EXPECT_EQ(b.states[i].label, a.states[i].label);
+    EXPECT_EQ(b.states[i].enqueued, a.states[i].enqueued);
+    EXPECT_EQ(b.states[i].encoding, a.states[i].encoding);
+  }
+}
+
+TEST(Checkpoint, MalformedDocumentsAreRejected) {
+  EXPECT_THROW((void)engine::from_json("not json"), support::Error);
+  EXPECT_THROW((void)engine::from_json("{}"), support::Error);
+  EXPECT_THROW(
+      (void)engine::from_json(R"({"format":"rc11-witness","version":1})"),
+      support::Error);
+  EXPECT_THROW((void)engine::load_checkpoint("/nonexistent/ckpt.json"),
+               support::Error);
+}
+
+TEST(Checkpoint, UnsupportedVersionIsRejected) {
+  const auto program = parser::parse_file(prog("sb.rc11"));
+  TempFile ck("budget_version.json");
+  ExploreOptions opts;
+  opts.max_states = 8;
+  opts.checkpoint_path = ck.path;
+  (void)explore::explore(program.sys, opts);
+  auto ckpt = engine::load_checkpoint(ck.path);
+  auto doc = engine::to_json(ckpt);
+  const auto pos = doc.find("\"version\": 1");
+  ASSERT_NE(pos, std::string::npos);
+  doc.replace(pos, 12, "\"version\": 2");
+  EXPECT_THROW((void)engine::from_json(doc), support::Error);
+}
+
+TEST(Checkpoint, TamperedEncodingFailsReconstruction) {
+  const auto program = parser::parse_file(prog("sb.rc11"));
+  TempFile ck("budget_tamper.json");
+  ExploreOptions opts;
+  opts.max_states = 8;
+  opts.checkpoint_path = ck.path;
+  (void)explore::explore(program.sys, opts);
+
+  auto ckpt = engine::load_checkpoint(ck.path);
+  ASSERT_GE(ckpt.states.size(), 2u);
+  ckpt.states[1].encoding[0] ^= 0xdeadbeef;  // corrupt a non-root state
+
+  ExploreOptions resume_opts;
+  resume_opts.resume = &ckpt;
+  EXPECT_THROW((void)explore::explore(program.sys, resume_opts),
+               support::Error);
+}
+
+TEST(Checkpoint, WrongProgramIsRejected) {
+  const auto ticket = parser::parse_file(prog("ticket_lock.rc11"));
+  TempFile ck("budget_wrongprog.json");
+  ExploreOptions opts;
+  opts.max_states = 20;
+  opts.checkpoint_path = ck.path;
+  (void)explore::explore(ticket.sys, opts);
+
+  const auto ckpt = engine::load_checkpoint(ck.path);
+  const auto other = parser::parse_file(prog("sb.rc11"));
+  ExploreOptions resume_opts;
+  resume_opts.resume = &ckpt;
+  EXPECT_THROW((void)explore::explore(other.sys, resume_opts),
+               support::Error);
+}
+
+// A resumed run is a first-class run: invariant violations found after the
+// resume still carry replayable witnesses.
+TEST(Checkpoint, ResumedRunViolationsCarryReplayableWitnesses) {
+  const auto program = parser::parse_file(prog("sb.rc11"));
+  const auto invariant =
+      [](const lang::System& sys,
+         const lang::Config& cfg) -> std::optional<std::string> {
+    if (cfg.all_done(sys)) return "final state reached";
+    return std::nullopt;
+  };
+
+  TempFile ck("budget_witness.json");
+  ExploreOptions trunc_opts;
+  trunc_opts.max_states = 5;
+  trunc_opts.checkpoint_path = ck.path;
+  (void)explore::explore(program.sys, trunc_opts);
+
+  const auto ckpt = engine::load_checkpoint(ck.path);
+  ExploreOptions resume_opts;
+  resume_opts.resume = &ckpt;
+  resume_opts.track_traces = true;
+  const auto resumed = explore::explore(program.sys, resume_opts, invariant);
+  ASSERT_FALSE(resumed.violations.empty());
+  for (const auto& v : resumed.violations) {
+    ASSERT_TRUE(v.witness.has_value());
+    const auto r = witness::replay(program.sys, *v.witness);
+    EXPECT_TRUE(r.ok) << r.error;
+  }
+}
+
+// The outline checker rides the same machinery: a truncated check resumes
+// to the same verdict and the same obligation count.
+TEST(Checkpoint, OutlineCheckResumes) {
+  const auto program = parser::parse_file(prog("mp_verified.rc11"));
+  ASSERT_TRUE(program.outline.has_value());
+
+  og::OutlineCheckOptions full_opts;
+  const auto full = og::check_outline(program.sys, *program.outline, full_opts);
+  ASSERT_EQ(full.stop, StopReason::Complete);
+  ASSERT_TRUE(full.valid);
+
+  TempFile ck("budget_outline.json");
+  og::OutlineCheckOptions trunc_opts;
+  trunc_opts.max_states = 5;
+  trunc_opts.checkpoint_path = ck.path;
+  const auto truncated =
+      og::check_outline(program.sys, *program.outline, trunc_opts);
+  ASSERT_EQ(truncated.stop, StopReason::StateCap);
+
+  const auto ckpt = engine::load_checkpoint(ck.path);
+  og::OutlineCheckOptions resume_opts;
+  resume_opts.resume = &ckpt;
+  const auto resumed =
+      og::check_outline(program.sys, *program.outline, resume_opts);
+  EXPECT_EQ(resumed.stop, StopReason::Complete);
+  EXPECT_TRUE(resumed.valid);
+  EXPECT_EQ(resumed.stats.states, full.stats.states);
+  EXPECT_EQ(resumed.obligations_checked, full.obligations_checked);
+}
+
+}  // namespace

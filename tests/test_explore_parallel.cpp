@@ -191,12 +191,41 @@ TEST(ParallelExplore, TruncationReportedAndSound) {
     opts.max_states = 20;  // well below the 47 reachable states
     const auto result = explore::explore(program.sys, opts);
     EXPECT_TRUE(result.truncated);
+    EXPECT_EQ(result.stop, engine::StopReason::StateCap);
     EXPECT_LE(result.stats.states, opts.max_states);
     const auto outcomes =
         explore::final_register_values(program.sys, result, regs);
     EXPECT_TRUE(std::includes(full_outcomes.begin(), full_outcomes.end(),
                               outcomes.begin(), outcomes.end()))
         << "truncated outcomes must be a subset of the full outcome set";
+  }
+}
+
+// The StopReason is schedule-independent: whichever worker trips the limit,
+// every (threads, por) combination over every sample program reports the
+// same reason for the same budget.
+TEST(ParallelExplore, StopReasonIdenticalAcrossSchedules) {
+  for (const auto* name : kPrograms) {
+    SCOPED_TRACE(name);
+    const auto program = parser::parse_file(prog(name));
+    for (const bool por : {false, true}) {
+      ExploreOptions base_opts;
+      base_opts.por = por;
+      const auto full = explore::explore(program.sys, base_opts);
+      if (full.stats.states < 8) continue;  // too small to truncate honestly
+      for (const unsigned workers : kThreadCounts) {
+        SCOPED_TRACE("por=" + std::to_string(por) +
+                     " workers=" + std::to_string(workers));
+        ExploreOptions opts;
+        opts.num_threads = workers;
+        opts.por = por;
+        opts.max_states = 5;
+        const auto result = explore::explore(program.sys, opts);
+        EXPECT_EQ(result.stop, engine::StopReason::StateCap);
+        EXPECT_TRUE(result.truncated);
+        EXPECT_LE(result.stats.states, opts.max_states);
+      }
+    }
   }
 }
 

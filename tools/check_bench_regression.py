@@ -5,26 +5,53 @@ Usage: check_bench_regression.py BASELINE.json CURRENT.json [--tolerance F]
 
 Fails (exit 1) when
 
+  * either file is unreadable, malformed, or has no cases (an empty
+    baseline would otherwise "pass" while checking nothing),
   * a baseline case is missing from the current report,
+  * a case is missing a required field (name/states/states_per_s),
   * the explored state count differs (the state space is deterministic —
     any difference is a semantics bug, not a performance regression), or
   * states_per_s dropped by more than the tolerance (default 30%).
 
-Throughput above baseline is fine and only reported.  The baseline
-(bench/baseline_explore.json) is refreshed deliberately, by re-running
-`bench_semantics_throughput --json` and committing the result alongside the
-change that moved the numbers.
+Cases present only in the current report are listed (they don't fail the
+check — they just need a baseline refresh to become guarded).  Throughput
+above baseline is fine and only reported.  Baselines (bench/baseline_*.json)
+are refreshed deliberately, by re-running the bench with --json and
+committing the result alongside the change that moved the numbers.
 """
 
 import argparse
 import json
 import sys
 
+REQUIRED_FIELDS = ("name", "states", "states_per_s")
+
 
 def load_cases(path):
-    with open(path) as f:
-        doc = json.load(f)
-    return {case["name"]: case for case in doc["cases"]}
+    """Returns {name: case} or raises SystemExit with a precise message."""
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except OSError as e:
+        sys.exit(f"error: cannot read {path}: {e}")
+    except json.JSONDecodeError as e:
+        sys.exit(f"error: {path} is not valid JSON: {e}")
+    if not isinstance(doc, dict) or not isinstance(doc.get("cases"), list):
+        sys.exit(f"error: {path}: expected an object with a 'cases' array")
+    cases = {}
+    for i, case in enumerate(doc["cases"]):
+        missing = [k for k in REQUIRED_FIELDS
+                   if not isinstance(case, dict) or k not in case]
+        if missing:
+            sys.exit(f"error: {path}: case #{i} is missing "
+                     f"field(s) {', '.join(missing)}")
+        if case["name"] in cases:
+            sys.exit(f"error: {path}: duplicate case name '{case['name']}'")
+        cases[case["name"]] = case
+    if not cases:
+        sys.exit(f"error: {path} has no cases; an empty baseline would "
+                 "vacuously pass — refresh it from a real bench run")
+    return cases
 
 
 def main():
@@ -42,22 +69,36 @@ def main():
     for name, base in sorted(baseline.items()):
         cur = current.get(name)
         if cur is None:
+            print(f"{name}: MISSING from current report")
             failures.append(f"{name}: missing from current report")
             continue
-        if int(base["states"]) != int(cur["states"]):
+        base_states, cur_states = int(base["states"]), int(cur["states"])
+        if base_states != cur_states:
+            print(f"{name}: states {base_states:,} -> {cur_states:,} "
+                  f"({cur_states - base_states:+,}) MISMATCH")
             failures.append(
-                f"{name}: state count changed "
-                f"{int(base['states'])} -> {int(cur['states'])} "
+                f"{name}: state count changed {base_states} -> {cur_states} "
                 f"(state space must be identical)")
             continue
-        ratio = cur["states_per_s"] / base["states_per_s"]
+        base_rate = float(base["states_per_s"])
+        cur_rate = float(cur["states_per_s"])
+        if base_rate <= 0:
+            failures.append(f"{name}: baseline states_per_s is {base_rate}; "
+                            "refresh the baseline from a real run")
+            continue
+        ratio = cur_rate / base_rate
         status = "OK" if ratio >= 1.0 - args.tolerance else "REGRESSION"
-        print(f"{name}: {base['states_per_s']:,.0f} -> "
-              f"{cur['states_per_s']:,.0f} states/s ({ratio:.2f}x) {status}")
+        print(f"{name}: {base_states:,} states, {base_rate:,.0f} -> "
+              f"{cur_rate:,.0f} states/s ({ratio:.2f}x) {status}")
         if status != "OK":
             failures.append(
                 f"{name}: states/s dropped to {ratio:.2f}x of baseline "
                 f"(tolerance {1.0 - args.tolerance:.2f}x)")
+
+    only_current = sorted(set(current) - set(baseline))
+    for name in only_current:
+        print(f"{name}: not in baseline (unguarded; refresh the baseline "
+              "to cover it)")
 
     if failures:
         print("\nbench regression check FAILED:", file=sys.stderr)

@@ -1,9 +1,66 @@
 #include "cli_common.hpp"
 
+#include <csignal>
 #include <fstream>
 #include <iostream>
+#include <limits>
 
 namespace rc11::cli {
+
+namespace {
+
+/// The process-wide cancellation token tripped by SIGINT/SIGTERM.
+engine::CancelToken g_signal_cancel;
+
+void handle_cancel_signal(int sig) {
+  // Only async-signal-safe work here: a relaxed atomic store plus re-arming
+  // the default disposition so a second signal terminates immediately.
+  g_signal_cancel.cancel();
+  std::signal(sig, SIG_DFL);
+}
+
+}  // namespace
+
+const engine::CancelToken* install_signal_cancel() {
+  std::signal(SIGINT, &handle_cancel_signal);
+  std::signal(SIGTERM, &handle_cancel_signal);
+  return &g_signal_cancel;
+}
+
+bool parse_bytes(const std::string& s, std::uint64_t& out) {
+  if (s.empty()) return false;
+  std::uint64_t mult = 1;
+  switch (s.back()) {
+    case 'k': case 'K': mult = std::uint64_t{1} << 10; break;
+    case 'm': case 'M': mult = std::uint64_t{1} << 20; break;
+    case 'g': case 'G': mult = std::uint64_t{1} << 30; break;
+    default: break;
+  }
+  const std::string digits = mult == 1 ? s : s.substr(0, s.size() - 1);
+  std::uint64_t value = 0;
+  if (!parse_num(digits, value)) return false;
+  if (value > std::numeric_limits<std::uint64_t>::max() / mult) return false;
+  out = value * mult;
+  return true;
+}
+
+std::string describe_stop(engine::StopReason stop) {
+  switch (stop) {
+    case engine::StopReason::Complete:
+      return "the state space was exhausted";
+    case engine::StopReason::StateCap:
+      return "the state cap was reached (raise --max-states)";
+    case engine::StopReason::MemCap:
+      return "the visited-set memory budget was exhausted (raise --mem-budget)";
+    case engine::StopReason::Deadline:
+      return "the wall-clock deadline expired (raise --deadline-ms)";
+    case engine::StopReason::Interrupted:
+      return "the run was interrupted (SIGINT/SIGTERM)";
+    case engine::StopReason::InjectedFault:
+      return "an injected fault stopped the run (RC11_FAULT)";
+  }
+  return "unknown stop reason";
+}
 
 FlagStatus parse_common_flag(int argc, char** argv, int& i,
                              CommonOptions& out) {
@@ -39,6 +96,23 @@ FlagStatus parse_common_flag(int argc, char** argv, int& i,
   }
   if (arg == "--replay") {
     return value(out.replay_path) ? FlagStatus::Consumed : FlagStatus::Error;
+  }
+  if (arg == "--deadline-ms") {
+    return ++i < argc && parse_num(argv[i], out.deadline_ms)
+               ? FlagStatus::Consumed
+               : FlagStatus::Error;
+  }
+  if (arg == "--mem-budget") {
+    return ++i < argc && parse_bytes(argv[i], out.max_visited_bytes)
+               ? FlagStatus::Consumed
+               : FlagStatus::Error;
+  }
+  if (arg == "--checkpoint") {
+    return value(out.checkpoint_path) ? FlagStatus::Consumed
+                                      : FlagStatus::Error;
+  }
+  if (arg == "--resume") {
+    return value(out.resume_path) ? FlagStatus::Consumed : FlagStatus::Error;
   }
   return FlagStatus::NotMine;
 }

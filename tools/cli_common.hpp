@@ -47,12 +47,22 @@ struct CommonOptions {
   std::string witness_path;  ///< write first counterexample as JSON witness
   std::string replay_path;   ///< re-execute a JSON witness instead of checking
   std::string json_path;     ///< write a machine-readable run summary
+  // Resource governance (engine::Budget semantics; 0 = unlimited/none).
+  std::uint64_t max_visited_bytes = 0;  ///< --mem-budget BYTES[K|M|G]
+  std::uint64_t deadline_ms = 0;        ///< --deadline-ms MS (wall clock)
+  std::string checkpoint_path;  ///< --checkpoint FILE: save on early stop
+  std::string resume_path;      ///< --resume FILE: continue a saved run
 };
 
 /// Usage-line fragment for the shared flags (tools append their own).
 inline constexpr const char* kCommonUsage =
     "[--max-states N] [--threads N] [--por] [--stats] [--json FILE] "
-    "[--witness FILE] [--replay FILE]";
+    "[--witness FILE] [--replay FILE] [--deadline-ms MS] "
+    "[--mem-budget BYTES[K|M|G]] [--checkpoint FILE] [--resume FILE]";
+
+/// Byte-count parse for --mem-budget: a whole number with an optional
+/// binary-unit suffix (K, M or G, case-insensitive).  Rejects overflow.
+[[nodiscard]] bool parse_bytes(const std::string& s, std::uint64_t& out);
 
 enum class FlagStatus : std::uint8_t {
   Consumed,  ///< argv[i] (plus its value, if any) was a common flag
@@ -64,6 +74,19 @@ enum class FlagStatus : std::uint8_t {
 /// value when it takes one.
 [[nodiscard]] FlagStatus parse_common_flag(int argc, char** argv, int& i,
                                            CommonOptions& out);
+
+/// Installs SIGINT/SIGTERM handlers that trip a process-wide
+/// engine::CancelToken and returns that token, so a Ctrl-C drains the
+/// exploration workers and the tool still emits its partial report (and a
+/// --checkpoint file) before exiting with kExitInconclusive.  The handler
+/// re-arms the default disposition, so a *second* signal kills the process
+/// the traditional way.  Async-signal-safe: the handler only performs a
+/// relaxed atomic store and a sigaction reset.
+[[nodiscard]] const engine::CancelToken* install_signal_cancel();
+
+/// Human-readable phrase for why a run stopped, with the flag to raise,
+/// e.g. "the state cap was reached (raise --max-states)".
+[[nodiscard]] std::string describe_stop(engine::StopReason stop);
 
 /// The shared --replay implementation: load the witness at
 /// `opts.replay_path`, re-execute it against `sys`, narrate the outcome.

@@ -20,6 +20,14 @@
 //                     program) as a JSON witness, minimized before emission
 //   --replay FILE     re-execute a JSON witness against the concrete program
 //                     instead of checking; exit 0 iff every step replays
+//   --deadline-ms MS  wall-clock budget *per graph build* (0 = none)
+//   --mem-budget B    visited-set memory budget per graph build, optional
+//                     K/M/G suffix (0 = unlimited)
+//
+// --checkpoint/--resume are rejected: a refinement check builds two state
+// graphs per run, so a single checkpoint file would be ambiguous.
+// SIGINT/SIGTERM drain whichever graph build is running; the tool still
+// prints its partial report and exits 3.  RC11_FAULT injects faults.
 //
 // The abstract program typically uses abstract objects (lock/stack
 // declarations); the concrete one inlines an implementation over library
@@ -77,15 +85,33 @@ int main(int argc, char** argv) {
     }
   }
   if (abs_path.empty() || conc_path.empty()) return usage();
+  if (!common.checkpoint_path.empty() || !common.resume_path.empty()) {
+    std::cerr << "rc11-refine: --checkpoint/--resume are not supported here "
+                 "(a refinement check builds two state graphs per run, so a "
+                 "single checkpoint file is ambiguous); use --deadline-ms / "
+                 "--mem-budget to bound the run instead\n";
+    return cli::kExitUsage;
+  }
+
+  const auto* cancel = cli::install_signal_cancel();
+  const auto fault = rc11::engine::FaultPlan::from_env();
 
   refinement::SimulationOptions sim_opts;
   sim_opts.max_states = common.max_states;
   sim_opts.num_threads = common.num_threads;
   sim_opts.por = common.por;
+  sim_opts.max_visited_bytes = common.max_visited_bytes;
+  sim_opts.deadline_ms = common.deadline_ms;
+  sim_opts.cancel = cancel;
+  sim_opts.fault = fault;
   refinement::TraceInclusionOptions trace_opts;
   trace_opts.max_states = common.max_states;
   trace_opts.num_threads = common.num_threads;
   trace_opts.por = common.por;
+  trace_opts.max_visited_bytes = common.max_visited_bytes;
+  trace_opts.deadline_ms = common.deadline_ms;
+  trace_opts.cancel = cancel;
+  trace_opts.fault = fault;
 
   try {
     const auto abs = parser::parse_file(abs_path);

@@ -20,16 +20,31 @@
 //                       trace tracking; minimized before emission)
 //   --replay FILE       re-execute a JSON witness against the program instead
 //                       of exploring; exit 0 iff every step replays
+//   --deadline-ms MS    wall-clock budget; exceeded runs stop with a partial
+//                       report (0 = none)
+//   --mem-budget BYTES  visited-set memory budget, with optional K/M/G
+//                       suffix (0 = unlimited)
+//   --checkpoint FILE   if the run stops early (budget, Ctrl-C, fault),
+//                       save a resumable checkpoint here
+//   --resume FILE       seed the run from a checkpoint saved by --checkpoint
+//                       (--por must match the checkpointed run)
+//
+// SIGINT/SIGTERM drain the workers: the tool still prints its partial
+// report, writes --json/--checkpoint files, and exits 3.  RC11_FAULT
+// (insert:N | stall:N:MS | mem:N) injects faults for robustness testing.
 //
 // Exit status: 0 on success, 1 on usage/parse errors, 2 if an --invariant
-// violation was found or a --replay diverged, 3 if exploration was truncated.
+// violation was found or a --replay diverged, 3 if exploration stopped early
+// for any reason (bound, budget, deadline, interrupt, injected fault).
 
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
 
 #include "cli_common.hpp"
+#include "engine/checkpoint.hpp"
 #include "explore/dot.hpp"
 #include "explore/explorer.hpp"
 #include "parser/parser.hpp"
@@ -104,10 +119,24 @@ int main(int argc, char** argv) {
       std::cout << program.sys.disassemble() << "\n";
     }
 
+    std::optional<engine::Checkpoint> resume;
+    if (!common.resume_path.empty()) {
+      resume = engine::load_checkpoint(common.resume_path);
+      std::cout << "resuming from " << common.resume_path << " ("
+                << resume->states.size() << " state(s), stopped: "
+                << engine::to_string(resume->stop) << ")\n";
+    }
+
     explore::ExploreOptions opts;
     opts.max_states = common.max_states;
     opts.num_threads = common.num_threads;
     opts.por = common.por;
+    opts.max_visited_bytes = common.max_visited_bytes;
+    opts.deadline_ms = common.deadline_ms;
+    opts.cancel = cli::install_signal_cancel();
+    opts.fault = engine::FaultPlan::from_env();
+    opts.resume = resume ? &*resume : nullptr;
+    opts.checkpoint_path = common.checkpoint_path;
 
     explore::Invariant invariant;
     if (!invariant_src.empty()) {
@@ -141,8 +170,13 @@ int main(int argc, char** argv) {
       cli::print_stats(result.stats, common.por);
     }
     if (result.truncated) {
-      std::cout << "WARNING: exploration truncated at " << opts.max_states
-                << " states; results are a lower bound\n";
+      std::cout << "WARNING: exploration stopped early — "
+                << cli::describe_stop(result.stop)
+                << "; results are a lower bound\n";
+      if (!common.checkpoint_path.empty()) {
+        std::cout << "checkpoint written to " << common.checkpoint_path
+                  << " (continue with --resume)\n";
+      }
     }
 
     // Print the outcome set over all registers, in declaration order.
@@ -169,6 +203,8 @@ int main(int argc, char** argv) {
       summary.set("tool", witness::Json::string("rc11-run"));
       summary.set("program", witness::Json::string(path));
       summary.set("truncated", witness::Json::boolean(result.truncated));
+      summary.set("stop",
+                  witness::Json::string(engine::to_string(result.stop)));
       summary.set("violations",
                   witness::Json::integer(
                       static_cast<std::int64_t>(result.violations.size())));

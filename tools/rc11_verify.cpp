@@ -21,15 +21,27 @@
 //                        --trace; minimized before emission)
 //   --replay FILE        re-execute a JSON witness against the program
 //                        instead of checking; exit 0 iff every step replays
+//   --deadline-ms MS     wall-clock budget (0 = none)
+//   --mem-budget BYTES   visited-set memory budget, optional K/M/G suffix
+//   --checkpoint FILE    save a resumable checkpoint when the run stops early
+//   --resume FILE        seed the run from a --checkpoint file (--por must
+//                        match the checkpointed run)
+//
+// SIGINT/SIGTERM drain the workers: the tool still prints its partial
+// report, writes --json/--checkpoint files, and exits 3.  RC11_FAULT
+// (insert:N | stall:N:MS | mem:N) injects faults for robustness testing.
 //
 // Exit status: 0 valid, 1 usage/parse errors, 2 outline invalid (or --replay
-// diverged), 3 inconclusive (state bound hit).
+// diverged; failed obligations are definite even in a partial run), 3
+// inconclusive (the enumeration stopped early and no failure was found).
 
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 
 #include "cli_common.hpp"
+#include "engine/checkpoint.hpp"
 #include "og/proof_outline.hpp"
 #include "parser/parser.hpp"
 #include "witness/witness.hpp"
@@ -80,6 +92,9 @@ int main(int argc, char** argv) {
   opts.max_states = common.max_states;
   opts.num_threads = common.num_threads;
   opts.por = common.por;
+  opts.max_visited_bytes = common.max_visited_bytes;
+  opts.deadline_ms = common.deadline_ms;
+  opts.checkpoint_path = common.checkpoint_path;
   if (!common.witness_path.empty()) {
     opts.track_traces = true;  // witnesses ride on the recorded parents
   }
@@ -89,6 +104,16 @@ int main(int argc, char** argv) {
     if (!common.replay_path.empty()) {
       return cli::run_replay(program.sys, common);
     }
+    std::optional<engine::Checkpoint> resume;
+    if (!common.resume_path.empty()) {
+      resume = engine::load_checkpoint(common.resume_path);
+      std::cout << "resuming from " << common.resume_path << " ("
+                << resume->states.size() << " state(s), stopped: "
+                << engine::to_string(resume->stop) << ")\n";
+    }
+    opts.resume = resume ? &*resume : nullptr;
+    opts.cancel = cli::install_signal_cancel();
+    opts.fault = engine::FaultPlan::from_env();
     if (!program.outline) {
       std::cerr << "rc11-verify: " << path << " has no outline { ... } block\n";
       return cli::kExitUsage;
@@ -101,13 +126,19 @@ int main(int argc, char** argv) {
       cli::print_stats(result.stats, common.por);
     }
 
-    const bool inconclusive = result.stats.states >= opts.max_states;
+    // A failed obligation is a definite negative even when the enumeration
+    // stopped early (the state it failed at is really reachable), so INVALID
+    // wins over INCONCLUSIVE.
+    const bool inconclusive = result.truncated();
     if (!common.json_path.empty()) {
       auto summary = witness::Json::object();
       summary.set("tool", witness::Json::string("rc11-verify"));
       summary.set("program", witness::Json::string(path));
       summary.set("valid", witness::Json::boolean(result.valid));
-      summary.set("inconclusive", witness::Json::boolean(inconclusive));
+      summary.set("inconclusive",
+                  witness::Json::boolean(inconclusive && result.valid));
+      summary.set("stop",
+                  witness::Json::string(engine::to_string(result.stop)));
       summary.set("obligations_checked",
                   witness::Json::integer(static_cast<std::int64_t>(
                       result.obligations_checked)));
@@ -118,8 +149,14 @@ int main(int argc, char** argv) {
       cli::write_json_summary(summary, common.json_path);
     }
 
-    if (inconclusive) {
-      std::cout << "INCONCLUSIVE: state bound reached\n";
+    if (result.valid && inconclusive) {
+      std::cout << "INCONCLUSIVE: outline check stopped early — "
+                << cli::describe_stop(result.stop)
+                << "; no failure found in the part examined\n";
+      if (!common.checkpoint_path.empty()) {
+        std::cout << "checkpoint written to " << common.checkpoint_path
+                  << " (continue with --resume)\n";
+      }
       return cli::kExitInconclusive;
     }
     if (result.valid) {
