@@ -21,6 +21,8 @@ const char* to_string(StopReason reason) noexcept {
       return "interrupted";
     case StopReason::InjectedFault:
       return "injected-fault";
+    case StopReason::EpisodeCap:
+      return "episode-cap";
   }
   return "unknown";
 }
@@ -29,7 +31,7 @@ StopReason stop_reason_from_string(std::string_view name) {
   for (StopReason r :
        {StopReason::Complete, StopReason::StateCap, StopReason::MemCap,
         StopReason::Deadline, StopReason::Interrupted,
-        StopReason::InjectedFault}) {
+        StopReason::InjectedFault, StopReason::EpisodeCap}) {
     if (name == to_string(r)) return r;
   }
   support::fail("unknown stop reason '", std::string(name), "'");

@@ -49,6 +49,10 @@ enum class StopReason : std::uint8_t {
   Deadline,       ///< Budget::deadline_ms of wall clock elapsed
   Interrupted,    ///< CancelToken fired (SIGINT/SIGTERM or caller cancel)
   InjectedFault,  ///< a FaultPlan tripped (tests/CI only)
+  /// The sampling strategy ran its full episode budget (engine/sample.hpp).
+  /// This is how every sampling run that finds no violation ends: the
+  /// coverage is a sample, so results are a lower bound by construction.
+  EpisodeCap,
 };
 
 /// Stable lower-case names ("complete", "state-cap", ...) for reports,
@@ -174,6 +178,30 @@ class BudgetEnforcer {
           visited_bytes_() > budget_.max_visited_bytes) {
         return decide(StopReason::MemCap);
       }
+    }
+    return StopReason::Complete;
+  }
+
+  /// Non-claiming gate for drivers whose progress is not measured in
+  /// distinct states: the sampling engine revisits states for most of its
+  /// steps, so it calls probe() periodically mid-episode to honour
+  /// cancellation, the deadline and the memory budget without consuming a
+  /// state claim (the state cap stays a distinct-state bound, enforced by
+  /// claim() on first visits only).  Sticky like claim().
+  [[nodiscard]] StopReason probe() {
+    StopReason sticky = reason_.load(std::memory_order_relaxed);
+    if (sticky != StopReason::Complete) return sticky;
+    if (cancel_ != nullptr && cancel_->cancelled()) {
+      return decide(StopReason::Interrupted);
+    }
+    if (budget_.deadline_ms != 0 &&
+        std::chrono::steady_clock::now() - start_ >=
+            std::chrono::milliseconds(budget_.deadline_ms)) {
+      return decide(StopReason::Deadline);
+    }
+    if (budget_.max_visited_bytes != 0 &&
+        visited_bytes_() > budget_.max_visited_bytes) {
+      return decide(StopReason::MemCap);
     }
     return StopReason::Complete;
   }

@@ -460,6 +460,20 @@ bool expand_steps(const TransitionSystem& ts, const Config& cfg,
 ReachResult visit_reachable(const TransitionSystem& ts,
                             const ReachOptions& options,
                             const StateVisitor& visitor) {
+  // Strategy::Por and the historic `por` flag are one setting: normalise
+  // both ways so callers may set either and stats/report code can key off
+  // whichever it likes.
+  if (options.mode == Strategy::Por || options.por) {
+    ReachOptions normalised = options;
+    normalised.mode = Strategy::Por;
+    normalised.por = true;
+    if (normalised.mode != options.mode || normalised.por != options.por) {
+      return visit_reachable(ts, normalised, visitor);
+    }
+  }
+  if (options.mode == Strategy::Sample) {
+    return sample_reach(ts, options, visitor);
+  }
   if (options.resume != nullptr) {
     // The enqueued set is a function of the reduction: a checkpoint taken
     // under POR seeds a different frontier than a full run needs (and vice

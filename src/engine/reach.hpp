@@ -33,6 +33,7 @@
 #include <span>
 
 #include "engine/budget.hpp"
+#include "engine/sample.hpp"
 #include "engine/sharded_visited.hpp"
 #include "engine/transition_system.hpp"
 
@@ -65,6 +66,11 @@ struct ExploreStats {
   /// state that exists in the full graph but was never visited here.
   /// Non-zero only under por with a chain-collapsing transition system.
   std::uint64_t por_chained = 0;
+  /// Episodes completed under Strategy::Sample (0 otherwise).  Under
+  /// sampling, `states` is the *coverage estimate* — distinct states the
+  /// episodes crossed — and `transitions` counts enabled steps enumerated at
+  /// first visits, matching the exhaustive meaning on the covered subgraph.
+  std::uint64_t episodes = 0;
 };
 
 struct ReachOptions {
@@ -74,6 +80,16 @@ struct ReachOptions {
   Budget budget;
   unsigned num_threads = 1;  ///< same convention as ExploreOptions
   SearchStrategy strategy = SearchStrategy::Dfs;
+  /// How to cover the state space: exhaustive enumeration (default), ample-
+  /// set POR enumeration, or seeded random sampling (engine/sample.hpp).
+  /// Strategy::Por and `por = true` are the same thing — visit_reachable
+  /// normalises them both ways, so callers may set either.  Under
+  /// Strategy::Sample the driver runs sample_reach: episodes are sequential
+  /// regardless of num_threads (seed determinism), `resume` is rejected, and
+  /// search `strategy` is ignored.
+  Strategy mode = Strategy::Exhaustive;
+  /// Tuning for Strategy::Sample (ignored otherwise).
+  SampleOptions sample;
   bool fuse_local_steps = false;
   /// Ample-set partial-order reduction (see the header comment).  Subsumes
   /// fuse_local_steps when on; checked before it.
@@ -149,5 +165,15 @@ bool expand_steps(const TransitionSystem& ts, const Config& cfg,
 [[nodiscard]] ReachResult visit_reachable(const System& sys,
                                           const ReachOptions& options,
                                           const StateVisitor& visitor);
+
+/// The Strategy::Sample driver (engine/sample.cpp): runs
+/// options.sample.episodes seeded random schedules end-to-end, invoking the
+/// visitor once per *newly covered* configuration — so visitors written for
+/// exhaustive runs (violation scanners, graph collectors) work unchanged on
+/// the sampled subgraph.  visit_reachable dispatches here; call it directly
+/// only from tests.
+[[nodiscard]] ReachResult sample_reach(const TransitionSystem& ts,
+                                       const ReachOptions& options,
+                                       const StateVisitor& visitor);
 
 }  // namespace rc11::engine

@@ -115,6 +115,29 @@ class ShardedVisitedSet {
     return {true, compose_id(si, ided.id)};
   }
 
+  /// Like insert_traced(), but a duplicate resolves to the id the state was
+  /// assigned when first interned (insert_traced returns kNoState for
+  /// duplicates because exhaustive drivers never revisit).  The sampling
+  /// engine threads every step through this: a revisited state's id becomes
+  /// the parent of the next sampled step, so violating episodes stay
+  /// replayable witnesses no matter how many earlier episodes crossed the
+  /// same states.  The parent link is still recorded only on genuine
+  /// inserts — first reach wins, exactly like insert_traced.
+  TracedInsert resolve_traced(std::span<const std::uint64_t> encoding,
+                              std::uint64_t parent, memsem::ThreadId thread,
+                              std::string&& label, bool enqueued = true) {
+    const std::uint64_t digest = support::hash_words(encoding);
+    const std::size_t si = shard_of(digest);
+    Shard& shard = shards_[si];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const auto ided = shard.set.resolve_ided(encoding, digest);
+    if (ided.inserted) {
+      shard.parents.push_back({parent, thread, std::move(label), enqueued});
+      shard.label_bytes += shard.parents.back().label.capacity();
+    }
+    return {ided.inserted, compose_id(si, ided.id)};
+  }
+
   /// Reconstructs the unique recorded path from the initial state to `id`:
   /// edges in execution order, each naming the acting thread, the step label
   /// and the reached state's id.  Thread-safe against concurrent inserts

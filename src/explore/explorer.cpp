@@ -59,6 +59,17 @@ ExploreResult explore(const System& sys, const ExploreOptions& options,
   // runs and cold in parallel ones (finals and violations are rare events
   // next to state expansion).
   ExploreResult result;
+  // A sampling run has no frontier to checkpoint or resume; reject here so
+  // the caller hears about it before any exploration work happens (the
+  // engine layer guards resume again for direct callers).
+  if (options.mode == Strategy::Sample) {
+    support::require(options.checkpoint_path.empty(),
+                     "--checkpoint is not supported under --strategy sample: "
+                     "a sampling run has no frontier to save");
+    support::require(options.resume == nullptr,
+                     "--resume is not supported under --strategy sample: a "
+                     "sampling run has no frontier to continue from");
+  }
   std::optional<ShardedVisitedSet> trace_store;
   // Checkpoints are built from the trace sink, so requesting one implies
   // trace recording.
@@ -74,6 +85,8 @@ ExploreResult explore(const System& sys, const ExploreOptions& options,
   ropts.strategy = options.strategy;
   ropts.fuse_local_steps = options.fuse_local_steps;
   ropts.por = options.por;
+  ropts.mode = options.mode;
+  ropts.sample = options.sample;
   ropts.trace = trace_store ? &*trace_store : nullptr;
   ropts.cancel = options.cancel;
   ropts.fault = options.fault;

@@ -39,9 +39,11 @@ using lang::ThreadId;
 using engine::ExploreStats;
 using engine::ReachOptions;
 using engine::ReachResult;
+using engine::SampleOptions;
 using engine::SearchStrategy;
 using engine::ShardedVisitedSet;
 using engine::StateVisitor;
+using engine::Strategy;
 using engine::visit_reachable;
 
 struct ExploreOptions {
@@ -84,6 +86,17 @@ struct ExploreOptions {
   /// RC11_POR_CROSSCHECK test suite checks exact agreement on the corpus —
   /// see docs/SEMANTICS.md §9).  Default off.
   bool por = false;
+  /// Coverage mode (engine/sample.hpp): Exhaustive (default), Por — same
+  /// setting as `por` above, either spelling works — or Sample, which runs
+  /// `sample.episodes` seeded random schedules instead of enumerating and
+  /// reports StopReason::EpisodeCap unless something stopped it earlier.
+  /// Under Sample: checkpoint_path/resume are rejected loudly, violations
+  /// and finals are the ones the episodes covered (a lower bound), and the
+  /// exhaustive modes stay the oracle on small instances.
+  Strategy mode = Strategy::Exhaustive;
+  /// Tuning for mode == Strategy::Sample (episodes, seed, guided bias,
+  /// episode step cap); ignored otherwise.
+  SampleOptions sample;
   /// Stop at the first invariant violation (otherwise keep counting).
   bool stop_on_violation = true;
   /// Record parent links and step labels so violations come with a full

@@ -112,6 +112,14 @@ OutlineCheckResult check_outline(const System& sys, const ProofOutline& outline,
   // worker pool; the verdict and the set of failed obligations are
   // thread-count-independent (failures arrive unordered when parallel).
   OutlineCheckResult result;
+  if (options.mode == engine::Strategy::Sample) {
+    support::require(options.checkpoint_path.empty(),
+                     "--checkpoint is not supported under --strategy sample: "
+                     "a sampling run has no frontier to save");
+    support::require(options.resume == nullptr,
+                     "--resume is not supported under --strategy sample: a "
+                     "sampling run has no frontier to continue from");
+  }
   std::optional<explore::ShardedVisitedSet> trace_store;
   // Checkpoints are built from the trace sink, so requesting one implies
   // trace recording.
@@ -128,6 +136,8 @@ OutlineCheckResult check_outline(const System& sys, const ProofOutline& outline,
   ropts.budget.deadline_ms = options.deadline_ms;
   ropts.num_threads = options.num_threads;
   ropts.por = options.por;
+  ropts.mode = options.mode;
+  ropts.sample = options.sample;
   ropts.want_labels = true;  // interference messages cite the step label
   ropts.trace = trace_store ? &*trace_store : nullptr;
   ropts.cancel = options.cancel;

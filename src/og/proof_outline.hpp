@@ -115,6 +115,15 @@ struct OutlineCheckOptions {
   /// outcome-level soundness.  The RC11_POR_CROSSCHECK suite checks exact
   /// verdict agreement on the outline corpus.  Default off.
   bool por = false;
+  /// Coverage mode (engine/sample.hpp).  Under Strategy::Sample the
+  /// obligations are evaluated on the states `sample.episodes` seeded random
+  /// schedules cross: failures found are real, but `valid` is never a proof
+  /// — the result stops with StopReason::EpisodeCap, so truncated() holds
+  /// and callers already treat the verdict as a lower bound.
+  /// checkpoint_path/resume are rejected loudly under sampling.
+  engine::Strategy mode = engine::Strategy::Exhaustive;
+  /// Tuning for mode == Strategy::Sample; ignored otherwise.
+  engine::SampleOptions sample;
   /// Resource governance and resumability — same semantics as the matching
   /// explore::ExploreOptions fields.
   std::uint64_t max_visited_bytes = 0;  ///< bytes; 0 = unlimited

@@ -97,6 +97,8 @@ StateGraph build_graph(const System& sys, const GraphOptions& options) {
   ropts.budget.deadline_ms = options.deadline_ms;
   ropts.num_threads = num_threads;
   ropts.por = options.por;
+  ropts.mode = options.mode;
+  ropts.sample = options.sample;
   ropts.cancel = options.cancel;
   ropts.fault = options.fault;
   const auto reach = engine::visit_reachable(
@@ -201,6 +203,11 @@ std::string truncation_diagnosis(const StateGraph& abs, const StateGraph& conc) 
       case engine::StopReason::InjectedFault:
         hint = "stopped on an injected fault (RC11_FAULT)";
         break;
+      case engine::StopReason::EpisodeCap:
+        hint =
+            "is a sampled subgraph (episode budget exhausted); coverage is a "
+            "lower bound — raise --strategy sample:N for more episodes";
+        break;
     }
     return support::concat(which, " state graph ", hint);
   };
@@ -211,9 +218,13 @@ std::string truncation_diagnosis(const StateGraph& abs, const StateGraph& conc) 
 }
 
 /// Forwards the shared resource-governance knobs of the two checker option
-/// structs into a GraphOptions.
+/// structs into a GraphOptions.  `apply_sampling` gates the coverage mode:
+/// only the concrete graph is ever sampled — the abstract graph is the
+/// specification, and a sampled (incomplete) spec would manufacture false
+/// violations, so the abstract build always enumerates exhaustively.
 template <typename CheckOptions>
-GraphOptions graph_options(const CheckOptions& options, bool want_labels) {
+GraphOptions graph_options(const CheckOptions& options, bool want_labels,
+                           bool apply_sampling) {
   GraphOptions gopts;
   gopts.max_states = options.max_states;
   gopts.want_labels = want_labels;
@@ -223,6 +234,10 @@ GraphOptions graph_options(const CheckOptions& options, bool want_labels) {
   gopts.deadline_ms = options.deadline_ms;
   gopts.cancel = options.cancel;
   gopts.fault = options.fault;
+  if (apply_sampling) {
+    gopts.mode = options.mode;
+    gopts.sample = options.sample;
+  }
   return gopts;
 }
 
@@ -232,10 +247,12 @@ SimulationResult check_forward_simulation(const System& abstract_sys,
                                           const System& concrete_sys,
                                           const SimulationOptions& options) {
   SimulationResult result;
-  const StateGraph abs =
-      build_graph(abstract_sys, graph_options(options, /*want_labels=*/false));
-  const StateGraph conc =
-      build_graph(concrete_sys, graph_options(options, /*want_labels=*/true));
+  const StateGraph abs = build_graph(
+      abstract_sys,
+      graph_options(options, /*want_labels=*/false, /*apply_sampling=*/false));
+  const StateGraph conc = build_graph(
+      concrete_sys,
+      graph_options(options, /*want_labels=*/true, /*apply_sampling=*/true));
   result.abstract_states = abs.num_states();
   result.concrete_states = conc.num_states();
   result.truncated = abs.truncated || conc.truncated;
@@ -395,17 +412,30 @@ TraceInclusionResult check_trace_inclusion(const System& abstract_sys,
                                            const System& concrete_sys,
                                            const TraceInclusionOptions& options) {
   TraceInclusionResult result;
-  const StateGraph abs =
-      build_graph(abstract_sys, graph_options(options, /*want_labels=*/false));
+  const StateGraph abs = build_graph(
+      abstract_sys,
+      graph_options(options, /*want_labels=*/false, /*apply_sampling=*/false));
   // The concrete graph carries labels and threads so an unmatchable step can
   // be reported as a replayable run, not just a state dump.
-  const StateGraph conc =
-      build_graph(concrete_sys, graph_options(options, /*want_labels=*/true));
-  if (abs.truncated || conc.truncated) {
+  const StateGraph conc = build_graph(
+      concrete_sys,
+      graph_options(options, /*want_labels=*/true, /*apply_sampling=*/true));
+  // A sampled concrete graph (EpisodeCap) still plays the game: every
+  // covered concrete state and edge is a real execution and the abstract
+  // graph is complete, so an empty match set found below is a *definite*
+  // refinement violation.  The result stays marked truncated — "no
+  // violation" on a sample is a lower bound, never a proof.  Any other
+  // truncation (either graph) leaves the game meaningless, as before.
+  const bool sampled_concrete =
+      conc.truncated && conc.stop == engine::StopReason::EpisodeCap;
+  if (abs.truncated || (conc.truncated && !sampled_concrete)) {
     result.truncated = true;
     result.what = truncation_diagnosis(abs, conc);
     return result;
   }
+  result.truncated = sampled_concrete;
+  // Pre-seed the diagnosis; a found violation overwrites it with specifics.
+  if (sampled_concrete) result.what = truncation_diagnosis(abs, conc);
 
   std::vector<ClientProjection> abs_proj(abs.num_states());
   support::parallel_for(abs.num_states(), options.num_threads, [&](std::size_t i) {

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "engine/budget.hpp"
+#include "engine/sample.hpp"
 #include "lang/config.hpp"
 #include "witness/witness.hpp"
 
@@ -119,6 +120,15 @@ struct GraphOptions {
   std::uint64_t deadline_ms = 0;        ///< wall clock; 0 = none
   const engine::CancelToken* cancel = nullptr;
   engine::FaultPlan fault;
+  /// Coverage mode (engine/sample.hpp).  Under Strategy::Sample phase 1
+  /// collects the states seeded random episodes cross and phase 2 resolves
+  /// edges within that subset (edges to uncollected states are dropped —
+  /// the same rule every truncated build already follows).  Every state and
+  /// edge of a sampled graph is real; the graph is marked truncated
+  /// (StopReason::EpisodeCap) because it may be missing states.
+  engine::Strategy mode = engine::Strategy::Exhaustive;
+  /// Tuning for mode == Strategy::Sample; ignored otherwise.
+  engine::SampleOptions sample;
 };
 
 [[nodiscard]] StateGraph build_graph(const System& sys,
@@ -148,6 +158,14 @@ struct SimulationOptions {
   std::uint64_t deadline_ms = 0;        ///< wall clock per graph; 0 = none
   const engine::CancelToken* cancel = nullptr;
   engine::FaultPlan fault;
+  /// Coverage mode.  Under Strategy::Sample only the *concrete* graph is
+  /// sampled — the abstract graph is the specification and must be complete
+  /// for the game to be meaningful.  The simulation fixpoint needs the full
+  /// concrete edge relation (missing edges would make pairs survive
+  /// vacuously), so a sampled simulation check always reports truncated with
+  /// a diagnosis; use check_trace_inclusion for definite sampled verdicts.
+  engine::Strategy mode = engine::Strategy::Exhaustive;
+  engine::SampleOptions sample;  ///< tuning for Sample; ignored otherwise
 };
 
 struct SimulationResult {
@@ -193,6 +211,14 @@ struct TraceInclusionOptions {
   std::uint64_t deadline_ms = 0;        ///< wall clock per graph; 0 = none
   const engine::CancelToken* cancel = nullptr;
   engine::FaultPlan fault;
+  /// Coverage mode.  Under Strategy::Sample only the *concrete* graph is
+  /// sampled (the abstract side is the specification and stays complete) and
+  /// the game runs over the covered concrete subgraph: every sampled
+  /// concrete run is a real execution, so a refinement violation found this
+  /// way is *definite* — holds == false with a replayable witness — while
+  /// "no violation" stays inconclusive (truncated == true, a lower bound).
+  engine::Strategy mode = engine::Strategy::Exhaustive;
+  engine::SampleOptions sample;  ///< tuning for Sample; ignored otherwise
 };
 
 struct TraceInclusionResult {

@@ -21,6 +21,7 @@
 
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <cstring>
 #include <span>
@@ -146,6 +147,39 @@ class InternedWordSet {
 
   IdedInsert insert_ided(std::span<const std::uint64_t> words) {
     return insert_ided(words, hash_words(words));
+  }
+
+  /// Like insert_ided(), but duplicates resolve to the id they were assigned
+  /// when first interned instead of an invalid one.  The sampling engine
+  /// needs this: episodes revisit states constantly, and a revisited state's
+  /// id is the parent link for the next sampled step.  Duplicates are found
+  /// by re-probing the table and mapping the matching entry's arena slot
+  /// back to its id — slots_ stores off_len in id order and arena offsets
+  /// are strictly increasing, so slots_ is sorted and the slot is binary-
+  /// searchable.  Same exclusivity rule as insert_ided().
+  IdedInsert resolve_ided(std::span<const std::uint64_t> words,
+                          std::uint64_t digest) {
+    const IdedInsert fresh = insert_ided(words, digest);
+    if (fresh.inserted) return fresh;
+    // Duplicate: scratch_ still holds the serialisation from insert().
+    const std::uint64_t mask = table_.size() - 1;
+    for (std::uint64_t i = digest & mask;; i = (i + 1) & mask) {
+      const Entry& e = table_[i];
+      RC11_REQUIRE(e.off_len != kEmptySlot,
+                   "resolve_ided: duplicate vanished from the table");
+      if (e.digest == digest && equals_scratch(e)) {
+        const auto it =
+            std::lower_bound(slots_.begin(), slots_.end(), e.off_len);
+        RC11_REQUIRE(it != slots_.end() && *it == e.off_len,
+                     "resolve_ided: interned slot missing from the id index");
+        return {false,
+                static_cast<std::uint32_t>(std::distance(slots_.begin(), it))};
+      }
+    }
+  }
+
+  IdedInsert resolve_ided(std::span<const std::uint64_t> words) {
+    return resolve_ided(words, hash_words(words));
   }
 
   /// Decodes the sequence with the given id (assigned by insert_ided) back

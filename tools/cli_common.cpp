@@ -58,6 +58,9 @@ std::string describe_stop(engine::StopReason stop) {
       return "the run was interrupted (SIGINT/SIGTERM)";
     case engine::StopReason::InjectedFault:
       return "an injected fault stopped the run (RC11_FAULT)";
+    case engine::StopReason::EpisodeCap:
+      return "the sampling episode budget ran out (raise --strategy "
+             "sample:N or vary --seed)";
   }
   return "unknown stop reason";
 }
@@ -114,7 +117,47 @@ FlagStatus parse_common_flag(int argc, char** argv, int& i,
   if (arg == "--resume") {
     return value(out.resume_path) ? FlagStatus::Consumed : FlagStatus::Error;
   }
+  if (arg == "--strategy") {
+    return ++i < argc &&
+                   engine::parse_strategy(argv[i], out.mode,
+                                          out.sample.episodes)
+               ? FlagStatus::Consumed
+               : FlagStatus::Error;
+  }
+  if (arg == "--seed") {
+    if (++i >= argc || !parse_num(argv[i], out.sample.seed)) {
+      return FlagStatus::Error;
+    }
+    out.seed_set = true;
+    return FlagStatus::Consumed;
+  }
   return FlagStatus::NotMine;
+}
+
+std::string resolve_strategy(CommonOptions& opts) {
+  if (opts.mode == engine::Strategy::Sample) {
+    if (opts.por) {
+      return "--por cannot be combined with --strategy sample; pick one "
+             "coverage strategy";
+    }
+    if (!opts.checkpoint_path.empty()) {
+      return "--checkpoint is not supported under --strategy sample: a "
+             "sampling run has no frontier to save";
+    }
+    if (!opts.resume_path.empty()) {
+      return "--resume is not supported under --strategy sample: a sampling "
+             "run has no frontier to continue from (re-run with a fresh "
+             "--seed instead)";
+    }
+    return {};
+  }
+  if (opts.seed_set) {
+    return "--seed only applies to --strategy sample";
+  }
+  // --por and --strategy por are one setting; normalise both ways.
+  if (opts.mode == engine::Strategy::Por) opts.por = true;
+  if (opts.por) opts.mode = engine::Strategy::Por;
+  return {};
 }
 
 int run_replay(const lang::System& sys, const CommonOptions& opts) {
@@ -130,7 +173,7 @@ int run_replay(const lang::System& sys, const CommonOptions& opts) {
   return kExitFail;
 }
 
-void print_stats(const engine::ExploreStats& stats, bool por) {
+void print_stats(const engine::ExploreStats& stats, bool por, double wall_s) {
   const auto per_state =
       stats.states ? stats.visited_bytes / stats.states : 0;
   std::cout << "peak frontier:  " << stats.peak_frontier << "\n"
@@ -141,6 +184,17 @@ void print_stats(const engine::ExploreStats& stats, bool por) {
               << " state(s) expanded with an ample set\n"
               << "por chained:    " << stats.por_chained
               << " local step(s) collapsed (states never visited)\n";
+  }
+  if (stats.episodes != 0) {
+    std::cout << "episodes:       " << stats.episodes << "\n";
+    if (wall_s > 0) {
+      std::cout << "episodes/s:     "
+                << static_cast<std::uint64_t>(
+                       static_cast<double>(stats.episodes) / wall_s)
+                << "\n";
+    }
+    std::cout << "coverage:       " << stats.states
+              << " distinct state(s) crossed (sampled lower bound)\n";
   }
 }
 
@@ -161,6 +215,10 @@ witness::Json stats_json(const engine::ExploreStats& stats) {
           witness::Json::integer(static_cast<std::int64_t>(stats.por_reduced)));
     j.set("por_chained",
           witness::Json::integer(static_cast<std::int64_t>(stats.por_chained)));
+  }
+  if (stats.episodes != 0) {
+    j.set("episodes",
+          witness::Json::integer(static_cast<std::int64_t>(stats.episodes)));
   }
   return j;
 }

@@ -43,6 +43,13 @@ struct CommonOptions {
   std::uint64_t max_states = 1'000'000;
   unsigned num_threads = 1;  ///< 0 = hardware concurrency
   bool por = false;          ///< ample-set partial-order reduction
+  /// --strategy exhaustive|por|sample[:N]: how the engine covers the state
+  /// space.  `por` above and `--strategy por` are the same setting;
+  /// resolve_strategy() normalises them and rejects conflicts.
+  engine::Strategy mode = engine::Strategy::Exhaustive;
+  /// Sampling knobs: --strategy sample:N sets episodes, --seed S the seed.
+  engine::SampleOptions sample;
+  bool seed_set = false;  ///< --seed was given (only meaningful with sample)
   bool stats = false;        ///< print exploration statistics
   std::string witness_path;  ///< write first counterexample as JSON witness
   std::string replay_path;   ///< re-execute a JSON witness instead of checking
@@ -56,8 +63,9 @@ struct CommonOptions {
 
 /// Usage-line fragment for the shared flags (tools append their own).
 inline constexpr const char* kCommonUsage =
-    "[--max-states N] [--threads N] [--por] [--stats] [--json FILE] "
-    "[--witness FILE] [--replay FILE] [--deadline-ms MS] "
+    "[--max-states N] [--threads N] [--por] "
+    "[--strategy exhaustive|por|sample[:N]] [--seed S] [--stats] "
+    "[--json FILE] [--witness FILE] [--replay FILE] [--deadline-ms MS] "
     "[--mem-budget BYTES[K|M|G]] [--checkpoint FILE] [--resume FILE]";
 
 /// Byte-count parse for --mem-budget: a whole number with an optional
@@ -74,6 +82,15 @@ enum class FlagStatus : std::uint8_t {
 /// value when it takes one.
 [[nodiscard]] FlagStatus parse_common_flag(int argc, char** argv, int& i,
                                            CommonOptions& out);
+
+/// Post-parse normalisation and conflict checking for the coverage-strategy
+/// flags: unifies --por with --strategy por (either spelling sets both
+/// fields) and rejects the combinations sampling cannot honour
+/// (--por + --strategy sample, --seed without sampling, and
+/// --checkpoint/--resume under sampling — a sampling run has no frontier).
+/// Returns an error message for the user, or an empty string when the
+/// options are consistent.
+[[nodiscard]] std::string resolve_strategy(CommonOptions& opts);
 
 /// Installs SIGINT/SIGTERM handlers that trip a process-wide
 /// engine::CancelToken and returns that token, so a Ctrl-C drains the
@@ -94,13 +111,19 @@ enum class FlagStatus : std::uint8_t {
 [[nodiscard]] int run_replay(const lang::System& sys,
                              const CommonOptions& opts);
 
-/// The shared --stats block: peak frontier, visited-set memory and — under
+/// The shared --stats block: peak frontier, visited-set memory, — under
 /// --por — how much the reduction saved (reduced expansions and states
-/// skipped by chain collapse).
-void print_stats(const engine::ExploreStats& stats, bool por);
+/// skipped by chain collapse), and — under sampling — episodes, episode
+/// rate (when `wall_s` > 0; the tools time the run) and the distinct-state
+/// coverage estimate.  Rates go only to this human-readable block, never
+/// into --json: CI byte-compares JSON reports for seed determinism.
+void print_stats(const engine::ExploreStats& stats, bool por,
+                 double wall_s = -1.0);
 
-/// ExploreStats as a JSON object (states, transitions, finals, blocked, and
-/// the POR counters when non-zero) for --json summaries.
+/// ExploreStats as a JSON object (states, transitions, finals, blocked, the
+/// POR counters when non-zero, and `episodes` when sampling) for --json
+/// summaries.  Deliberately free of timing data — same seed must produce a
+/// byte-identical report.
 [[nodiscard]] witness::Json stats_json(const engine::ExploreStats& stats);
 
 /// Writes a --json summary document and narrates where it went.

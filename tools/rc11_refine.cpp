@@ -13,6 +13,14 @@
 //   --por             client-invisible ample reduction while building the
 //                     two state graphs (graph edges stay single steps, so
 //                     counterexamples replay unchanged)
+//   --strategy S      coverage strategy: exhaustive (default), por, or
+//                     sample[:N].  Sampling covers only the *concrete*
+//                     graph with N seeded random schedules (the abstract
+//                     graph — the specification — is always exhaustive) and
+//                     implies --trace-only: a violation found is definite
+//                     (exit 2, replayable witness); a clean run is a lower
+//                     bound (exit 3)
+//   --seed S          RNG seed for --strategy sample (default 0)
 //   --stats           also print the per-check size accounting
 //   --json FILE       write a machine-readable run summary
 //   --trace-only      skip the Def. 8 simulation, run only trace inclusion
@@ -85,6 +93,18 @@ int main(int argc, char** argv) {
     }
   }
   if (abs_path.empty() || conc_path.empty()) return usage();
+  if (const std::string err = cli::resolve_strategy(common); !err.empty()) {
+    std::cerr << "rc11-refine: " << err << "\n";
+    return cli::kExitUsage;
+  }
+  if (common.mode == engine::Strategy::Sample && !trace_only) {
+    // The Def. 8 simulation fixpoint needs the full concrete edge relation
+    // (missing edges would let pairs survive vacuously); the trace-inclusion
+    // game is the checker that stays sound on a sampled concrete subgraph.
+    std::cout << "note: --strategy sample implies --trace-only (the Def. 8 "
+                 "simulation needs the complete concrete graph)\n";
+    trace_only = true;
+  }
   if (!common.checkpoint_path.empty() || !common.resume_path.empty()) {
     std::cerr << "rc11-refine: --checkpoint/--resume are not supported here "
                  "(a refinement check builds two state graphs per run, so a "
@@ -108,6 +128,8 @@ int main(int argc, char** argv) {
   trace_opts.max_states = common.max_states;
   trace_opts.num_threads = common.num_threads;
   trace_opts.por = common.por;
+  trace_opts.mode = common.mode;
+  trace_opts.sample = common.sample;
   trace_opts.max_visited_bytes = common.max_visited_bytes;
   trace_opts.deadline_ms = common.deadline_ms;
   trace_opts.cancel = cancel;
@@ -128,6 +150,12 @@ int main(int argc, char** argv) {
     summary.set("tool", witness::Json::string("rc11-refine"));
     summary.set("abstract", witness::Json::string(abs_path));
     summary.set("concrete", witness::Json::string(conc_path));
+    summary.set("strategy",
+                witness::Json::string(engine::to_string(common.mode)));
+    if (common.mode == engine::Strategy::Sample) {
+      summary.set("seed", witness::Json::integer(
+                              static_cast<std::int64_t>(common.sample.seed)));
+    }
 
     if (!trace_only) {
       const auto sim =
@@ -204,12 +232,20 @@ int main(int argc, char** argv) {
       cli::write_json_summary(summary, common.json_path);
     }
 
+    // A found violation is definite even when coverage was partial — every
+    // path to holds == false goes through a complete graph pair or a real
+    // sampled run — so DOES NOT REFINE wins over INCONCLUSIVE (mirroring
+    // rc11-verify's INVALID-beats-INCONCLUSIVE ordering).
+    if (!refines) {
+      std::cout << "DOES NOT REFINE\n";
+      return cli::kExitFail;
+    }
     if (inconclusive) {
       std::cout << "INCONCLUSIVE: exploration truncated\n";
       return cli::kExitInconclusive;
     }
-    std::cout << (refines ? "REFINES" : "DOES NOT REFINE") << "\n";
-    return refines ? cli::kExitOk : cli::kExitFail;
+    std::cout << "REFINES\n";
+    return cli::kExitOk;
   } catch (const std::exception& e) {
     std::cerr << "rc11-refine: " << e.what() << "\n";
     return cli::kExitUsage;

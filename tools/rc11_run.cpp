@@ -9,6 +9,13 @@
 //   --threads N         exploration workers (0 = hardware, default 1)
 //   --por               ample-set partial-order reduction (sound for the
 //                       outcome set; composes with --threads and --witness)
+//   --strategy S        coverage strategy: exhaustive (default), por (same
+//                       as --por), or sample[:N] — N seeded random schedules
+//                       (episodes) instead of enumeration; results are a
+//                       lower bound and the run exits 3 unless a violation
+//                       is found (exit 2, with a replayable witness)
+//   --seed S            RNG seed for --strategy sample (default 0); same
+//                       program + flags + seed reproduces the run exactly
 //   --stats             also print peak frontier / visited memory / POR savings
 //   --json FILE         write a machine-readable run summary
 //   --disassemble       print the compiled per-thread code first
@@ -37,6 +44,7 @@
 // violation was found or a --replay diverged, 3 if exploration stopped early
 // for any reason (bound, budget, deadline, interrupt, injected fault).
 
+#include <chrono>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -106,6 +114,10 @@ int main(int argc, char** argv) {
     }
   }
   if (path.empty()) return usage();
+  if (const std::string err = cli::resolve_strategy(common); !err.empty()) {
+    std::cerr << "rc11-run: " << err << "\n";
+    return cli::kExitUsage;
+  }
 
   try {
     auto program = parser::parse_file(path);
@@ -131,6 +143,8 @@ int main(int argc, char** argv) {
     opts.max_states = common.max_states;
     opts.num_threads = common.num_threads;
     opts.por = common.por;
+    opts.mode = common.mode;
+    opts.sample = common.sample;
     opts.max_visited_bytes = common.max_visited_bytes;
     opts.deadline_ms = common.deadline_ms;
     opts.cancel = cli::install_signal_cancel();
@@ -161,13 +175,17 @@ int main(int argc, char** argv) {
                 << " states) written to " << dot_path << "\n";
     }
 
+    const auto t0 = std::chrono::steady_clock::now();
     const auto result = explore::explore(program.sys, opts, invariant);
+    const double wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
     std::cout << "states:      " << result.stats.states << "\n"
               << "transitions: " << result.stats.transitions << "\n"
               << "finals:      " << result.stats.finals << "\n"
               << "blocked:     " << result.stats.blocked << "\n";
     if (common.stats) {
-      cli::print_stats(result.stats, common.por);
+      cli::print_stats(result.stats, common.por, wall_s);
     }
     if (result.truncated) {
       std::cout << "WARNING: exploration stopped early — "
@@ -202,6 +220,13 @@ int main(int argc, char** argv) {
       auto summary = witness::Json::object();
       summary.set("tool", witness::Json::string("rc11-run"));
       summary.set("program", witness::Json::string(path));
+      summary.set("strategy",
+                  witness::Json::string(engine::to_string(common.mode)));
+      if (common.mode == engine::Strategy::Sample) {
+        summary.set("seed",
+                    witness::Json::integer(
+                        static_cast<std::int64_t>(common.sample.seed)));
+      }
       summary.set("truncated", witness::Json::boolean(result.truncated));
       summary.set("stop",
                   witness::Json::string(engine::to_string(result.stop)));

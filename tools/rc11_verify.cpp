@@ -11,6 +11,11 @@
 //                        traces and witnesses work at every thread count)
 //   --por                ample-set partial-order reduction (failures found
 //                        are real; see og/proof_outline.hpp for the caveat)
+//   --strategy S         coverage strategy: exhaustive (default), por, or
+//                        sample[:N] — N seeded random schedules; failures
+//                        found are real (exit 2, replayable witness), but a
+//                        clean sampled run is never a proof (exit 3)
+//   --seed S             RNG seed for --strategy sample (default 0)
 //   --stats              also print peak frontier / visited memory / POR
 //                        savings
 //   --json FILE          write a machine-readable run summary
@@ -35,6 +40,7 @@
 // diverged; failed obligations are definite even in a partial run), 3
 // inconclusive (the enumeration stopped early and no failure was found).
 
+#include <chrono>
 #include <iostream>
 #include <optional>
 #include <sstream>
@@ -88,10 +94,16 @@ int main(int argc, char** argv) {
     }
   }
   if (path.empty()) return usage();
+  if (const std::string err = cli::resolve_strategy(common); !err.empty()) {
+    std::cerr << "rc11-verify: " << err << "\n";
+    return cli::kExitUsage;
+  }
 
   opts.max_states = common.max_states;
   opts.num_threads = common.num_threads;
   opts.por = common.por;
+  opts.mode = common.mode;
+  opts.sample = common.sample;
   opts.max_visited_bytes = common.max_visited_bytes;
   opts.deadline_ms = common.deadline_ms;
   opts.checkpoint_path = common.checkpoint_path;
@@ -118,12 +130,16 @@ int main(int argc, char** argv) {
       std::cerr << "rc11-verify: " << path << " has no outline { ... } block\n";
       return cli::kExitUsage;
     }
+    const auto t0 = std::chrono::steady_clock::now();
     const auto result =
         og::check_outline(program.sys, *program.outline, opts);
+    const double wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
     std::cout << "states explored:     " << result.stats.states << "\n"
               << "obligations checked: " << result.obligations_checked << "\n";
     if (common.stats) {
-      cli::print_stats(result.stats, common.por);
+      cli::print_stats(result.stats, common.por, wall_s);
     }
 
     // A failed obligation is a definite negative even when the enumeration
@@ -134,6 +150,13 @@ int main(int argc, char** argv) {
       auto summary = witness::Json::object();
       summary.set("tool", witness::Json::string("rc11-verify"));
       summary.set("program", witness::Json::string(path));
+      summary.set("strategy",
+                  witness::Json::string(engine::to_string(common.mode)));
+      if (common.mode == engine::Strategy::Sample) {
+        summary.set("seed",
+                    witness::Json::integer(
+                        static_cast<std::int64_t>(common.sample.seed)));
+      }
       summary.set("valid", witness::Json::boolean(result.valid));
       summary.set("inconclusive",
                   witness::Json::boolean(inconclusive && result.valid));
