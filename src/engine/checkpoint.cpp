@@ -14,7 +14,7 @@ using witness::Json;
 
 Checkpoint make_checkpoint(const ShardedVisitedSet& sink,
                            const ExploreStats& stats, StopReason stop,
-                           bool por) {
+                           bool por, bool symmetry) {
   const auto snap = sink.snapshot();
   support::require(!snap.empty(),
                    "cannot checkpoint a run with no interned states");
@@ -55,6 +55,7 @@ Checkpoint make_checkpoint(const ShardedVisitedSet& sink,
 
   Checkpoint ckpt;
   ckpt.por = por;
+  ckpt.symmetry = symmetry;
   ckpt.stop = stop;
   ckpt.stats = stats;
   ckpt.states.reserve(snap.size());
@@ -91,6 +92,10 @@ Json stats_to_json(const ExploreStats& stats) {
           Json::integer(static_cast<std::int64_t>(stats.por_reduced)));
   out.set("por_chained",
           Json::integer(static_cast<std::int64_t>(stats.por_chained)));
+  out.set("symmetry_hits",
+          Json::integer(static_cast<std::int64_t>(stats.symmetry_hits)));
+  out.set("sleep_set_skips",
+          Json::integer(static_cast<std::int64_t>(stats.sleep_set_skips)));
   return out;
 }
 
@@ -109,6 +114,16 @@ ExploreStats stats_from_json(const Json& doc) {
       static_cast<std::uint64_t>(doc.at("por_reduced").as_int());
   stats.por_chained =
       static_cast<std::uint64_t>(doc.at("por_chained").as_int());
+  // Reduction counters postdate the version-1 schema; absent means a
+  // checkpoint from a build without them (equivalently: zero).
+  if (doc.has("symmetry_hits")) {
+    stats.symmetry_hits =
+        static_cast<std::uint64_t>(doc.at("symmetry_hits").as_int());
+  }
+  if (doc.has("sleep_set_skips")) {
+    stats.sleep_set_skips =
+        static_cast<std::uint64_t>(doc.at("sleep_set_skips").as_int());
+  }
   return stats;
 }
 
@@ -119,6 +134,7 @@ std::string to_json(const Checkpoint& ckpt) {
   doc.set("format", Json::string("rc11-checkpoint"));
   doc.set("version", Json::integer(ckpt.version));
   doc.set("por", Json::boolean(ckpt.por));
+  doc.set("symmetry", Json::boolean(ckpt.symmetry));
   doc.set("stop", Json::string(to_string(ckpt.stop)));
   doc.set("stats", stats_to_json(ckpt.stats));
   Json states = Json::array();
@@ -152,6 +168,8 @@ Checkpoint from_json(std::string_view text) {
                    " (this build reads version ", kCheckpointFormatVersion,
                    ")");
   ckpt.por = doc.at("por").as_bool();
+  // Absent in pre-symmetry version-1 files; those runs were unquotiented.
+  ckpt.symmetry = doc.has("symmetry") && doc.at("symmetry").as_bool();
   ckpt.stop = stop_reason_from_string(doc.at("stop").as_string());
   ckpt.stats = stats_from_json(doc.at("stats"));
   const auto& states = doc.at("states").items();

@@ -63,6 +63,9 @@ struct Checkpoint {
 
   std::int64_t version = kCheckpointFormatVersion;
   bool por = false;  ///< POR changes the enqueued set; resume must match
+  /// Symmetry quotient changes which orbit representatives were expanded;
+  /// resume must match (rejected loudly otherwise, like `por`).
+  bool symmetry = false;
   StopReason stop = StopReason::Complete;  ///< why the run stopped
   ExploreStats stats;                      ///< partial stats at the stop
   std::vector<State> states;
@@ -73,7 +76,8 @@ struct Checkpoint {
 /// exactly one root.
 [[nodiscard]] Checkpoint make_checkpoint(const ShardedVisitedSet& sink,
                                          const ExploreStats& stats,
-                                         StopReason stop, bool por);
+                                         StopReason stop, bool por,
+                                         bool symmetry = false);
 
 /// Serialises to / parses from the versioned JSON schema (docs/FORMAT.md
 /// §Checkpoint files).  from_json throws support::Error on malformed input,

@@ -1,15 +1,19 @@
 #include "engine/reach.hpp"
 
 #include <algorithm>
+#include <array>
 #include <atomic>
+#include <bit>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "engine/checkpoint.hpp"
+#include "engine/symmetry.hpp"
 #include "support/diagnostics.hpp"
 #include "support/intern.hpp"
 #include "support/parallel.hpp"
@@ -30,19 +34,70 @@ using VisitedSet = support::InternedWordSet;
 struct Frontier {
   Config cfg;
   std::uint64_t id = ShardedVisitedSet::kNoState;
+  /// Sleeping-thread mask in this configuration's concrete thread
+  /// coordinates (reduction paths only; 0 otherwise).
+  std::uint64_t sleep = 0;
+  /// Re-expansion of an already-visited state whose stored sleep mask
+  /// strictly shrank (Godefroid's revisit rule): successors are reprocessed
+  /// with the smaller mask, but the state is not re-counted, the visitor
+  /// does not fire again, and no state claim is consumed.
+  bool revisit = false;
 };
 
+/// Sequential counterpart of ShardedVisitedSet::insert_masked: one interned
+/// word set plus a dense per-id mask array, lock-free for the single-thread
+/// driver.  Same meet semantics, so both drivers share the revisit rule
+/// documented on MaskedInsert.  With all-zero masks this is an exact
+/// insert() with ids — the degenerate form the symmetry quotient uses when
+/// sleep sets are off.
+class SeqMaskedSet {
+ public:
+  ShardedVisitedSet::MaskedInsert insert_masked(
+      std::span<const std::uint64_t> encoding, std::uint64_t mask) {
+    const auto ided = set_.resolve_ided(encoding);
+    if (ided.inserted) {
+      masks_.push_back(mask);
+      return {true, true, mask};
+    }
+    std::uint64_t& stored = masks_[ided.id];
+    const std::uint64_t meet = stored & mask;
+    if (meet == stored) return {false, false, stored};
+    stored = meet;
+    return {false, true, meet};
+  }
+
+  [[nodiscard]] std::size_t bytes() const noexcept {
+    return set_.bytes() + masks_.capacity() * sizeof(std::uint64_t);
+  }
+
+ private:
+  support::InternedWordSet set_;
+  std::vector<std::uint64_t> masks_;
+};
+
+bool is_identity(const ThreadPerm& perm) {
+  for (std::size_t t = 0; t < perm.size(); ++t) {
+    if (perm[t] != t) return false;
+  }
+  return true;
+}
+
 /// Seeds a run from a checkpoint (ReachOptions::resume): every checkpointed
-/// state enters the visited set — the trace sink when one is attached (with
-/// its recorded parent link and enqueued flag, so a later checkpoint of the
-/// resumed run is still faithful), the plain set otherwise — and every
-/// *enqueued* state goes on the frontier for (re-)expansion.  Chain-internal
-/// POR states are interned but never enqueued, exactly as the original run
-/// left them.  Works for both drivers: `untraced` is the sequential
-/// InternedWordSet or the parallel ShardedVisitedSet.
-template <typename UntracedSet>
+/// state enters the trace sink when one is attached (with its recorded
+/// parent link and enqueued flag, so a later checkpoint of the resumed run
+/// is still faithful), and every *enqueued* state goes on the frontier for
+/// (re-)expansion.  Chain-internal POR states are interned but never
+/// enqueued, exactly as the original run left them.  The two callbacks
+/// adapt the visited-set shape per driver mode: `untraced(encoding)` seeds
+/// the plain untraced set (a no-op in reduced modes, whose visited set is
+/// the masked canonical one), `canon_seed(cfg)` seeds the canonical set
+/// (a no-op in plain modes).  Canonical masks restart empty: resume
+/// re-expands every enqueued state anyway, and the empty mask skips nothing
+/// — sound, only pruning is lost.
+template <typename UntracedInsert, typename CanonSeed>
 void seed_from_checkpoint(const TransitionSystem& ts, const Checkpoint& ckpt,
-                          ShardedVisitedSet* trace, UntracedSet& untraced,
+                          ShardedVisitedSet* trace, UntracedInsert&& untraced,
+                          CanonSeed&& canon_seed,
                           std::deque<Frontier>& frontier) {
   std::vector<Config> configs = restore_states(ts, ckpt);
   std::vector<std::uint64_t> ids;
@@ -62,11 +117,15 @@ void seed_from_checkpoint(const TransitionSystem& ts, const Checkpoint& ckpt,
                    "resume requires an empty trace sink and a duplicate-free "
                    "checkpoint");
       ids[i] = ins.id;
-      if (state.enqueued) frontier.push_back({std::move(configs[i]), ins.id});
+      if (state.enqueued) {
+        canon_seed(configs[i]);
+        frontier.push_back({std::move(configs[i]), ins.id});
+      }
     } else if (state.enqueued) {
       // Untraced runs never intern chain-internal states; seeding only the
       // enqueued ones reproduces an uninterrupted untraced visited set.
-      untraced.insert(state.encoding);
+      untraced(std::span<const std::uint64_t>(state.encoding));
+      canon_seed(configs[i]);
       frontier.push_back({std::move(configs[i]), ShardedVisitedSet::kNoState});
     }
   }
@@ -139,6 +198,169 @@ bool collapse_traced(const TransitionSystem& ts, ShardedVisitedSet& sink,
   return true;
 }
 
+// --- reduction successor path ------------------------------------------------
+
+/// Per-worker scratch for the reduction successor path: chain-walk step
+/// buffer, encoding buffer, canonicalisation result, and the per-thread run
+/// metadata of the expansion in flight (valid only under sleep sets, which
+/// require <= 64 threads).
+struct ReduceScratch {
+  lang::StepBuffer chain_steps;
+  std::vector<std::uint64_t> scratch;
+  SymmetryReducer::Canonical canon;
+  std::array<lang::StepMeta, 64> meta{};
+};
+
+/// The successor-processing path both drivers share when any reduction —
+/// symmetry quotient and/or sleep sets — is active.  Differences from the
+/// plain path:
+///
+///   * Membership is decided in `canon_set` (SeqMaskedSet sequentially, a
+///     dedicated ShardedVisitedSet in parallel), keyed by canonical orbit
+///     encodings when `reducer` is set and concrete encodings otherwise,
+///     with per-state sleep masks (all zero when sleep sets are off).
+///   * With a trace sink, every concrete successor is interned with
+///     enqueued=false via resolve_traced, and the *canonical-set winner*
+///     flips the flag via mark_enqueued: the expansion race between orbit
+///     mates is decided in the canonical set, while the sink stays a
+///     faithful forest of really-taken steps (witnesses and checkpoints are
+///     concrete, so replay needs no permutation arithmetic).
+///   * Traced chain collapse walks *through* already-interned intermediates
+///     instead of early-dropping: under sleep sets the chain end's canonical
+///     mask meet must happen even when the concrete chain was walked before.
+///
+/// Sleep-set bookkeeping (Godefroid, adapted to thread-level masks over
+/// meta-homogeneous runs — a thread's enabled steps at one configuration
+/// all come from one instruction, so they share one footprint): a sleeping
+/// thread's whole run is skipped; the child of run t inherits every thread
+/// of (sleep ∪ earlier-processed-runs) \ {t} that commutes with t.  Masks
+/// attached to canonical states must be closed under the state's
+/// automorphisms, hence the mask_to_canonical intersection over all
+/// discovered minimising permutations — and a forced empty mask when tie
+/// enumeration was capped (Canonical::complete false).  Expansion uses the
+/// *stored* canonical mask pulled back through perms[0], never the larger
+/// concrete child mask: the stored mask is what later arrivals are judged
+/// against.  DESIGN.md (symmetry + sleep section) gives the full argument.
+template <typename CanonSet, typename Push>
+void process_steps_reduced(const TransitionSystem& ts, ShardedVisitedSet* trace,
+                           bool collapse, const SymmetryReducer* reducer,
+                           bool sleep, const Frontier& item,
+                           std::span<lang::Step> steps, CanonSet& canon_set,
+                           ReduceScratch& rs, bool count_stats,
+                           std::uint64_t& chained, std::uint64_t& sym_hits,
+                           std::uint64_t& sleep_skips, Push&& push) {
+  std::uint64_t mask = 0;
+  if (sleep) {
+    std::uint64_t enabled = 0;
+    for (const auto& step : steps) {
+      if ((enabled >> step.thread & 1ULL) == 0) {
+        rs.meta[step.thread] = step.meta;
+        enabled |= 1ULL << step.thread;
+      }
+    }
+    // A sleep entry stands for a specific postponed step; a sleeping thread
+    // with no enabled run here has nothing to postpone and is dropped.
+    mask = item.sleep & enabled;
+  }
+  std::uint64_t earlier = 0;
+  std::size_t i = 0;
+  while (i < steps.size()) {
+    const ThreadId t = steps[i].thread;
+    std::size_t j = i;
+    while (j < steps.size() && steps[j].thread == t) ++j;
+    if (sleep && (mask >> t & 1ULL) != 0) {
+      // The run is asleep: a commuted exploration order covers it.
+      if (count_stats) sleep_skips += j - i;
+      i = j;
+      continue;
+    }
+    std::uint64_t child_sleep = 0;
+    if (sleep) {
+      std::uint64_t base = (mask | earlier) & ~(1ULL << t);
+      while (base != 0) {
+        const auto u = static_cast<unsigned>(std::countr_zero(base));
+        base &= base - 1;
+        if (steps_independent(rs.meta[u], rs.meta[t])) {
+          child_sleep |= 1ULL << u;
+        }
+      }
+      earlier |= 1ULL << t;
+    }
+    for (std::size_t k = i; k < j; ++k) {
+      lang::Step& step = steps[k];
+      Config after = std::move(step.after);
+      std::uint64_t concrete_id = ShardedVisitedSet::kNoState;
+      if (trace != nullptr) {
+        std::uint64_t parent = item.id;
+        memsem::ThreadId acting = step.thread;
+        std::string label = std::move(step.label);
+        if (collapse) {
+          while (const auto ct = chain_thread(ts, after)) {
+            rs.scratch.clear();
+            after.encode_into(rs.scratch);
+            parent = trace
+                         ->resolve_traced(rs.scratch, parent, acting,
+                                          std::move(label), /*enqueued=*/false)
+                         .id;
+            if (count_stats) chained += 1;
+            ts.thread_successors_into(after, *ct, rs.chain_steps,
+                                      /*want_labels=*/true);
+            auto& cstep = rs.chain_steps.steps()[0];
+            after = std::move(cstep.after);
+            acting = cstep.thread;
+            label = std::move(cstep.label);
+          }
+        }
+        rs.scratch.clear();
+        after.encode_into(rs.scratch);
+        concrete_id = trace
+                          ->resolve_traced(rs.scratch, parent, acting,
+                                           std::move(label), /*enqueued=*/false)
+                          .id;
+      } else {
+        if (collapse) {
+          std::uint64_t walked = 0;
+          collapse_untraced(ts, after, rs.chain_steps, walked);
+          if (count_stats) chained += walked;
+        }
+        if (reducer == nullptr) {
+          rs.scratch.clear();
+          after.encode_into(rs.scratch);
+        }
+      }
+      std::uint64_t cmask = sleep ? child_sleep : 0;
+      std::span<const std::uint64_t> enc;
+      if (reducer != nullptr) {
+        reducer->canonicalize(after, rs.canon);
+        enc = rs.canon.encoding;
+        if (sleep) {
+          cmask = rs.canon.complete ? SymmetryReducer::mask_to_canonical(
+                                          child_sleep, rs.canon.perms)
+                                    : 0;
+        }
+      } else {
+        enc = rs.scratch;
+      }
+      const auto r = canon_set.insert_masked(enc, cmask);
+      if (!r.inserted && reducer != nullptr &&
+          !is_identity(rs.canon.perms[0])) {
+        sym_hits += 1;
+      }
+      if (!r.inserted && !r.expand) continue;
+      std::uint64_t fmask = 0;
+      if (sleep) {
+        fmask = reducer != nullptr ? SymmetryReducer::mask_from_canonical(
+                                         r.mask, rs.canon.perms[0])
+                                   : r.mask;
+      }
+      if (trace != nullptr && r.inserted) trace->mark_enqueued(concrete_id);
+      push(Frontier{std::move(after), concrete_id, fmask,
+                    /*revisit=*/!r.inserted});
+    }
+    i = j;
+  }
+}
+
 // --- parallel reachability engine -------------------------------------------
 
 /// Shared frontier of the worker pool.  A single deque behind one mutex is
@@ -167,22 +389,62 @@ ReachResult parallel_reach(const TransitionSystem& ts,
   ShardedVisitedSet& visited = options.trace ? *options.trace : local_visited;
   const bool want_labels = options.want_labels || options.trace != nullptr;
   const bool collapse = options.por && ts.collapse_chains();
+  // Reduction configuration.  Symmetry classes are a pure function of the
+  // system, so the driver-level reducer (used for seeding) and the
+  // per-worker reducers (canonicalisation reuses mutable scratch, so one
+  // instance per worker) always agree.
+  std::optional<SymmetryReducer> seed_reducer;
+  if (options.symmetry) seed_reducer.emplace(sys);
+  const bool quotient = seed_reducer.has_value() && seed_reducer->symmetric();
+  const bool sleep = options.sleep_sets && sys.num_threads() <= 64;
+  const bool reduced = quotient || sleep;
+  // The reduced paths' visited set: canonical orbit encodings (or masked
+  // concrete ones under sleep-only) with per-state sleep masks.  Doubles as
+  // *the* visited set in untraced reduced runs; traced runs keep the sink
+  // concrete and use this as the expansion-ownership side set.
+  ShardedVisitedSet canon_shared;
   SharedFrontier frontier;
   // Every popped state claims one index from the budget enforcer; claims
   // beyond a limit mark the stop reason instead of being expanded.  This is
   // the cooperative-parallel analogue of the sequential pre-pop bound check.
   BudgetEnforcer enforcer(options.budget, options.cancel, options.fault,
-                          [&visited] { return visited.bytes(); });
+                          [&]() -> std::uint64_t {
+                            std::uint64_t b =
+                                reduced ? canon_shared.bytes() : 0;
+                            if (options.trace != nullptr || !reduced) {
+                              b += visited.bytes();
+                            }
+                            return b;
+                          });
   std::atomic<std::uint64_t> states{0};
   std::atomic<std::uint64_t> transitions{0};
   std::atomic<std::uint64_t> finals{0};
   std::atomic<std::uint64_t> blocked{0};
   std::atomic<std::uint64_t> por_reduced{0};
   std::atomic<std::uint64_t> por_chained{0};
+  std::atomic<std::uint64_t> symmetry_hits{0};
+  std::atomic<std::uint64_t> sleep_skips{0};
+
+  SymmetryReducer::Canonical seed_canon;
+  const auto canon_seed = [&](const Config& cfg) {
+    if (!reduced) return;
+    if (quotient) {
+      seed_reducer->canonicalize(cfg, seed_canon);
+      canon_shared.insert_masked(seed_canon.encoding, 0);
+    } else {
+      seed_canon.encoding.clear();
+      cfg.encode_into(seed_canon.encoding);
+      canon_shared.insert_masked(seed_canon.encoding, 0);
+    }
+  };
 
   if (options.resume != nullptr) {
-    seed_from_checkpoint(ts, *options.resume, options.trace, visited,
-                         frontier.items);
+    seed_from_checkpoint(
+        ts, *options.resume, options.trace,
+        [&](std::span<const std::uint64_t> enc) {
+          if (!reduced) visited.insert(enc);
+        },
+        canon_seed, frontier.items);
     frontier.max_size = frontier.items.size();
   } else {
     Config init = ts.initial();
@@ -192,9 +454,10 @@ ReachResult parallel_reach(const TransitionSystem& ts,
                ->insert_traced(init.encode(), ShardedVisitedSet::kNoState, 0,
                                "init")
                .id;
-    } else {
+    } else if (!reduced) {
       visited.insert(init.encode());
     }
+    canon_seed(init);
     frontier.items.push_back({std::move(init), id});
     frontier.max_size = 1;
   }
@@ -209,6 +472,12 @@ ReachResult parallel_reach(const TransitionSystem& ts,
     lang::StepBuffer chain_steps;          // separate pool for chain collapse
     std::vector<std::uint64_t> scratch;    // reusable encoding buffer
     std::uint64_t chained = 0;             // batched into por_chained below
+    std::optional<SymmetryReducer> wreducer;
+    if (quotient) wreducer.emplace(sys);
+    const SymmetryReducer* red = quotient ? &*wreducer : nullptr;
+    ReduceScratch rs;
+    std::uint64_t local_sym = 0;    // batched into symmetry_hits below
+    std::uint64_t local_skips = 0;  // batched into sleep_skips below
     for (;;) {
       batch.clear();
       {
@@ -241,6 +510,23 @@ ReachResult parallel_reach(const TransitionSystem& ts,
       bool request_stop = false;
       for (const Frontier& item : batch) {
         const Config& cfg = item.cfg;
+        if (item.revisit) {
+          // Mask-shrink revisit: regenerate the same successor set
+          // (expansion is a pure function of the configuration) and
+          // reprocess it with the smaller mask.  No state claim, no stats,
+          // no visitor — the state was already visited once.
+          if (enforcer.probe() != StopReason::Complete) {
+            request_stop = true;
+            break;
+          }
+          (void)expand_steps(ts, cfg, options, steps, want_labels);
+          process_steps_reduced(
+              ts, options.trace, collapse, red, sleep, item, steps.steps(),
+              canon_shared, rs, /*count_stats=*/false, chained, local_sym,
+              local_skips,
+              [&](Frontier&& f) { discovered.push_back(std::move(f)); });
+          continue;
+        }
         if (enforcer.claim() != StopReason::Complete) {
           // Remaining batch items are dropped without being expanded; they
           // stay recoverable through a checkpoint (they are interned and
@@ -258,33 +544,41 @@ ReachResult parallel_reach(const TransitionSystem& ts,
         }
         transitions.fetch_add(steps.size(), std::memory_order_relaxed);
         const bool keep_going = visitor(cfg, item.id, steps.steps());
-        for (auto& step : steps.steps()) {
-          Config after = std::move(step.after);
-          if (options.trace) {
-            // A successor that opens a deterministic chain is itself
-            // chain-internal: collapse will fast-forward through it and
-            // enqueue the chain's end instead.
-            const bool chain_start =
-                collapse && chain_thread(ts, after).has_value();
-            scratch.clear();
-            after.encode_into(scratch);
-            const auto ins = options.trace->insert_traced(
-                scratch, item.id, step.thread, std::move(step.label),
-                /*enqueued=*/!chain_start);
-            if (!ins.inserted) continue;
-            std::uint64_t id = ins.id;
-            if (collapse &&
-                !collapse_traced(ts, *options.trace, after, id, chain_steps,
-                                 scratch, chained)) {
-              continue;
-            }
-            discovered.push_back({std::move(after), id});
-          } else {
-            if (collapse) collapse_untraced(ts, after, chain_steps, chained);
-            scratch.clear();
-            after.encode_into(scratch);
-            if (visited.insert(scratch)) {
-              discovered.push_back({std::move(after), ShardedVisitedSet::kNoState});
+        if (reduced) {
+          process_steps_reduced(
+              ts, options.trace, collapse, red, sleep, item, steps.steps(),
+              canon_shared, rs, /*count_stats=*/true, chained, local_sym,
+              local_skips,
+              [&](Frontier&& f) { discovered.push_back(std::move(f)); });
+        } else {
+          for (auto& step : steps.steps()) {
+            Config after = std::move(step.after);
+            if (options.trace) {
+              // A successor that opens a deterministic chain is itself
+              // chain-internal: collapse will fast-forward through it and
+              // enqueue the chain's end instead.
+              const bool chain_start =
+                  collapse && chain_thread(ts, after).has_value();
+              scratch.clear();
+              after.encode_into(scratch);
+              const auto ins = options.trace->insert_traced(
+                  scratch, item.id, step.thread, std::move(step.label),
+                  /*enqueued=*/!chain_start);
+              if (!ins.inserted) continue;
+              std::uint64_t id = ins.id;
+              if (collapse &&
+                  !collapse_traced(ts, *options.trace, after, id, chain_steps,
+                                   scratch, chained)) {
+                continue;
+              }
+              discovered.push_back({std::move(after), id});
+            } else {
+              if (collapse) collapse_untraced(ts, after, chain_steps, chained);
+              scratch.clear();
+              after.encode_into(scratch);
+              if (visited.insert(scratch)) {
+                discovered.push_back({std::move(after), ShardedVisitedSet::kNoState});
+              }
             }
           }
         }
@@ -296,6 +590,14 @@ ReachResult parallel_reach(const TransitionSystem& ts,
       if (chained != 0) {
         por_chained.fetch_add(chained, std::memory_order_relaxed);
         chained = 0;
+      }
+      if (local_sym != 0) {
+        symmetry_hits.fetch_add(local_sym, std::memory_order_relaxed);
+        local_sym = 0;
+      }
+      if (local_skips != 0) {
+        sleep_skips.fetch_add(local_skips, std::memory_order_relaxed);
+        local_skips = 0;
       }
 
       {
@@ -323,9 +625,14 @@ ReachResult parallel_reach(const TransitionSystem& ts,
   result.stats.finals = finals.load();
   result.stats.blocked = blocked.load();
   result.stats.peak_frontier = frontier.max_size;
-  result.stats.visited_bytes = visited.bytes();
+  result.stats.visited_bytes = reduced ? canon_shared.bytes() : 0;
+  if (options.trace != nullptr || !reduced) {
+    result.stats.visited_bytes += visited.bytes();
+  }
   result.stats.por_reduced = por_reduced.load();
   result.stats.por_chained = por_chained.load();
+  result.stats.symmetry_hits = symmetry_hits.load();
+  result.stats.sleep_set_skips = sleep_skips.load();
   result.stop = enforcer.reason();
   return result;
 }
@@ -340,18 +647,47 @@ ReachResult sequential_reach(const TransitionSystem& ts,
   VisitedSet visited;
   const bool want_labels = options.want_labels || options.trace != nullptr;
   const bool collapse = options.por && ts.collapse_chains();
+  // Reduction configuration (mirrors parallel_reach).
+  std::optional<SymmetryReducer> reducer;
+  if (options.symmetry) reducer.emplace(sys);
+  const SymmetryReducer* red =
+      reducer.has_value() && reducer->symmetric() ? &*reducer : nullptr;
+  const bool sleep = options.sleep_sets && sys.num_threads() <= 64;
+  const bool reduced = red != nullptr || sleep;
+  SeqMaskedSet canon;  // the reduced paths' (masked) visited set
+  ReduceScratch rs;
   BudgetEnforcer enforcer(options.budget, options.cancel, options.fault,
                           [&]() -> std::uint64_t {
-                            return options.trace ? options.trace->bytes()
-                                                 : visited.bytes();
+                            std::uint64_t b = reduced ? canon.bytes() : 0;
+                            if (options.trace) {
+                              b += options.trace->bytes();
+                            } else if (!reduced) {
+                              b += visited.bytes();
+                            }
+                            return b;
                           });
   std::deque<Frontier> frontier;
   lang::StepBuffer steps;
   lang::StepBuffer chain_steps;  // separate pool: collapse runs mid-iteration
   std::vector<std::uint64_t> scratch;
+  const auto canon_seed = [&](const Config& cfg) {
+    if (!reduced) return;
+    if (red != nullptr) {
+      red->canonicalize(cfg, rs.canon);
+      canon.insert_masked(rs.canon.encoding, 0);
+    } else {
+      rs.scratch.clear();
+      cfg.encode_into(rs.scratch);
+      canon.insert_masked(rs.scratch, 0);
+    }
+  };
   if (options.resume != nullptr) {
-    seed_from_checkpoint(ts, *options.resume, options.trace, visited,
-                         frontier);
+    seed_from_checkpoint(
+        ts, *options.resume, options.trace,
+        [&](std::span<const std::uint64_t> enc) {
+          if (!reduced) visited.insert(enc);
+        },
+        canon_seed, frontier);
   } else {
     Config init = ts.initial();
     std::uint64_t id = ShardedVisitedSet::kNoState;
@@ -360,14 +696,17 @@ ReachResult sequential_reach(const TransitionSystem& ts,
                ->insert_traced(init.encode(), ShardedVisitedSet::kNoState, 0,
                                "init")
                .id;
-    } else {
+    } else if (!reduced) {
       visited.insert(init.encode());
     }
+    canon_seed(init);
     frontier.push_back({std::move(init), id});
   }
   const bool bfs = options.strategy == SearchStrategy::Bfs;
   while (!frontier.empty()) {
-    if (const StopReason gate = enforcer.claim();
+    const bool revisit =
+        bfs ? frontier.front().revisit : frontier.back().revisit;
+    if (const StopReason gate = revisit ? enforcer.probe() : enforcer.claim();
         gate != StopReason::Complete) {
       result.stop = gate;
       break;
@@ -381,53 +720,72 @@ ReachResult sequential_reach(const TransitionSystem& ts,
       frontier.pop_back();
     }
     const Config& cfg = item.cfg;
-    result.stats.states += 1;
-    if (expand_steps(ts, cfg, options, steps, want_labels)) {
-      result.stats.por_reduced += 1;
-    }
-    if (steps.empty()) {
-      if (cfg.all_done(sys)) {
-        result.stats.finals += 1;
-      } else {
-        result.stats.blocked += 1;
+    bool keep_going = true;
+    if (revisit) {
+      // Mask-shrink revisit (see the parallel driver): same successor set,
+      // smaller mask, no stats, no visitor, no state claim.
+      (void)expand_steps(ts, cfg, options, steps, want_labels);
+    } else {
+      result.stats.states += 1;
+      if (expand_steps(ts, cfg, options, steps, want_labels)) {
+        result.stats.por_reduced += 1;
       }
+      if (steps.empty()) {
+        if (cfg.all_done(sys)) {
+          result.stats.finals += 1;
+        } else {
+          result.stats.blocked += 1;
+        }
+      }
+      result.stats.transitions += steps.size();
+      keep_going = visitor(cfg, item.id, steps.steps());
     }
-    result.stats.transitions += steps.size();
-    const bool keep_going = visitor(cfg, item.id, steps.steps());
-    for (auto& step : steps.steps()) {
-      Config after = std::move(step.after);
-      if (options.trace) {
-        // Same chain-start rule as the parallel driver: see above.
-        const bool chain_start =
-            collapse && chain_thread(ts, after).has_value();
-        scratch.clear();
-        after.encode_into(scratch);
-        const auto ins = options.trace->insert_traced(
-            scratch, item.id, step.thread, std::move(step.label),
-            /*enqueued=*/!chain_start);
-        if (!ins.inserted) continue;
-        std::uint64_t id = ins.id;
-        if (collapse &&
-            !collapse_traced(ts, *options.trace, after, id, chain_steps,
-                             scratch, result.stats.por_chained)) {
-          continue;
-        }
-        frontier.push_back({std::move(after), id});
-      } else {
-        if (collapse) {
-          collapse_untraced(ts, after, chain_steps, result.stats.por_chained);
-        }
-        scratch.clear();
-        after.encode_into(scratch);
-        if (visited.insert(scratch)) {
-          frontier.push_back({std::move(after), ShardedVisitedSet::kNoState});
+    if (reduced) {
+      process_steps_reduced(
+          ts, options.trace, collapse, red, sleep, item, steps.steps(), canon,
+          rs, /*count_stats=*/!revisit, result.stats.por_chained,
+          result.stats.symmetry_hits, result.stats.sleep_set_skips,
+          [&](Frontier&& f) { frontier.push_back(std::move(f)); });
+    } else {
+      for (auto& step : steps.steps()) {
+        Config after = std::move(step.after);
+        if (options.trace) {
+          // Same chain-start rule as the parallel driver: see above.
+          const bool chain_start =
+              collapse && chain_thread(ts, after).has_value();
+          scratch.clear();
+          after.encode_into(scratch);
+          const auto ins = options.trace->insert_traced(
+              scratch, item.id, step.thread, std::move(step.label),
+              /*enqueued=*/!chain_start);
+          if (!ins.inserted) continue;
+          std::uint64_t id = ins.id;
+          if (collapse &&
+              !collapse_traced(ts, *options.trace, after, id, chain_steps,
+                               scratch, result.stats.por_chained)) {
+            continue;
+          }
+          frontier.push_back({std::move(after), id});
+        } else {
+          if (collapse) {
+            collapse_untraced(ts, after, chain_steps, result.stats.por_chained);
+          }
+          scratch.clear();
+          after.encode_into(scratch);
+          if (visited.insert(scratch)) {
+            frontier.push_back({std::move(after), ShardedVisitedSet::kNoState});
+          }
         }
       }
     }
     if (!keep_going) break;
   }
-  result.stats.visited_bytes =
-      options.trace ? options.trace->bytes() : visited.bytes();
+  result.stats.visited_bytes = reduced ? canon.bytes() : 0;
+  if (options.trace) {
+    result.stats.visited_bytes += options.trace->bytes();
+  } else if (!reduced) {
+    result.stats.visited_bytes += visited.bytes();
+  }
   return result;
 }
 
@@ -472,6 +830,11 @@ ReachResult visit_reachable(const TransitionSystem& ts,
     }
   }
   if (options.mode == Strategy::Sample) {
+    support::require(
+        !options.symmetry,
+        "--symmetry requires exhaustive or POR exploration: the sampling "
+        "strategy replays concrete schedules and cannot quotient states "
+        "(drop --symmetry or the sampling strategy)");
     return sample_reach(ts, options, visitor);
   }
   if (options.resume != nullptr) {
@@ -484,6 +847,14 @@ ReachResult visit_reachable(const TransitionSystem& ts,
         "checkpoint was recorded with --por ",
         options.resume->por ? "on" : "off", " but this run has it ",
         options.por ? "on" : "off",
+        "; resume must use the same reduction setting");
+    // Same for the symmetry quotient: it decides which orbit representative
+    // was interned and enqueued, so the settings must agree.
+    support::require(
+        options.resume->symmetry == options.symmetry,
+        "checkpoint was recorded with --symmetry ",
+        options.resume->symmetry ? "on" : "off", " but this run has it ",
+        options.symmetry ? "on" : "off",
         "; resume must use the same reduction setting");
   }
   const unsigned workers = support::resolve_num_threads(options.num_threads);

@@ -71,6 +71,15 @@ struct ExploreStats {
   /// episodes crossed — and `transitions` counts enabled steps enumerated at
   /// first visits, matching the exhaustive meaning on the covered subgraph.
   std::uint64_t episodes = 0;
+  /// Arrivals folded into an already-visited canonical state via a
+  /// non-identity permutation (ReachOptions::symmetry).  A lower bound on
+  /// the states the quotient saved: each hit is a concrete state a
+  /// non-symmetric run would have visited separately.
+  std::uint64_t symmetry_hits = 0;
+  /// Successor steps skipped because their acting thread was asleep
+  /// (ReachOptions::sleep_sets) — transitions pruned, never states: every
+  /// reachable state is still visited exactly once.
+  std::uint64_t sleep_set_skips = 0;
 };
 
 struct ReachOptions {
@@ -95,6 +104,24 @@ struct ReachOptions {
   /// fuse_local_steps when on; checked before it.
   bool por = false;
   bool want_labels = false;  ///< fill Step::label for the visitor
+  /// Thread-symmetry quotient (engine/symmetry.hpp): states are deduplicated
+  /// by a canonical representative of their thread-permutation orbit instead
+  /// of their concrete encoding, shrinking the visited set by up to |G| for
+  /// systems whose threads run identical program text.  A no-op (sound) when
+  /// the system has no interchangeable threads.  Composes with por, budgets,
+  /// trace sinks (witnesses record concrete states along really-taken paths)
+  /// and checkpoint/resume (`symmetry` must match the checkpoint's).
+  /// Rejected under Strategy::Sample.  Callers consuming per-state results
+  /// (finals, invariants, obligations) must orbit-close them — the driver
+  /// only visits one representative per orbit.
+  bool symmetry = false;
+  /// Sleep-set pruning (Godefroid): each frontier entry carries the set of
+  /// threads whose steps are provably covered by a commuted exploration
+  /// order; their successor steps are skipped.  Prunes *transitions* only —
+  /// every reachable state is still visited, so finals, blocked states,
+  /// invariants and graph builders are exact.  Ignored when the system has
+  /// more than 64 threads or under Strategy::Sample.
+  bool sleep_sets = false;
   /// Caller-owned trace sink.  When set, the driver uses it as the visited
   /// set: every state is interned via insert_traced (recording parent id,
   /// acting thread and step label under the shard lock), labels are forced

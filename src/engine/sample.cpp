@@ -134,6 +134,20 @@ ReachResult sample_reach(const TransitionSystem& ts,
   // episodes.  Sites that keep winning the draw decay towards the weight
   // floor, so rare branches — and schedules past a spin loop — get sampled.
   std::unordered_map<std::uint64_t, std::uint64_t> hits;
+  // Second guided layer: executions per (thread, pc, within-thread choice
+  // index) — the reads-from / placement / CAS alternative drawn once a
+  // thread won.  Kept in its own map so the thread-level bias above is
+  // unchanged; the FNV fold is deterministic, and a (harmless, improbable)
+  // key collision only perturbs a weight, never a verdict.
+  std::unordered_map<std::uint64_t, std::uint64_t> choice_hits;
+  const auto choice_site = [](lang::ThreadId thread, std::uint32_t pc,
+                              std::size_t choice) noexcept {
+    std::uint64_t key = 0xCBF29CE484222325ULL;
+    key = (key ^ thread) * 0x100000001B3ULL;
+    key = (key ^ pc) * 0x100000001B3ULL;
+    key = (key ^ choice) * 0x100000001B3ULL;
+    return key;
+  };
   const std::uint64_t step_cap = options.sample.max_episode_steps != 0
                                      ? options.sample.max_episode_steps
                                      : kDefaultEpisodeStepCap;
@@ -241,16 +255,49 @@ ReachResult sample_reach(const TransitionSystem& ts,
         }
       }
       const ThreadRange& chosen = ranges[pick];
-      const std::size_t si =
-          chosen.begin + (chosen.end - chosen.begin > 1
-                              ? static_cast<std::size_t>(
-                                    rng.below(chosen.end - chosen.begin))
-                              : 0);
+      const std::size_t span = chosen.end - chosen.begin;
+      std::size_t si = chosen.begin;
+      if (span > 1) {
+        if (options.sample.guided) {
+          // Rarity-weighted reads-from draw: the within-thread alternatives
+          // are the memory-nondeterminism options (reads-from, placement,
+          // CAS outcome) of one instruction, keyed (thread, pc, choice
+          // index) in `choice_hits`.  A uniform draw keeps re-reading the
+          // latest write in long mo sequences; inverse-hit-count weighting
+          // pushes episodes towards the stale reads that distinguish weak
+          // behaviours.  Same draw discipline as the thread draw (one
+          // seeded rng.below over summed weights), so seed determinism is
+          // untouched.
+          weights.clear();
+          std::uint64_t total = 0;
+          for (std::size_t c = 0; c < span; ++c) {
+            const auto it = choice_hits.find(
+                choice_site(chosen.thread, cfg.pc[chosen.thread], c));
+            const std::uint64_t seen =
+                it == choice_hits.end() ? 0 : it->second;
+            std::uint64_t w = kWeightScale / (1 + seen);
+            if (w == 0) w = 1;  // floor: every alternative stays drawable
+            weights.push_back(w);
+            total += w;
+          }
+          std::uint64_t r = rng.below(total);
+          std::size_t c = 0;
+          while (r >= weights[c]) {
+            r -= weights[c];
+            c += 1;
+          }
+          si = chosen.begin + c;
+        } else {
+          si = chosen.begin + static_cast<std::size_t>(rng.below(span));
+        }
+      }
       if (options.sample.guided) {
         const std::uint64_t site =
             (static_cast<std::uint64_t>(chosen.thread) << 32) |
             static_cast<std::uint64_t>(cfg.pc[chosen.thread]);
         hits[site] += 1;
+        choice_hits[choice_site(chosen.thread, cfg.pc[chosen.thread],
+                                si - chosen.begin)] += 1;
       }
       Step& step = steps.steps()[si];
       Config after = std::move(step.after);

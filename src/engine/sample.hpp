@@ -6,12 +6,15 @@
 // sampling driver runs `episodes` complete executions of the semantics; at
 // every configuration it draws the next thread from a seeded weighted RNG
 // (and, because lang::successors enumerates memory nondeterminism as
-// separate steps, drawing uniformly *within* the chosen thread's steps also
-// picks the reads-from / placement / CAS option), then moves on.  Guided
-// biasing down-weights (thread, pc) sites proportionally to how often they
-// have already been executed, so rarely-taken branches — and threads stuck
+// separate steps, a second draw *within* the chosen thread's steps picks
+// the reads-from / placement / CAS option), then moves on.  Guided biasing
+// down-weights (thread, pc) sites proportionally to how often they have
+// already been executed, so rarely-taken branches — and threads stuck
 // behind a spin loop that keeps winning the draw — get revisited instead of
-// resampled.
+// resampled; the within-thread draw is rarity-weighted the same way, keyed
+// (thread, pc, choice index), so episodes drift towards the stale reads
+// that distinguish weak behaviours instead of re-reading the latest write.
+// With guided off both draws are uniform.
 //
 // Exhaustive exploration stays the oracle: on instances small enough to
 // enumerate, sampling with enough episodes visits a subset of the exhaustive
@@ -71,9 +74,10 @@ struct SampleOptions {
   /// RNG seed.  Same program + same options + same seed reproduces the run
   /// exactly — schedules, coverage, verdicts and stats.
   std::uint64_t seed = 0;
-  /// Feedback-guided biasing: down-weight (thread, pc) sites by how often
-  /// they have already executed, across and within episodes.  Off = every
-  /// enabled thread is drawn uniformly.
+  /// Feedback-guided biasing: down-weight (thread, pc) sites — and, within
+  /// the drawn thread, (thread, pc, choice index) memory-nondeterminism
+  /// alternatives — by how often they have already executed, across and
+  /// within episodes.  Off = both draws are uniform.
   bool guided = true;
   /// Per-episode schedule-length cap, the spin-loop safety valve: an
   /// episode that has not reached a final or blocked configuration after

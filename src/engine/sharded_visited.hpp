@@ -65,6 +65,20 @@ class ShardedVisitedSet {
     std::uint64_t id = kNoState;  ///< valid iff inserted
   };
 
+  /// Result of insert_masked: the sleep-set-aware membership test the
+  /// reduction paths of the reachability driver run on (see reach.cpp).
+  struct MaskedInsert {
+    bool inserted = false;  ///< first time this encoding was seen
+    /// The caller should (re-)expand the state: it is fresh, or the stored
+    /// sleep mask strictly shrank under the arriving one (Godefroid's
+    /// revisit rule — a previously skipped transition is now required).
+    bool expand = false;
+    /// The mask to expand with: the arriving mask on a fresh insert, the
+    /// intersection old ∩ new on a mask-shrinking revisit, the (unchanged)
+    /// stored mask otherwise.
+    std::uint64_t mask = 0;
+  };
+
   /// `shard_count` is rounded up to a power of two (at least 1).  64 shards
   /// keep the expected queue depth per mutex negligible for any realistic
   /// worker count while costing only a few KiB empty.
@@ -138,6 +152,42 @@ class ShardedVisitedSet {
     return {ided.inserted, compose_id(si, ided.id)};
   }
 
+  /// Membership test with a per-state sleep mask, linearised under the shard
+  /// lock: a fresh encoding is interned with `mask` stored; a duplicate
+  /// intersects the stored mask with the arriving one and reports `expand`
+  /// iff the stored mask strictly shrank (so the caller re-expands the state
+  /// with the intersection — masks shrink monotonically, bounding revisits
+  /// at 64 per state).  With all-zero masks this degenerates to an exact
+  /// insert(), which is how the symmetry quotient uses it when sleep sets
+  /// are off.  A set used with insert_masked must use it exclusively.
+  MaskedInsert insert_masked(std::span<const std::uint64_t> encoding,
+                             std::uint64_t mask) {
+    const std::uint64_t digest = support::hash_words(encoding);
+    Shard& shard = shards_[shard_of(digest)];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const auto ided = shard.set.resolve_ided(encoding, digest);
+    if (ided.inserted) {
+      shard.masks.push_back(mask);
+      return {true, true, mask};
+    }
+    std::uint64_t& stored = shard.masks[ided.id];
+    const std::uint64_t meet = stored & mask;
+    if (meet == stored) return {false, false, stored};
+    stored = meet;
+    return {false, true, meet};
+  }
+
+  /// Marks an interned state as frontier work after the fact.  The symmetry
+  /// quotient interns every concrete successor with enqueued=false first and
+  /// lets the *canonical-set winner* flip the flag — the insert race between
+  /// orbit mates is decided in the canonical set, not the concrete sink, so
+  /// the flag cannot be decided at insert_traced time.  Thread-safe.
+  void mark_enqueued(std::uint64_t id) {
+    Shard& shard = shards_[shard_index(id)];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.parents.at(local_id(id)).enqueued = true;
+  }
+
   /// Reconstructs the unique recorded path from the initial state to `id`:
   /// edges in execution order, each naming the acting thread, the step label
   /// and the reached state's id.  Thread-safe against concurrent inserts
@@ -191,7 +241,8 @@ class ShardedVisitedSet {
       std::lock_guard<std::mutex> lock(shard.mu);
       total += shard.set.bytes() +
                shard.parents.capacity() * sizeof(ParentEntry) +
-               shard.label_bytes;
+               shard.label_bytes +
+               shard.masks.capacity() * sizeof(std::uint64_t);
     }
     return total;
   }
@@ -245,6 +296,7 @@ class ShardedVisitedSet {
     support::InternedWordSet set;
     std::vector<ParentEntry> parents;  ///< by local id (insert_traced only)
     std::size_t label_bytes = 0;       ///< sum of parents[i].label.capacity()
+    std::vector<std::uint64_t> masks;  ///< by local id (insert_masked only)
   };
 
   [[nodiscard]] std::size_t shard_of(std::uint64_t digest) const noexcept {

@@ -1,0 +1,166 @@
+// rc11lib/engine/symmetry.hpp
+//
+// Thread-symmetry reduction for the reachability engine.
+//
+// The refinement checker's parameterised most-general clients — and the
+// worker/counter benchmark families — are thread-symmetric by construction:
+// every client thread runs the same program text over its own registers.
+// Permuting such threads in a configuration yields a configuration with a
+// permutation-isomorphic future, so the state space contains up to n!
+// permutation-equivalent copies of every state.  This module quotients
+// exploration by that group action.
+//
+// --- eligibility (proved, not assumed) ---------------------------------------
+//
+// Two threads are interchangeable iff the front end can prove their program
+// text identical modulo thread id: same instruction sequence (kind, operands,
+// expressions, memory order, branch targets, labels), same register file
+// shape (count, component tags, initial values).  analyze() partitions the
+// system's threads into maximal such classes; only classes of size >= 2
+// induce any reduction.  Programs with per-thread constants (e.g. the mgc
+// client's thread-unique written values) partition into singletons and the
+// reduction degenerates to the identity — requesting --symmetry on them is a
+// sound no-op.
+//
+// --- the group action --------------------------------------------------------
+//
+// A permutation pi acting on a configuration (P, rho, gamma):
+//   * pc and register files are reindexed: (pi.cfg).pc[pi(t)] = cfg.pc[t];
+//   * every memory operation's executing thread is relabelled pi(t);
+//   * thread viewfronts are reindexed rows; per-operation modification views
+//     are per-*location* vectors and are untouched;
+//   * modification order, values, covered flags and timestamps are untouched.
+// Because interchangeable threads run identical code, the successor relation
+// is equivariant: steps(pi.cfg) = pi.steps(cfg) with acting threads
+// relabelled.  Hence permutation-equivalent states have permutation-
+// equivalent futures — the soundness core (DESIGN.md, symmetry section).
+//
+// --- canonicalisation --------------------------------------------------------
+//
+// canonicalize() computes a representative encoding that is a pure function
+// of the orbit: class members are sorted by a per-thread signature (pc,
+// registers, thread viewfront row — all components that transform
+// covariantly), and the usually-rare signature ties are broken by
+// enumerating the tie permutations and taking the lexicographically minimal
+// full encoding.  When the tie blow-up exceeds kMaxTieCandidates the
+// canonicaliser keeps the oversized tie groups fixed — the quotient is then
+// under-approximated (some orbits split into several representatives),
+// which only costs reduction, never soundness.  All permutations achieving
+// the chosen encoding are reported; their count > 1 exactly when the state
+// has a non-trivial (discovered) stabiliser, which callers that attach
+// per-thread metadata to canonical states (sleep masks) must intersect
+// over.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "lang/config.hpp"
+
+namespace rc11::engine {
+
+using lang::Config;
+using lang::System;
+using lang::ThreadId;
+
+/// A permutation of thread ids, stored as slot_of[t] = the slot (new thread
+/// id) thread t maps to.  Identity when slot_of[t] == t for all t.
+using ThreadPerm = std::vector<ThreadId>;
+
+class SymmetryReducer {
+ public:
+  /// Beyond this many tie-break candidates per state the oversized tie
+  /// groups are left unpermuted (sound under-approximation of the quotient).
+  static constexpr std::size_t kMaxTieCandidates = 720;
+  /// Orbits larger than this disable the reduction outright (orbit closure
+  /// of finals/invariants would dominate the run).  8! covers every
+  /// realistic corpus instance.
+  static constexpr std::size_t kMaxOrbit = 40320;
+
+  /// Analyses `sys` and fixes the symmetry classes for its lifetime.  The
+  /// system must outlive the reducer.
+  explicit SymmetryReducer(const System& sys);
+
+  /// True iff at least one class has >= 2 interchangeable threads (and the
+  /// orbit bound holds) — i.e. the quotient is non-trivial.
+  [[nodiscard]] bool symmetric() const noexcept { return symmetric_; }
+
+  /// The symmetry classes of size >= 2, each a sorted list of thread ids.
+  [[nodiscard]] const std::vector<std::vector<ThreadId>>& classes() const {
+    return classes_;
+  }
+
+  /// |G|: the number of distinct thread permutations the quotient ranges
+  /// over (product of class factorials; 1 when !symmetric()).
+  [[nodiscard]] std::uint64_t group_size() const noexcept { return group_size_; }
+
+  /// Result of canonicalising one configuration.
+  struct Canonical {
+    /// The representative encoding (lexicographically minimal over the
+    /// candidate permutations); compare/intern this instead of the concrete
+    /// encoding.
+    std::vector<std::uint64_t> encoding;
+    /// Every candidate permutation that achieves `encoding` (at least one).
+    /// More than one means the state has a discovered stabiliser.
+    std::vector<ThreadPerm> perms;
+    /// False when a tie group exceeded kMaxTieCandidates and was left
+    /// unpermuted: `perms` may then miss minimising permutations, so
+    /// stabiliser-closure arguments (canonical sleep masks) do not hold —
+    /// callers must degrade to the empty mask for this state.
+    bool complete = true;
+  };
+
+  /// Canonicalises `cfg` into `out` (cleared first).  Reuses the reducer's
+  /// scratch buffers, so a reducer instance must not be shared across
+  /// threads without external synchronisation — drivers keep one per worker.
+  void canonicalize(const Config& cfg, Canonical& out) const;
+
+  /// Converts a per-thread bitmask (bit t = thread t) into canonical slot
+  /// coordinates, intersecting over all reported permutations so a slot is
+  /// only set when *every* concrete-to-canonical isomorphism agrees.
+  [[nodiscard]] static std::uint64_t mask_to_canonical(
+      std::uint64_t mask, const std::vector<ThreadPerm>& perms);
+
+  /// Converts a canonical slot mask back into concrete thread coordinates of
+  /// the configuration `perm` was reported for.  Any one permutation of the
+  /// reporting set works (the canonical mask is already stabiliser-closed).
+  [[nodiscard]] static std::uint64_t mask_from_canonical(
+      std::uint64_t mask, const ThreadPerm& perm);
+
+  /// Applies `perm` to `cfg`, returning the permuted configuration (a real
+  /// configuration of the same system; used for orbit closure of finals,
+  /// invariants and proof obligations).
+  [[nodiscard]] Config permuted(const Config& cfg, const ThreadPerm& perm) const;
+
+  /// Invokes `fn(member, perm)` once per *distinct* configuration in the
+  /// orbit of `cfg` (including `cfg` itself, first, under the identity).
+  /// Distinctness is by canonical state encoding, so stabiliser permutations
+  /// do not repeat members.  `perm` maps `cfg`'s thread ids to `member`'s
+  /// (member = permuted(cfg, perm)) — callers that also need the member's
+  /// *steps* permute each rep step's acting thread through it.
+  void for_each_orbit(
+      const Config& cfg,
+      const std::function<void(const Config&, const ThreadPerm&)>& fn) const;
+
+  /// Invokes `fn(perm)` once per group element (all ∏|class|! permutations).
+  void for_each_perm(const std::function<void(const ThreadPerm&)>& fn) const;
+
+ private:
+  void thread_signature(const Config& cfg, ThreadId t,
+                        std::vector<std::uint64_t>& out) const;
+
+  const System* sys_;
+  ThreadId num_threads_ = 0;
+  bool symmetric_ = false;
+  std::uint64_t group_size_ = 1;
+  std::vector<std::vector<ThreadId>> classes_;  ///< classes of size >= 2
+  std::vector<bool> in_class_;                  ///< thread is in some class
+
+  // Scratch (canonicalize is called per state on the hot path).
+  mutable std::vector<std::uint64_t> sig_a_, sig_b_, candidate_;
+  mutable ThreadPerm perm_scratch_;
+};
+
+}  // namespace rc11::engine

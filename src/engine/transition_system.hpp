@@ -85,6 +85,25 @@ enum class AmplePolicy : std::uint8_t {
   ClientInvisible,
 };
 
+/// The driver-level independence relation over step footprints (see the
+/// header comment): true iff steps with these metadata, taken by *different*
+/// threads, commute and preserve each other's step sets.  Local steps are
+/// independent of every other-thread step; otherwise either sync flag or a
+/// same-location conflict with at least one writer makes the pair dependent.
+/// Shared by ample-set eligibility reasoning and the driver's sleep-set
+/// pruning (ReachOptions::sleep_sets).
+[[nodiscard]] constexpr bool steps_independent(const lang::StepMeta& a,
+                                               const lang::StepMeta& b) noexcept {
+  if (a.access == memsem::AccessKind::Local ||
+      b.access == memsem::AccessKind::Local) {
+    return true;
+  }
+  if (a.sync || b.sync) return false;
+  if (a.loc != b.loc) return true;
+  return !memsem::writes_location(a.access) &&
+         !memsem::writes_location(b.access);
+}
+
 /// Successor production + reduction eligibility for one system.
 class TransitionSystem {
  public:

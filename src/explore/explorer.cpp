@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "engine/checkpoint.hpp"
+#include "engine/symmetry.hpp"
 #include "support/diagnostics.hpp"
 #include "support/hash.hpp"
 
@@ -77,6 +78,16 @@ ExploreResult explore(const System& sys, const ExploreOptions& options,
     trace_store.emplace();
   }
 
+  // Under the symmetry quotient the driver hands the visitor one orbit
+  // representative per equivalence class; exactness of finals and invariant
+  // verdicts is *this* layer's duty: finals are orbit-closed and the
+  // invariant is evaluated at every orbit member.  for_each_orbit and
+  // permuted() are const and scratch-free, so one reducer is safely shared
+  // by all visitor threads.
+  std::optional<engine::SymmetryReducer> reducer;
+  if (options.symmetry) reducer.emplace(sys);
+  const bool orbit = reducer.has_value() && reducer->symmetric();
+
   ReachOptions ropts;
   ropts.budget.max_states = options.max_states;
   ropts.budget.max_visited_bytes = options.max_visited_bytes;
@@ -85,6 +96,8 @@ ExploreResult explore(const System& sys, const ExploreOptions& options,
   ropts.strategy = options.strategy;
   ropts.fuse_local_steps = options.fuse_local_steps;
   ropts.por = options.por;
+  ropts.symmetry = options.symmetry;
+  ropts.sleep_sets = options.symmetry;
   ropts.mode = options.mode;
   ropts.sample = options.sample;
   ropts.trace = trace_store ? &*trace_store : nullptr;
@@ -108,15 +121,21 @@ ExploreResult explore(const System& sys, const ExploreOptions& options,
           std::span<const Step> steps) -> bool {
         bool keep_going = true;
         if (invariant) {
-          if (auto what = invariant(sys, cfg)) {
+          const auto check_member = [&](const Config& member, bool is_rep) {
+            auto what = invariant(sys, member);
+            if (!what) return;
             Violation v;
             v.what = std::move(*what);
-            v.state_dump = cfg.to_string(sys);
+            v.state_dump = member.to_string(sys);
             if (trace_store) {
               // path_to is safe against concurrent inserts, so a violating
-              // state is reconstructed right here, mid-run.
+              // state is reconstructed right here, mid-run.  Under the
+              // quotient the recorded path leads to the orbit
+              // *representative*; for a violation at a permuted member the
+              // trace is still a real execution (witness digests replay to
+              // the representative) and the permutation is flagged below.
               const auto edges = trace_store->path_to(id);
-              v.trace.reserve(edges.size() + 1);
+              v.trace.reserve(edges.size() + 2);
               v.trace.emplace_back("init");
               witness::Witness w;
               w.kind = "invariant";
@@ -132,22 +151,49 @@ ExploreResult explore(const System& sys, const ExploreOptions& options,
                 trace_store->decode_state(e.state, enc);
                 w.steps.push_back({e.thread, e.label, support::hash_words(enc)});
               }
+              if (!is_rep) {
+                v.trace.emplace_back(
+                    "(violating state is a thread permutation of the state "
+                    "this trace reaches)");
+              }
               v.witness = std::move(w);
             }
             std::lock_guard<std::mutex> lock(violations_mu);
             violations.push_back(std::move(v));
             if (options.stop_on_violation) keep_going = false;
+          };
+          if (orbit) {
+            bool is_rep = true;
+            reducer->for_each_orbit(
+                cfg, [&](const Config& member, const engine::ThreadPerm&) {
+                  check_member(member, is_rep);
+                  is_rep = false;
+                });
+          } else {
+            check_member(cfg, /*is_rep=*/true);
           }
         }
         if (options.collect_finals && steps.empty() && cfg.all_done(sys)) {
-          // Encode once; the encoding doubles as the dedup key here and the
-          // canonical sort key below.
-          std::vector<std::uint64_t> enc;
-          enc.reserve(64);
-          cfg.encode_into(enc);
-          if (final_dedup.insert(enc)) {
-            std::lock_guard<std::mutex> lock(finals_mu);
-            finals.emplace_back(std::move(enc), cfg);
+          const auto collect = [&](const Config& done) {
+            // Encode once; the encoding doubles as the dedup key here and
+            // the canonical sort key below.
+            std::vector<std::uint64_t> enc;
+            enc.reserve(64);
+            done.encode_into(enc);
+            if (final_dedup.insert(enc)) {
+              std::lock_guard<std::mutex> lock(finals_mu);
+              finals.emplace_back(std::move(enc), done);
+            }
+          };
+          // all_done is permutation-invariant, so orbit-closing the finals
+          // here restores the exact final set of an unreduced run.
+          if (orbit) {
+            reducer->for_each_orbit(
+                cfg, [&](const Config& member, const engine::ThreadPerm&) {
+                  collect(member);
+                });
+          } else {
+            collect(cfg);
           }
         }
         return keep_going;
@@ -159,7 +205,7 @@ ExploreResult explore(const System& sys, const ExploreOptions& options,
   if (!options.checkpoint_path.empty() && reach.truncated()) {
     engine::save_checkpoint(
         engine::make_checkpoint(*trace_store, reach.stats, reach.stop,
-                                options.por),
+                                options.por, options.symmetry),
         options.checkpoint_path);
   }
   result.final_configs = sort_keyed_configs(finals);

@@ -86,6 +86,20 @@ struct ExploreOptions {
   /// RC11_POR_CROSSCHECK test suite checks exact agreement on the corpus —
   /// see docs/SEMANTICS.md §9).  Default off.
   bool por = false;
+  /// Thread-symmetry reduction (engine/symmetry.hpp): quotient the visited
+  /// set by thread permutations of provably interchangeable threads
+  /// (identical program text modulo thread id) and layer sleep-set
+  /// transition pruning on top.  Exact for verdicts, outcomes, finals and
+  /// invariant violations: the explorer orbit-closes final configurations
+  /// and evaluates the invariant at every orbit member of each visited
+  /// representative, so nothing a full run reports is missed — violation
+  /// *traces* lead to the visited representative (a real execution; a
+  /// violation at a permuted configuration is flagged in the trace).  A
+  /// sound no-op on programs with no interchangeable threads.  Composes
+  /// with por, budgets, track_traces and checkpoint/resume (the checkpoint
+  /// records the setting; resume rejects a mismatch).  Rejected under
+  /// Strategy::Sample.
+  bool symmetry = false;
   /// Coverage mode (engine/sample.hpp): Exhaustive (default), Por — same
   /// setting as `por` above, either spelling works — or Sample, which runs
   /// `sample.episodes` seeded random schedules instead of enumerating and

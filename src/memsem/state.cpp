@@ -231,6 +231,21 @@ void MemState::consume(ThreadId t, LocId loc, OpId w, bool sync) {
   }
 }
 
+void MemState::permute_threads(const std::vector<ThreadId>& slot_of) {
+  for (Op& op : ops_) {
+    // Init operations are part of the initial state and stay fixed: the
+    // semantics never reads an op's thread tag, but the canonical encoding
+    // does, and a relabelled init would be a state no execution reaches.
+    if (op.kind == OpKind::Init) continue;
+    op.thread = slot_of[op.thread];
+  }
+  std::vector<View> permuted(num_threads_);
+  for (ThreadId t = 0; t < num_threads_; ++t) {
+    permuted[slot_of[t]] = std::move(tview_[t]);
+  }
+  tview_ = std::move(permuted);
+}
+
 void MemState::encode(std::vector<std::uint64_t>& out) const {
   const auto num_locs = locs_->size();
   for (LocId loc = 0; loc < num_locs; ++loc) {

@@ -205,6 +205,22 @@ class MemState {
   void consume(ThreadId t, LocId loc, OpId w, bool sync);
 
   // ------------------------------------------------------------------
+  // Thread permutation (engine symmetry reduction)
+  // ------------------------------------------------------------------
+
+  /// Relabels threads in place under `slot_of` (thread t becomes
+  /// slot_of[t], a permutation of [0, num_threads)): operation thread tags
+  /// are remapped and thread viewfront rows reindexed.  Init operations keep
+  /// their tag — they belong to the initial state, which every group element
+  /// must fix (no execution ever re-attributes an init, so relabelling one
+  /// would manufacture encodings no run reaches).  Modification order,
+  /// values, timestamps, covered flags and per-operation mviews are
+  /// thread-invariant and untouched.  For systems whose permuted threads run
+  /// identical code this is the group action the symmetry quotient
+  /// (engine/symmetry.hpp) explores modulo.
+  void permute_threads(const std::vector<ThreadId>& slot_of);
+
+  // ------------------------------------------------------------------
   // Encoding, equality, hashing
   // ------------------------------------------------------------------
 

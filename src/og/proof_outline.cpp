@@ -6,6 +6,7 @@
 #include <span>
 
 #include "engine/checkpoint.hpp"
+#include "engine/symmetry.hpp"
 #include "support/diagnostics.hpp"
 #include "support/hash.hpp"
 
@@ -130,12 +131,23 @@ OutlineCheckResult check_outline(const System& sys, const ProofOutline& outline,
   std::atomic<bool> valid{true};
   std::mutex failures_mu;
 
+  // Under the symmetry quotient the driver visits one representative per
+  // orbit; exactness of the Owicki–Gries obligations is restored here by
+  // evaluating them at every orbit member, against the member's enabled
+  // steps (the representative's steps pushed through the permutation — the
+  // group action commutes with the successor relation).
+  std::optional<engine::SymmetryReducer> reducer;
+  if (options.symmetry) reducer.emplace(sys);
+  const bool orbit = reducer.has_value() && reducer->symmetric();
+
   explore::ReachOptions ropts;
   ropts.budget.max_states = options.max_states;
   ropts.budget.max_visited_bytes = options.max_visited_bytes;
   ropts.budget.deadline_ms = options.deadline_ms;
   ropts.num_threads = options.num_threads;
   ropts.por = options.por;
+  ropts.symmetry = options.symmetry;
+  ropts.sleep_sets = options.symmetry;
   ropts.mode = options.mode;
   ropts.sample = options.sample;
   ropts.want_labels = true;  // interference messages cite the step label
@@ -152,22 +164,25 @@ OutlineCheckResult check_outline(const System& sys, const ProofOutline& outline,
       sys, ropts,
       [&](const Config& cfg, std::uint64_t id,
           std::span<const lang::Step> steps) -> bool {
-        std::vector<std::string> local_failures;
-        obligations.fetch_add(
-            evaluate_obligations(sys, outline, options, cfg, steps,
-                                 [&](std::string obligation) {
-                                   local_failures.push_back(
-                                       std::move(obligation));
-                                 }),
-            std::memory_order_relaxed);
-        if (!local_failures.empty()) {
+        std::uint64_t local_obligations = 0;
+        bool stop = false;
+        const auto check_member = [&](const Config& member,
+                                      std::span<const lang::Step> msteps,
+                                      bool is_rep) {
+          std::vector<std::string> local_failures;
+          local_obligations += evaluate_obligations(
+              sys, outline, options, member, msteps,
+              [&](std::string obligation) {
+                local_failures.push_back(std::move(obligation));
+              });
+          if (local_failures.empty()) return;
           valid.store(false, std::memory_order_relaxed);
-          const auto dump = cfg.to_string(sys);
+          const auto dump = member.to_string(sys);
           std::vector<std::string> trace;
           std::optional<witness::Witness> wit;
           if (trace_store) {
             const auto edges = trace_store->path_to(id);
-            trace.reserve(edges.size() + 1);
+            trace.reserve(edges.size() + 2);
             trace.emplace_back("init");
             witness::Witness w;
             w.kind = "outline";
@@ -182,23 +197,54 @@ OutlineCheckResult check_outline(const System& sys, const ProofOutline& outline,
               trace_store->decode_state(e.state, enc);
               w.steps.push_back({e.thread, e.label, support::hash_words(enc)});
             }
+            if (!is_rep) {
+              trace.emplace_back(
+                  "(failing state is a thread permutation of the state this "
+                  "trace reaches)");
+            }
             wit = std::move(w);
           }
-          std::lock_guard<std::mutex> lock(failures_mu);
-          for (auto& obligation : local_failures) {
-            ObligationFailure failure;
-            failure.obligation = std::move(obligation);
-            failure.state_dump = dump;
-            failure.trace = trace;
-            if (wit) {
-              failure.witness = *wit;
-              failure.witness->what = failure.obligation;
+          {
+            std::lock_guard<std::mutex> lock(failures_mu);
+            for (auto& obligation : local_failures) {
+              ObligationFailure failure;
+              failure.obligation = std::move(obligation);
+              failure.state_dump = dump;
+              failure.trace = trace;
+              if (wit) {
+                failure.witness = *wit;
+                failure.witness->what = failure.obligation;
+              }
+              result.failures.push_back(std::move(failure));
             }
-            result.failures.push_back(std::move(failure));
           }
-          if (options.stop_at_first_failure) return false;
+          if (options.stop_at_first_failure) stop = true;
+        };
+        if (orbit) {
+          std::vector<lang::Step> psteps;
+          bool is_rep = true;
+          reducer->for_each_orbit(
+              cfg, [&](const Config& member, const engine::ThreadPerm& perm) {
+                if (stop) return;
+                if (is_rep) {
+                  is_rep = false;
+                  check_member(member, steps, /*is_rep=*/true);
+                  return;
+                }
+                psteps.clear();
+                psteps.reserve(steps.size());
+                for (const auto& step : steps) {
+                  psteps.push_back(lang::Step{
+                      perm[step.thread], step.label,
+                      reducer->permuted(step.after, perm), step.meta});
+                }
+                check_member(member, psteps, /*is_rep=*/false);
+              });
+        } else {
+          check_member(cfg, steps, /*is_rep=*/true);
         }
-        return true;
+        obligations.fetch_add(local_obligations, std::memory_order_relaxed);
+        return !stop;
       });
 
   result.valid = valid.load();
@@ -208,7 +254,7 @@ OutlineCheckResult check_outline(const System& sys, const ProofOutline& outline,
   if (!options.checkpoint_path.empty() && reach.truncated()) {
     engine::save_checkpoint(
         engine::make_checkpoint(*trace_store, reach.stats, reach.stop,
-                                options.por),
+                                options.por, options.symmetry),
         options.checkpoint_path);
   }
   return result;

@@ -115,6 +115,16 @@ struct OutlineCheckOptions {
   /// outcome-level soundness.  The RC11_POR_CROSSCHECK suite checks exact
   /// verdict agreement on the outline corpus.  Default off.
   bool por = false;
+  /// Thread-symmetry reduction (see explore::ExploreOptions::symmetry).
+  /// Exactness is preserved: obligations are evaluated at every orbit member
+  /// of each visited representative, with the member's enabled steps
+  /// obtained by permuting the representative's (the group action commutes
+  /// with the successor relation), so the verdict, the set of failed
+  /// obligations and obligations_checked equal an unreduced run's.  Failure
+  /// traces lead to the representative; a failure at a permuted member is
+  /// flagged in its trace.  Sound no-op without interchangeable threads;
+  /// rejected under Strategy::Sample.  Default off.
+  bool symmetry = false;
   /// Coverage mode (engine/sample.hpp).  Under Strategy::Sample the
   /// obligations are evaluated on the states `sample.episodes` seeded random
   /// schedules cross: failures found are real, but `valid` is never a proof

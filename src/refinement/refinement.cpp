@@ -7,6 +7,7 @@
 #include <unordered_set>
 
 #include "engine/reach.hpp"
+#include "engine/symmetry.hpp"
 #include "support/diagnostics.hpp"
 #include "support/hash.hpp"
 #include "support/parallel.hpp"
@@ -446,6 +447,73 @@ TraceInclusionResult check_trace_inclusion(const System& abstract_sys,
     conc_proj[i] = project_client(concrete_sys, conc.states[i]);
   });
 
+  // Thread-symmetry quotient of the product (see TraceInclusionOptions):
+  // enumerate the shared permutation group and precompute, per permutation,
+  // the state-index image in each graph (graph states are encoding-sorted,
+  // so images resolve by binary search over re-encoded states; on a
+  // complete graph every image is present by equivariance).
+  std::vector<engine::ThreadPerm> perms;  // non-identity group elements
+  std::vector<std::vector<std::uint32_t>> abs_maps, conc_maps;  // per perm
+  if (options.symmetry && !sampled_concrete) {
+    const engine::SymmetryReducer abs_red(abstract_sys);
+    const engine::SymmetryReducer conc_red(concrete_sys);
+    if (abs_red.symmetric() && conc_red.symmetric() &&
+        abs_red.classes() == conc_red.classes()) {
+      conc_red.for_each_perm([&](const engine::ThreadPerm& p) {
+        for (std::size_t t = 0; t < p.size(); ++t) {
+          if (p[t] != t) {
+            perms.push_back(p);
+            return;
+          }
+        }
+      });
+      const auto build_maps = [&perms](const engine::SymmetryReducer& red,
+                                       const StateGraph& g) {
+        std::vector<std::vector<std::uint64_t>> encs(g.num_states());
+        for (std::size_t i = 0; i < g.num_states(); ++i) {
+          encs[i] = g.states[i].encode();
+        }
+        std::vector<std::vector<std::uint32_t>> maps(
+            perms.size(), std::vector<std::uint32_t>(g.num_states()));
+        for (std::size_t p = 0; p < perms.size(); ++p) {
+          for (std::size_t i = 0; i < g.num_states(); ++i) {
+            const auto enc = red.permuted(g.states[i], perms[p]).encode();
+            const auto it = std::lower_bound(encs.begin(), encs.end(), enc);
+            RC11_REQUIRE(it != encs.end() && *it == enc,
+                         "permuted state missing from a complete state graph "
+                         "(symmetry classes are not sound for this system)");
+            maps[p][i] =
+                static_cast<std::uint32_t>(it - encs.begin());
+          }
+        }
+        return maps;
+      };
+      abs_maps = build_maps(abs_red, abs);
+      conc_maps = build_maps(conc_red, conc);
+    }
+  }
+  const bool quotient = !perms.empty();
+  using NodeForm = std::pair<std::uint32_t, std::vector<std::uint32_t>>;
+  // Lexicographically minimal simultaneous permutation image of a product
+  // node — a pure function of the node's orbit, used as the dedup key.
+  const auto canonical_form = [&](std::uint32_t c,
+                                  const std::vector<std::uint32_t>& match) {
+    NodeForm best{c, match};
+    std::vector<std::uint32_t> m;
+    for (std::size_t p = 0; p < perms.size(); ++p) {
+      const std::uint32_t pc = conc_maps[p][c];
+      if (pc > best.first) continue;
+      m.clear();
+      for (const auto a : match) m.push_back(abs_maps[p][a]);
+      std::sort(m.begin(), m.end());
+      if (pc < best.first || m < best.second) {
+        best.first = pc;
+        best.second = m;
+      }
+    }
+    return best;
+  };
+
   // Subset construction: a node is (concrete state, sorted set of abstract
   // states whose runs pointwise refine the concrete prefix so far).  Nodes
   // live in an arena with parent back-pointers so a violation can replay the
@@ -457,22 +525,26 @@ TraceInclusionResult check_trace_inclusion(const System& abstract_sys,
     std::uint32_t via_edge = 0;        // edge in conc.succ[nodes[parent].c]
   };
   std::vector<Node> nodes;
+  // Dedup is by *canonical form* under the symmetry quotient (the identity
+  // form otherwise); arena nodes keep the concrete successor actually
+  // reached, so parent chains remain real runs and witnesses replay.
+  std::vector<NodeForm> forms;  // parallel to nodes
   std::unordered_map<std::uint64_t, std::vector<std::size_t>> visited;
-  const auto node_key = [](std::uint32_t c,
-                           const std::vector<std::uint32_t>& match) {
+  const auto node_key = [](const NodeForm& form) {
     support::WordHasher h;
-    h.add(c);
-    for (const auto a : match) h.add(a);
+    h.add(form.first);
+    for (const auto a : form.second) h.add(a);
     return h.digest();
   };
   const auto visit = [&](Node n) -> bool {
-    auto& bucket = visited[node_key(n.c, n.match)];
+    NodeForm form =
+        quotient ? canonical_form(n.c, n.match) : NodeForm{n.c, n.match};
+    auto& bucket = visited[node_key(form)];
     for (const auto existing : bucket) {
-      if (nodes[existing].c == n.c && nodes[existing].match == n.match) {
-        return false;
-      }
+      if (forms[existing] == form) return false;
     }
     bucket.push_back(nodes.size());
+    forms.push_back(std::move(form));
     nodes.push_back(std::move(n));
     return true;
   };

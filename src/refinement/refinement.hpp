@@ -166,6 +166,11 @@ struct SimulationOptions {
   /// a diagnosis; use check_trace_inclusion for definite sampled verdicts.
   engine::Strategy mode = engine::Strategy::Exhaustive;
   engine::SampleOptions sample;  ///< tuning for Sample; ignored otherwise
+  // Thread-symmetry reduction is deliberately *not* offered here: the
+  // simulation fixpoint iterates over candidate pairs of the full graphs
+  // and quotienting it would change which pairs the diagnosis chain can
+  // cite.  rc11-refine rejects --symmetry for the simulation check and
+  // points at the trace-inclusion game, which supports it.
 };
 
 struct SimulationResult {
@@ -219,6 +224,20 @@ struct TraceInclusionOptions {
   /// "no violation" stays inconclusive (truncated == true, a lower bound).
   engine::Strategy mode = engine::Strategy::Exhaustive;
   engine::SampleOptions sample;  ///< tuning for Sample; ignored otherwise
+  /// Thread-symmetry quotient of the *product* construction: when both
+  /// systems have identical interchangeable-thread classes
+  /// (engine::SymmetryReducer), product nodes (concrete state, abstract
+  /// match set) are deduplicated modulo simultaneous thread permutation of
+  /// both sides.  Client projections permute covariantly, so refinement of
+  /// a node and of its permuted image coincide and an empty match set is
+  /// reachable in the quotient iff it is in the full product — verdicts and
+  /// witnesses are unchanged, only product_nodes shrinks (arena nodes stay
+  /// concrete, so counterexample runs replay as before).  A sound no-op
+  /// when either system has no interchangeable threads or the classes
+  /// differ; ignored under a sampled concrete graph (the permuted image of
+  /// a sampled state need not be covered).  Composes with `por` under the
+  /// same corpus-crosschecked caveat as por itself.  Default off.
+  bool symmetry = false;
 };
 
 struct TraceInclusionResult {

@@ -87,6 +87,10 @@ FlagStatus parse_common_flag(int argc, char** argv, int& i,
     out.por = true;
     return FlagStatus::Consumed;
   }
+  if (arg == "--symmetry") {
+    out.symmetry = true;
+    return FlagStatus::Consumed;
+  }
   if (arg == "--stats") {
     out.stats = true;
     return FlagStatus::Consumed;
@@ -140,6 +144,11 @@ std::string resolve_strategy(CommonOptions& opts) {
       return "--por cannot be combined with --strategy sample; pick one "
              "coverage strategy";
     }
+    if (opts.symmetry) {
+      return "--symmetry cannot be combined with --strategy sample: the "
+             "sampling strategy replays concrete schedules and cannot "
+             "quotient states (drop one of the two)";
+    }
     if (!opts.checkpoint_path.empty()) {
       return "--checkpoint is not supported under --strategy sample: a "
              "sampling run has no frontier to save";
@@ -173,7 +182,8 @@ int run_replay(const lang::System& sys, const CommonOptions& opts) {
   return kExitFail;
 }
 
-void print_stats(const engine::ExploreStats& stats, bool por, double wall_s) {
+void print_stats(const engine::ExploreStats& stats, bool por, bool symmetry,
+                 double wall_s) {
   const auto per_state =
       stats.states ? stats.visited_bytes / stats.states : 0;
   std::cout << "peak frontier:  " << stats.peak_frontier << "\n"
@@ -184,6 +194,22 @@ void print_stats(const engine::ExploreStats& stats, bool por, double wall_s) {
               << " state(s) expanded with an ample set\n"
               << "por chained:    " << stats.por_chained
               << " local step(s) collapsed (states never visited)\n";
+  }
+  if (symmetry) {
+    std::cout << "symmetry hits:  " << stats.symmetry_hits
+              << " orbit-duplicate arrival(s) merged\n"
+              << "sleep skips:    " << stats.sleep_set_skips
+              << " step(s) pruned by sleep sets\n";
+    if (stats.states != 0) {
+      // Arrivals at already-interned representatives under a non-identity
+      // permutation count the orbit mass the quotient absorbed; the ratio
+      // understates the saving (pruned subtrees never arrive at all).
+      const double ratio =
+          static_cast<double>(stats.states + stats.symmetry_hits) /
+          static_cast<double>(stats.states);
+      std::cout << "quotient ratio: " << ratio
+                << "x orbit arrivals per visited state (lower bound)\n";
+    }
   }
   if (stats.episodes != 0) {
     std::cout << "episodes:       " << stats.episodes << "\n";
@@ -215,6 +241,14 @@ witness::Json stats_json(const engine::ExploreStats& stats) {
           witness::Json::integer(static_cast<std::int64_t>(stats.por_reduced)));
     j.set("por_chained",
           witness::Json::integer(static_cast<std::int64_t>(stats.por_chained)));
+  }
+  if (stats.symmetry_hits != 0 || stats.sleep_set_skips != 0) {
+    j.set("symmetry_hits",
+          witness::Json::integer(
+              static_cast<std::int64_t>(stats.symmetry_hits)));
+    j.set("sleep_set_skips",
+          witness::Json::integer(
+              static_cast<std::int64_t>(stats.sleep_set_skips)));
   }
   if (stats.episodes != 0) {
     j.set("episodes",

@@ -43,6 +43,11 @@ struct CommonOptions {
   std::uint64_t max_states = 1'000'000;
   unsigned num_threads = 1;  ///< 0 = hardware concurrency
   bool por = false;          ///< ample-set partial-order reduction
+  /// --symmetry: thread-symmetry quotient + sleep-set pruning.  Composes
+  /// with --por, --threads, budgets and --checkpoint/--resume (the
+  /// checkpoint records the setting); rejected with --strategy sample.  A
+  /// sound no-op on programs with no interchangeable threads.
+  bool symmetry = false;
   /// --strategy exhaustive|por|sample[:N]: how the engine covers the state
   /// space.  `por` above and `--strategy por` are the same setting;
   /// resolve_strategy() normalises them and rejects conflicts.
@@ -63,7 +68,7 @@ struct CommonOptions {
 
 /// Usage-line fragment for the shared flags (tools append their own).
 inline constexpr const char* kCommonUsage =
-    "[--max-states N] [--threads N] [--por] "
+    "[--max-states N] [--threads N] [--por] [--symmetry] "
     "[--strategy exhaustive|por|sample[:N]] [--seed S] [--stats] "
     "[--json FILE] [--witness FILE] [--replay FILE] [--deadline-ms MS] "
     "[--mem-budget BYTES[K|M|G]] [--checkpoint FILE] [--resume FILE]";
@@ -113,17 +118,19 @@ enum class FlagStatus : std::uint8_t {
 
 /// The shared --stats block: peak frontier, visited-set memory, — under
 /// --por — how much the reduction saved (reduced expansions and states
-/// skipped by chain collapse), and — under sampling — episodes, episode
-/// rate (when `wall_s` > 0; the tools time the run) and the distinct-state
-/// coverage estimate.  Rates go only to this human-readable block, never
-/// into --json: CI byte-compares JSON reports for seed determinism.
-void print_stats(const engine::ExploreStats& stats, bool por,
+/// skipped by chain collapse), — under --symmetry — orbit-duplicate
+/// arrivals merged, sleep-set step skips and the quotient ratio, and —
+/// under sampling — episodes, episode rate (when `wall_s` > 0; the tools
+/// time the run) and the distinct-state coverage estimate.  Rates and
+/// ratios go only to this human-readable block, never into --json: CI
+/// byte-compares JSON reports for seed determinism.
+void print_stats(const engine::ExploreStats& stats, bool por, bool symmetry,
                  double wall_s = -1.0);
 
 /// ExploreStats as a JSON object (states, transitions, finals, blocked, the
-/// POR counters when non-zero, and `episodes` when sampling) for --json
-/// summaries.  Deliberately free of timing data — same seed must produce a
-/// byte-identical report.
+/// POR and symmetry/sleep counters when non-zero, and `episodes` when
+/// sampling) for --json summaries.  Deliberately free of timing data — same
+/// seed must produce a byte-identical report.
 [[nodiscard]] witness::Json stats_json(const engine::ExploreStats& stats);
 
 /// Writes a --json summary document and narrates where it went.

@@ -13,6 +13,11 @@
 //   --por             client-invisible ample reduction while building the
 //                     two state graphs (graph edges stay single steps, so
 //                     counterexamples replay unchanged)
+//   --symmetry        thread-symmetry quotient of the trace-inclusion
+//                     product (see refinement.hpp); implies --trace-only
+//                     (the Def. 8 simulation fixpoint is not quotiented);
+//                     verdicts and witnesses are unchanged, only the
+//                     product-node count shrinks
 //   --strategy S      coverage strategy: exhaustive (default), por, or
 //                     sample[:N].  Sampling covers only the *concrete*
 //                     graph with N seeded random schedules (the abstract
@@ -105,6 +110,13 @@ int main(int argc, char** argv) {
                  "simulation needs the complete concrete graph)\n";
     trace_only = true;
   }
+  if (common.symmetry && !trace_only) {
+    // Only the trace-inclusion product is quotiented (see
+    // refinement::SimulationOptions for why the fixpoint is not).
+    std::cout << "note: --symmetry implies --trace-only (the Def. 8 "
+                 "simulation fixpoint is not quotiented)\n";
+    trace_only = true;
+  }
   if (!common.checkpoint_path.empty() || !common.resume_path.empty()) {
     std::cerr << "rc11-refine: --checkpoint/--resume are not supported here "
                  "(a refinement check builds two state graphs per run, so a "
@@ -128,6 +140,7 @@ int main(int argc, char** argv) {
   trace_opts.max_states = common.max_states;
   trace_opts.num_threads = common.num_threads;
   trace_opts.por = common.por;
+  trace_opts.symmetry = common.symmetry;
   trace_opts.mode = common.mode;
   trace_opts.sample = common.sample;
   trace_opts.max_visited_bytes = common.max_visited_bytes;

@@ -9,6 +9,12 @@
 //   --threads N         exploration workers (0 = hardware, default 1)
 //   --por               ample-set partial-order reduction (sound for the
 //                       outcome set; composes with --threads and --witness)
+//   --symmetry          thread-symmetry quotient + sleep-set pruning for
+//                       programs with interchangeable threads (identical
+//                       program text modulo thread id); exact for verdicts,
+//                       outcomes and --invariant violations, composes with
+//                       --por/--threads/budgets/--checkpoint; a sound no-op
+//                       when no threads are interchangeable
 //   --strategy S        coverage strategy: exhaustive (default), por (same
 //                       as --por), or sample[:N] — N seeded random schedules
 //                       (episodes) instead of enumeration; results are a
@@ -143,6 +149,7 @@ int main(int argc, char** argv) {
     opts.max_states = common.max_states;
     opts.num_threads = common.num_threads;
     opts.por = common.por;
+    opts.symmetry = common.symmetry;
     opts.mode = common.mode;
     opts.sample = common.sample;
     opts.max_visited_bytes = common.max_visited_bytes;
@@ -185,7 +192,7 @@ int main(int argc, char** argv) {
               << "finals:      " << result.stats.finals << "\n"
               << "blocked:     " << result.stats.blocked << "\n";
     if (common.stats) {
-      cli::print_stats(result.stats, common.por, wall_s);
+      cli::print_stats(result.stats, common.por, common.symmetry, wall_s);
     }
     if (result.truncated) {
       std::cout << "WARNING: exploration stopped early — "

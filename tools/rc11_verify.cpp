@@ -11,6 +11,11 @@
 //                        traces and witnesses work at every thread count)
 //   --por                ample-set partial-order reduction (failures found
 //                        are real; see og/proof_outline.hpp for the caveat)
+//   --symmetry           thread-symmetry quotient + sleep-set pruning;
+//                        obligations are checked at every orbit member, so
+//                        the verdict and failed-obligation set are exact
+//                        (see og/proof_outline.hpp); composes with --por,
+//                        --threads, budgets and --checkpoint/--resume
 //   --strategy S         coverage strategy: exhaustive (default), por, or
 //                        sample[:N] — N seeded random schedules; failures
 //                        found are real (exit 2, replayable witness), but a
@@ -102,6 +107,7 @@ int main(int argc, char** argv) {
   opts.max_states = common.max_states;
   opts.num_threads = common.num_threads;
   opts.por = common.por;
+  opts.symmetry = common.symmetry;
   opts.mode = common.mode;
   opts.sample = common.sample;
   opts.max_visited_bytes = common.max_visited_bytes;
@@ -139,7 +145,7 @@ int main(int argc, char** argv) {
     std::cout << "states explored:     " << result.stats.states << "\n"
               << "obligations checked: " << result.obligations_checked << "\n";
     if (common.stats) {
-      cli::print_stats(result.stats, common.por, wall_s);
+      cli::print_stats(result.stats, common.por, common.symmetry, wall_s);
     }
 
     // A failed obligation is a definite negative even when the enumeration

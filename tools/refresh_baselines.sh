@@ -1,0 +1,55 @@
+#!/usr/bin/env sh
+# Regenerates every checked-in bench baseline (bench/baseline_*.json) from a
+# real bench run — the one reviewed command to run when a deliberate change
+# moves the numbers.  Commit the refreshed baselines alongside that change;
+# CI (check_bench_regression.py) diffs each bench's --json report against
+# these files with exact state counts and a 30% throughput tolerance.
+#
+# Usage: tools/refresh_baselines.sh [BUILD_DIR]   (default: build)
+#
+# Notes:
+#   * Run from the repository root on a quiet machine — wall-clock feeds the
+#     states_per_s guard.
+#   * A MISMATCH verdict in any bench output aborts the refresh: a baseline
+#     must never launder a broken headline into CI.
+
+set -eu
+
+build_dir=${1:-build}
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+cd "$repo_root"
+
+if [ ! -d "$build_dir" ]; then
+  echo "error: build directory '$build_dir' not found (configure first:" \
+       "cmake -B $build_dir -S .)" >&2
+  exit 1
+fi
+
+# baseline file <- bench binary, as wired in .github/workflows/ci.yml.
+refresh() {
+  baseline=$1
+  bench=$2
+  echo "=== $bench -> bench/$baseline ==="
+  cmake --build "$build_dir" -j --target "$bench"
+  out=$("$build_dir/bench/$bench" --json "bench/$baseline" \
+        --benchmark_filter=NONE)
+  printf '%s\n' "$out"
+  if printf '%s' "$out" | grep -q MISMATCH; then
+    echo "error: $bench reported MISMATCH — fix the regression instead of" \
+         "refreshing its baseline" >&2
+    exit 1
+  fi
+}
+
+refresh baseline_explore.json bench_semantics_throughput
+refresh baseline_sample.json  bench_sample
+refresh baseline_por.json     bench_por
+refresh baseline_budget.json  bench_budget
+refresh baseline_sym.json     bench_sym
+
+echo
+echo "Refreshed baselines:"
+git diff --stat -- bench/baseline_explore.json bench/baseline_sample.json \
+    bench/baseline_por.json bench/baseline_budget.json bench/baseline_sym.json
+echo "Review the diff above, then commit the baselines with the change that" \
+     "moved them."
