@@ -1,0 +1,117 @@
+// Experiment RD: data-race detection — classification of the race corpus,
+// race-set agreement between the plain checker and the fully reduced one
+// (POR + symmetry), instrumentation overhead against a detection-off
+// exploration of the same program, and wall-clock for both configurations.
+//
+// Verdict lines assert that every corpus program classifies as expected and
+// that the reduced run reports the exact same canonical race set.  With
+// --json the numbers become BENCH_race.json, diffed by CI against
+// bench/baseline_race.json (race and state counts exact, throughput within
+// tolerance) — which also gates the detection-off control: the *_off cases
+// must not move when the clock instrumentation evolves, pinning the
+// zero-overhead promise for the non-race checkers.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "race/race.hpp"
+
+namespace {
+
+using namespace rc11;
+
+double timed_check(const lang::System& sys, const race::RaceOptions& opts,
+                   race::RaceResult& result) {
+  result = race::check(sys, opts);  // warm-up
+  double best_s = 1e9;
+  for (int i = 0; i < 3; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    result = race::check(sys, opts);
+    const auto t1 = std::chrono::steady_clock::now();
+    best_s = std::min(best_s, std::chrono::duration<double>(t1 - t0).count());
+  }
+  return best_s;
+}
+
+std::vector<std::string> race_names(const race::RaceResult& r) {
+  std::vector<std::string> names;
+  names.reserve(r.races.size());
+  for (const auto& race : r.races) names.push_back(race.what);
+  return names;
+}
+
+void report_race(rc11::bench::JsonReport& json) {
+  for (const auto& test : litmus::all_race_tests()) {
+    race::RaceOptions plain;
+    race::RaceOptions reduced;
+    reduced.por = true;
+    reduced.symmetry = true;
+
+    race::RaceResult base, red;
+    const double plain_s = timed_check(test.sys, plain, base);
+    const double reduced_s = timed_check(test.sys, reduced, red);
+
+    // Detection-off control: the same program explored without clocks —
+    // this is what every non-race checker pays, and the ratio against the
+    // instrumented run is the overhead the subsystem charges for.
+    explore::ExploreResult off;
+    double off_s = 1e9;
+    off = explore::explore(test.sys, {});
+    for (int i = 0; i < 3; ++i) {
+      const auto t0 = std::chrono::steady_clock::now();
+      off = explore::explore(test.sys, {});
+      const auto t1 = std::chrono::steady_clock::now();
+      off_s = std::min(off_s,
+                       std::chrono::duration<double>(t1 - t0).count());
+    }
+
+    const bool classified = base.racy() == test.racy && !base.truncated;
+    const bool exact = race_names(base) == race_names(red);
+    const bool ok = classified && exact;
+
+    std::ostringstream detail;
+    detail << test.name << ": " << (base.racy() ? "racy" : "race-free")
+           << " (expected " << (test.racy ? "racy" : "race-free") << "), "
+           << base.races.size() << " race(s), reduced set "
+           << (exact ? "identical" : "DIFFERS") << ", " << base.stats.states
+           << " -> " << red.stats.states << " states, off/on "
+           << off_s * 1e3 << " / " << plain_s * 1e3 << " ms";
+    rc11::bench::verdict("RD", ok, detail.str());
+
+    json.add(test.name,
+             {{"races", static_cast<double>(base.races.size())},
+              {"states", static_cast<double>(base.stats.states)},
+              {"wall_ms", plain_s * 1e3},
+              {"states_per_s",
+               static_cast<double>(base.stats.states) / plain_s}});
+    json.add(test.name + "_reduced",
+             {{"races", static_cast<double>(red.races.size())},
+              {"states", static_cast<double>(red.stats.states)},
+              {"wall_ms", reduced_s * 1e3},
+              {"states_per_s",
+               static_cast<double>(red.stats.states) / reduced_s}});
+    json.add(test.name + "_off",
+             {{"states", static_cast<double>(off.stats.states)},
+              {"wall_ms", off_s * 1e3},
+              {"states_per_s",
+               static_cast<double>(off.stats.states) / off_s}});
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  rc11::bench::JsonReport json;
+  json.parse_args(argc, argv);
+  report_race(json);
+  if (!json.write("bench_race")) return 1;
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,6 +1,6 @@
 // rc11lib/engine/reach.hpp
 //
-// The generic reachability driver all three checkers run on: enumerate every
+// The generic reachability driver all four checkers run on: enumerate every
 // configuration reachable in a TransitionSystem exactly once — sequentially
 // or with a worker pool over a lock-striped visited set — and hand each one,
 // together with its enabled steps, to a visitor.  explore::explore,

@@ -63,11 +63,16 @@ bool SystemTransitions::ample_eligible(const Config& cfg, ThreadId t) const {
     }
     case IKind::Load:
     case IKind::Store: {
-      // Private relaxed access: independent of every other-thread step iff
-      // no other thread conflicts on the location (writes it for a load;
-      // touches it at all for a store) and no other thread carries sync
-      // flags anywhere (clause (2) of the dependence relation).
-      if (!masks_valid_ || in.order != MemOrder::Relaxed) return false;
+      // Private relaxed/non-atomic access: independent of every other-thread
+      // step iff no other thread conflicts on the location (writes it for a
+      // load; touches it at all for a store) and no other thread carries sync
+      // flags anywhere (clause (2) of the dependence relation).  A private
+      // access also never races (races need a conflicting other-thread
+      // access), so deferring it preserves race reports.
+      if (!masks_valid_ || (in.order != MemOrder::Relaxed &&
+                            in.order != MemOrder::NonAtomic)) {
+        return false;
+      }
       if (policy_ == AmplePolicy::ClientInvisible &&
           sys.locations().component(in.loc) != Component::Library) {
         return false;

@@ -1,6 +1,6 @@
 // rc11lib/engine/transition_system.hpp
 //
-// The shared transition-system abstraction all three checkers sit on.  A
+// The shared transition-system abstraction all four checkers sit on.  A
 // TransitionSystem produces, for any configuration, the enabled steps of the
 // combined operational semantics — each tagged with independence metadata
 // (acting thread, accessed location, read/write/RMW/object kind, sync flag;

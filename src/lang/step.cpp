@@ -64,11 +64,11 @@ StepMeta access_footprint(const Instr& in) {
       return m;  // Local: no location, no flags
     case IKind::Load:
       m.access = memsem::AccessKind::Read;
-      m.sync = in.order != memsem::MemOrder::Relaxed;
+      m.sync = memsem::synchronises(in.order);
       break;
     case IKind::Store:
       m.access = memsem::AccessKind::Write;
-      m.sync = in.order != memsem::MemOrder::Relaxed;
+      m.sync = memsem::synchronises(in.order);
       break;
     case IKind::Cas:
     case IKind::Fai:
@@ -137,6 +137,10 @@ void add_step(StepBuffer& out, const System& sys, const Config& cfg,
   step.label.clear();
   step.meta = access_footprint(in);
   step.after.pc[t] += 1;
+  // The pooled slot may still hold races from the state it previously held
+  // (and the parent's copy carries the parent step's); clear so that after
+  // mutate() the config reports exactly the races this step introduced.
+  step.after.mem.race_begin_step();
   mutate(step.after);
   if (want_labels) step.label = describe(sys, t, in, label_suffix);
 }
@@ -161,7 +165,8 @@ void append_thread_successors(const System& sys, const Config& cfg, ThreadId t,
       cfg.mem.observable_into(t, in.loc, obs);
       for (const OpId w : obs) {
         add_step(out, sys, cfg, t, in, want_labels, "", [&](Config& next) {
-          next.regs[t][in.dst] = next.mem.read(t, in.loc, w, in.order);
+          next.regs[t][in.dst] =
+              next.mem.read(t, in.loc, w, in.order, cfg.pc[t]);
         });
       }
       break;
@@ -171,7 +176,7 @@ void append_thread_successors(const System& sys, const Config& cfg, ThreadId t,
       cfg.mem.observable_uncovered_into(t, in.loc, obs);
       for (const OpId w : obs) {
         add_step(out, sys, cfg, t, in, want_labels, "", [&](Config& next) {
-          next.mem.write(t, in.loc, v, in.order, w);
+          next.mem.write(t, in.loc, v, in.order, w, cfg.pc[t]);
         });
       }
       break;
@@ -186,7 +191,7 @@ void append_thread_successors(const System& sys, const Config& cfg, ThreadId t,
         if (cfg.mem.read_value_of(w) != expected) continue;
         add_step(out, sys, cfg, t, in, want_labels, " (success)",
                  [&](Config& next) {
-                   next.mem.update(t, in.loc, w, desired);
+                   next.mem.update(t, in.loc, w, desired, cfg.pc[t]);
                    next.regs[t][in.dst] = 1;
                  });
       }
@@ -197,7 +202,8 @@ void append_thread_successors(const System& sys, const Config& cfg, ThreadId t,
         if (cfg.mem.read_value_of(w) == expected) continue;
         add_step(out, sys, cfg, t, in, want_labels, " (fail)",
                  [&](Config& next) {
-                   next.mem.read(t, in.loc, w, memsem::MemOrder::Relaxed);
+                   next.mem.read(t, in.loc, w, memsem::MemOrder::Relaxed,
+                                 cfg.pc[t]);
                    next.regs[t][in.dst] = 0;
                  });
       }
@@ -208,7 +214,7 @@ void append_thread_successors(const System& sys, const Config& cfg, ThreadId t,
       for (const OpId w : obs) {
         const Value old = cfg.mem.read_value_of(w);
         add_step(out, sys, cfg, t, in, want_labels, "", [&](Config& next) {
-          next.mem.update(t, in.loc, w, old + 1);
+          next.mem.update(t, in.loc, w, old + 1, cfg.pc[t]);
           next.regs[t][in.dst] = old;
         });
       }

@@ -60,11 +60,17 @@ std::string describe_instr(const System& sys, ThreadId t, const Instr& in) {
       os << reg(in.dst) << " := " << in.e1.to_string();
       break;
     case IKind::Load:
-      os << reg(in.dst) << " <-" << (in.order == MemOrder::Acquire ? "A " : " ")
+      os << reg(in.dst) << " <-"
+         << (in.order == MemOrder::Acquire     ? "A "
+             : in.order == MemOrder::NonAtomic ? "NA "
+                                               : " ")
          << locs.name(in.loc);
       break;
     case IKind::Store:
-      os << locs.name(in.loc) << " :=" << (in.order == MemOrder::Release ? "R " : " ")
+      os << locs.name(in.loc) << " :="
+         << (in.order == MemOrder::Release     ? "R "
+             : in.order == MemOrder::NonAtomic ? "NA "
+                                               : " ")
          << in.e1.to_string();
       break;
     case IKind::Cas:
@@ -187,6 +193,12 @@ ThreadBuilder& ThreadBuilder::load_acq(Reg r, LocId x, std::string_view label) {
   return *this;
 }
 
+ThreadBuilder& ThreadBuilder::load_na(Reg r, LocId x, std::string_view label) {
+  load(r, x, label);
+  sys_->code_[thread_].back().order = MemOrder::NonAtomic;
+  return *this;
+}
+
 ThreadBuilder& ThreadBuilder::store(LocId x, Expr e, std::string_view label) {
   Instr in;
   in.kind = IKind::Store;
@@ -201,6 +213,12 @@ ThreadBuilder& ThreadBuilder::store(LocId x, Expr e, std::string_view label) {
 ThreadBuilder& ThreadBuilder::store_rel(LocId x, Expr e, std::string_view label) {
   store(x, std::move(e), label);
   sys_->code_[thread_].back().order = MemOrder::Release;
+  return *this;
+}
+
+ThreadBuilder& ThreadBuilder::store_na(LocId x, Expr e, std::string_view label) {
+  store(x, std::move(e), label);
+  sys_->code_[thread_].back().order = MemOrder::NonAtomic;
   return *this;
 }
 

@@ -109,8 +109,10 @@ class ThreadBuilder {
   ThreadBuilder& assign(Reg r, Expr e, std::string_view label = {});
   ThreadBuilder& load(Reg r, LocId x, std::string_view label = {});      ///< r <- x
   ThreadBuilder& load_acq(Reg r, LocId x, std::string_view label = {});  ///< r <-A x
+  ThreadBuilder& load_na(Reg r, LocId x, std::string_view label = {});   ///< r <-NA x
   ThreadBuilder& store(LocId x, Expr e, std::string_view label = {});    ///< x := e
   ThreadBuilder& store_rel(LocId x, Expr e, std::string_view label = {});///< x :=R e
+  ThreadBuilder& store_na(LocId x, Expr e, std::string_view label = {}); ///< x :=NA e
   ThreadBuilder& cas(Reg r, LocId x, Expr expected, Expr desired,
                      std::string_view label = {});  ///< r <- CAS(x,u,v)^RA
   ThreadBuilder& fai(Reg r, LocId x, std::string_view label = {});  ///< r <- FAI(x)^RA

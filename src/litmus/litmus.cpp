@@ -403,6 +403,175 @@ std::vector<LitmusTest> all_tests() {
   return tests;
 }
 
+RaceTest race_mp_na() {
+  RaceTest t;
+  t.name = "Race-MP+na+rlx";
+  t.description = "non-atomic payload behind a relaxed flag: racy";
+  auto d = t.sys.client_var("d", 0);
+  auto f = t.sys.client_var("f", 0);
+  auto t1 = t.sys.thread();
+  t1.store_na(d, c(5), "d :=NA 5");
+  t1.store(f, c(1), "f := 1");
+  auto t2 = t.sys.thread();
+  auto r1 = t2.reg("r1");
+  auto r2 = t2.reg("r2");
+  t2.do_until([&] { t2.load(r1, f, "r1 <- f"); }, Expr{r1} == c(1));
+  t2.load_na(r2, d, "r2 <-NA d");
+  t.racy = true;
+  return t;
+}
+
+RaceTest race_mp_na_release() {
+  RaceTest t;
+  t.name = "Race-MP+na+rel+acq";
+  t.description = "non-atomic payload behind a release/acquire flag: clean";
+  auto d = t.sys.client_var("d", 0);
+  auto f = t.sys.client_var("f", 0);
+  auto t1 = t.sys.thread();
+  t1.store_na(d, c(5), "d :=NA 5");
+  t1.store_rel(f, c(1), "f :=R 1");
+  auto t2 = t.sys.thread();
+  auto r1 = t2.reg("r1");
+  auto r2 = t2.reg("r2");
+  t2.do_until([&] { t2.load_acq(r1, f, "r1 <-A f"); }, Expr{r1} == c(1));
+  t2.load_na(r2, d, "r2 <-NA d");
+  t.racy = false;
+  return t;
+}
+
+namespace {
+
+/// Both double-checked-init variants run two *identical* threads, so the
+/// symmetry reduction is non-trivial on them: the cross-checks rely on
+/// orbit closure of the race records.
+RaceTest dcl(bool broken) {
+  RaceTest t;
+  t.name = broken ? "Race-DCL+broken" : "Race-DCL+cas+rel+acq";
+  t.description = broken
+                      ? "double-checked init with relaxed guard read: racy"
+                      : "CAS-elected init + release/acquire publication: clean";
+  auto data = t.sys.client_var("data", 0);
+  auto guard = t.sys.client_var("guard", 0);
+  auto ready = broken ? guard : t.sys.client_var("ready", 0);
+  for (int i = 0; i < 2; ++i) {
+    auto tb = t.sys.thread();
+    auto won = tb.reg("won");
+    auto r = tb.reg("r");
+    auto v = tb.reg("v");
+    if (broken) {
+      // Relaxed read of the guard: observing 1 does NOT order this thread
+      // after the initialising write, and two threads can both see 0.
+      tb.load(won, guard, "won <- guard");
+      tb.if_else(Expr{won} == c(0), [&] {
+        tb.store_na(data, c(42), "data :=NA 42");
+        tb.store_rel(guard, c(1), "guard :=R 1");
+      });
+      tb.load_na(v, data, "v <-NA data");
+    } else {
+      tb.cas(won, guard, c(0), c(1), "won <- CAS(guard,0,1)");
+      tb.if_else(Expr{won} == c(1), [&] {
+        tb.store_na(data, c(42), "data :=NA 42");
+        tb.store_rel(ready, c(1), "ready :=R 1");
+      });
+      tb.do_until([&] { tb.load_acq(r, ready, "r <-A ready"); },
+                  Expr{r} == c(1));
+      tb.load_na(v, data, "v <-NA data");
+    }
+  }
+  t.racy = broken;
+  return t;
+}
+
+}  // namespace
+
+RaceTest race_dcl_broken() { return dcl(true); }
+RaceTest race_dcl_init() { return dcl(false); }
+
+RaceTest race_flag_spin() {
+  RaceTest t;
+  t.name = "Race-flag-spin+na";
+  t.description = "spin polls the flag with non-atomic reads: racy on f";
+  auto d = t.sys.client_var("d", 0);
+  auto f = t.sys.client_var("f", 0);
+  auto t1 = t.sys.thread();
+  t1.store(d, c(1), "d := 1");
+  t1.store(f, c(1), "f := 1");
+  auto t2 = t.sys.thread();
+  auto r1 = t2.reg("r1");
+  auto r2 = t2.reg("r2");
+  t2.do_until([&] { t2.load_na(r1, f, "r1 <-NA f"); }, Expr{r1} == c(1));
+  t2.load(r2, d, "r2 <- d");
+  t.racy = true;
+  return t;
+}
+
+RaceTest race_disjoint_na() {
+  RaceTest t;
+  t.name = "Race-disjoint+na";
+  t.description = "per-thread-private non-atomic accesses: clean control";
+  auto x = t.sys.client_var("x", 0);
+  auto y = t.sys.client_var("y", 0);
+  auto t1 = t.sys.thread();
+  auto a = t1.reg("a");
+  t1.store_na(x, c(1), "x :=NA 1");
+  t1.load_na(a, x, "a <-NA x");
+  auto t2 = t.sys.thread();
+  auto b = t2.reg("b");
+  t2.store_na(y, c(2), "y :=NA 2");
+  t2.load_na(b, y, "b <-NA y");
+  t.racy = false;
+  return t;
+}
+
+RaceTest race_lock_protected() {
+  RaceTest t;
+  t.name = "Race-lock+na";
+  t.description = "non-atomic increments under an abstract lock: clean";
+  auto x = t.sys.client_var("x", 0);
+  auto l = t.sys.client_lock("l");
+  for (int i = 0; i < 2; ++i) {
+    auto tb = t.sys.thread();
+    auto r = tb.reg(i == 0 ? "r1" : "r2");
+    tb.acquire(l);
+    tb.load_na(r, x, "r <-NA x");
+    tb.store_na(x, Expr{r} + c(1), "x :=NA r + 1");
+    tb.release(l);
+  }
+  t.racy = false;
+  return t;
+}
+
+RaceTest race_atomic_only() {
+  RaceTest t;
+  t.name = "Race-atomic-only";
+  t.description = "all-atomic relaxed MP: weak but never racy";
+  auto d = t.sys.client_var("d", 0);
+  auto f = t.sys.client_var("f", 0);
+  auto t1 = t.sys.thread();
+  t1.store(d, c(5), "d := 5");
+  t1.store(f, c(1), "f := 1");
+  auto t2 = t.sys.thread();
+  auto r1 = t2.reg("r1");
+  auto r2 = t2.reg("r2");
+  t2.load(r1, f, "r1 <- f");
+  t2.load(r2, d, "r2 <- d");
+  t.racy = false;
+  return t;
+}
+
+std::vector<RaceTest> all_race_tests() {
+  std::vector<RaceTest> tests;
+  tests.push_back(race_mp_na());
+  tests.push_back(race_mp_na_release());
+  tests.push_back(race_dcl_broken());
+  tests.push_back(race_dcl_init());
+  tests.push_back(race_flag_spin());
+  tests.push_back(race_disjoint_na());
+  tests.push_back(race_lock_protected());
+  tests.push_back(race_atomic_only());
+  return tests;
+}
+
 namespace {
 
 // Shared shape of the two compute-MP workloads; `spin` switches the consumer

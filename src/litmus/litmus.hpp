@@ -120,6 +120,42 @@ CausalityTest s_shape();
 
 std::vector<CausalityTest> all_causality_tests();
 
+/// Data-race classification tests: programs mixing non-atomic and atomic
+/// accesses whose racy/race-free verdict is known by construction.  Checked
+/// by race::check (src/race/race.hpp); `racy` is the expected verdict, and
+/// the verdict must be identical under every engine configuration (worker
+/// counts, POR, symmetry, sampling) — the RC11_RACE_CROSSCHECK suites
+/// assert set-level agreement, not just the boolean.
+struct RaceTest {
+  std::string name;
+  std::string description;
+  System sys;
+  bool racy = false;
+};
+
+/// MP with a non-atomic payload and only a relaxed flag: racy.
+RaceTest race_mp_na();
+/// The fixed version: release flag write / acquire flag read: race-free.
+RaceTest race_mp_na_release();
+/// Broken double-checked init (relaxed guard read, symmetric threads): racy.
+RaceTest race_dcl_broken();
+/// CAS-elected initialiser + release/acquire publication (symmetric):
+/// race-free.
+RaceTest race_dcl_init();
+/// Spin loop polling the flag with non-atomic reads against an atomic
+/// writer: racy (on the flag, not the data).
+RaceTest race_flag_spin();
+/// Per-thread-disjoint non-atomic accesses: race-free control.
+RaceTest race_disjoint_na();
+/// Non-atomic increments under an abstract lock: race-free (object
+/// synchronisation orders the critical sections).
+RaceTest race_lock_protected();
+/// All-atomic relaxed MP: race-free (no non-atomic access, no race by
+/// definition — relaxed atomics may be weak, never racy).
+RaceTest race_atomic_only();
+
+std::vector<RaceTest> all_race_tests();
+
 /// Message passing with computed payload: the producer assembles its message
 /// through a chain of `work` local assignments before the d-then-release-f
 /// handoff, and the consumer post-processes what it read through another

@@ -1,6 +1,7 @@
 #include "memsem/state.hpp"
 
 #include <algorithm>
+#include <array>
 #include <sstream>
 
 #include "support/diagnostics.hpp"
@@ -44,6 +45,93 @@ MemState::MemState(const LocationTable& locs, ThreadId num_threads,
     ops_[mo_[loc][0]].mview = init_view;
   }
   tview_.assign(num_threads, init_view);
+
+  if (options_.race_detection) {
+    race_.emplace();
+    const std::size_t t_count = num_threads;
+    race_->vc.assign(t_count * t_count, 0);
+    for (std::size_t t = 0; t < t_count; ++t) race_->vc[t * t_count + t] = 1;
+    // Init operations happen-before everything, so their messages are the
+    // zero clock: joining them orders nothing beyond what is already known.
+    race_->msg.resize(ops_.size());
+    for (std::size_t id = 0; id < ops_.size(); ++id) {
+      if (ops_[id].releasing) {
+        race_->msg[id].assign(t_count, 0);
+      }
+    }
+    race_->summary.assign(num_locs * t_count * kNumRaceCats, {});
+  }
+}
+
+void MemState::race_join(ThreadId t, OpId w) {
+  if (!race_) return;
+  const auto& m = race_->msg[w];
+  if (m.empty()) return;
+  const std::size_t row = static_cast<std::size_t>(t) * num_threads_;
+  for (ThreadId u = 0; u < num_threads_; ++u) {
+    race_->vc[row + u] = std::max(race_->vc[row + u], m[u]);
+  }
+}
+
+void MemState::race_attach(ThreadId t, OpId id) {
+  if (!race_) return;
+  const std::size_t row = static_cast<std::size_t>(t) * num_threads_;
+  race_->msg[id].assign(race_->vc.begin() + row,
+                        race_->vc.begin() + row + num_threads_);
+  // Advance t's epoch *after* publishing the message: the acquirer of this
+  // operation synchronises with the operation itself, so accesses recorded
+  // at the pre-increment epoch are ordered before the acquirer and accesses
+  // after the release are not.
+  race_->vc[row + t] += 1;
+}
+
+namespace {
+
+/// Conflicting categories per accessing category: pairs with >= 1 write and
+/// >= 1 non-atomic access.  Two atomic accesses never race; two reads never
+/// race.
+constexpr std::array<std::array<bool, kNumRaceCats>, kNumRaceCats>
+    kConflicts = {{
+        // accessing: NaRead — races with any write
+        {{false, false, true, true}},
+        // accessing: AtomicRead — races with a non-atomic write only
+        {{false, false, true, false}},
+        // accessing: NaWrite — races with everything
+        {{true, true, true, true}},
+        // accessing: AtomicWrite — races with non-atomic accesses only
+        {{true, false, true, false}},
+    }};
+
+}  // namespace
+
+void MemState::race_access(ThreadId t, LocId loc, RaceCat cat,
+                           std::uint32_t pc) {
+  if (!race_) return;
+  auto& rc = *race_;
+  const std::size_t t_count = num_threads_;
+  const std::size_t row = static_cast<std::size_t>(t) * t_count;
+  const std::size_t base = static_cast<std::size_t>(loc) * t_count;
+  const auto& conflicts = kConflicts[static_cast<std::size_t>(cat)];
+  for (ThreadId u = 0; u < num_threads_; ++u) {
+    if (u == t) continue;  // same-thread accesses are sb- hence hb-ordered
+    const std::size_t cells = (base + u) * kNumRaceCats;
+    for (std::size_t k = 0; k < kNumRaceCats; ++k) {
+      if (!conflicts[k]) continue;
+      const RaceClocks::Cell& cell = rc.summary[cells + k];
+      // An access at epoch e by u is hb-before t's current point iff
+      // e <= C_t[u]; epoch 0 means "no such access yet".
+      if (cell.clock > rc.vc[row + u]) {
+        rc.pending.push_back(RaceRecord{
+            loc,
+            RaceAccess{u, cell.pc, static_cast<RaceCat>(k)},
+            RaceAccess{t, pc, cat}});
+      }
+    }
+  }
+  RaceClocks::Cell& mine =
+      rc.summary[(base + t) * kNumRaceCats + static_cast<std::size_t>(cat)];
+  mine.clock = rc.vc[row + t];
+  mine.pc = pc;
 }
 
 std::vector<OpId> MemState::observable(ThreadId t, LocId loc) const {
@@ -97,9 +185,11 @@ void MemState::merge_view_into(View& target, const View& source,
   }
 }
 
-Value MemState::read(ThreadId t, LocId loc, OpId w, MemOrder order) {
-  RC11_REQUIRE(order == MemOrder::Relaxed || order == MemOrder::Acquire,
-               "read order must be relaxed or acquire");
+Value MemState::read(ThreadId t, LocId loc, OpId w, MemOrder order,
+                     std::uint32_t site_pc) {
+  RC11_REQUIRE(order == MemOrder::Relaxed || order == MemOrder::Acquire ||
+                   order == MemOrder::NonAtomic,
+               "read order must be relaxed, acquire or non-atomic");
   RC11_REQUIRE(ops_[w].loc == loc, "read target on wrong location");
   RC11_REQUIRE(options_.model == MemoryModel::SC ||
                    ops_[w].mo_pos >= ops_[tview_[t][loc]].mo_pos,
@@ -115,9 +205,18 @@ Value MemState::read(ThreadId t, LocId loc, OpId w, MemOrder order) {
             ? std::nullopt
             : std::optional<Component>{locs_->component(loc)};
     merge_view_into(tview_[t], ops_[w].mview, only);
+    // hb gains the release/acquire edge exactly where the views merge; a
+    // relaxed or non-atomic read establishes no order (rf alone is not hb).
+    race_join(t, w);
   }
   if (ops_[w].mo_pos > ops_[tview_[t][loc]].mo_pos) {
     tview_[t][loc] = w;
+  }
+  if (race_ && site_pc != kNoSite && locs_->is_var(loc)) {
+    race_access(t, loc,
+                order == MemOrder::NonAtomic ? RaceCat::NaRead
+                                             : RaceCat::AtomicRead,
+                site_pc);
   }
   return ops_[w].value;
 }
@@ -133,6 +232,7 @@ OpId MemState::insert_after(LocId loc, Op op, OpId after) {
   op.mo_pos = pos + 1;
   const auto id = static_cast<OpId>(ops_.size());
   ops_.push_back(std::move(op));
+  if (race_) race_->msg.emplace_back();  // msg slot; filled iff releasing
   order.insert(order.begin() + pos + 1, id);
   for (std::size_t i = pos + 2; i < order.size(); ++i) {
     ops_[order[i]].mo_pos = static_cast<std::uint32_t>(i);
@@ -140,16 +240,20 @@ OpId MemState::insert_after(LocId loc, Op op, OpId after) {
   return id;
 }
 
-OpId MemState::write(ThreadId t, LocId loc, Value v, MemOrder order, OpId after) {
-  RC11_REQUIRE(order == MemOrder::Relaxed || order == MemOrder::Release,
-               "write order must be relaxed or release");
+OpId MemState::write(ThreadId t, LocId loc, Value v, MemOrder order, OpId after,
+                     std::uint32_t site_pc) {
+  RC11_REQUIRE(order == MemOrder::Relaxed || order == MemOrder::Release ||
+                   order == MemOrder::NonAtomic,
+               "write order must be relaxed, release or non-atomic");
   RC11_REQUIRE(locs_->is_var(loc), "write requires a plain variable");
   RC11_REQUIRE(!options_.enforce_covered || !ops_[after].covered,
                "cannot insert after a covered write");
   Op op;
   op.loc = loc;
   op.thread = t;
-  op.kind = order == MemOrder::Release ? OpKind::WriteRel : OpKind::Write;
+  op.kind = order == MemOrder::Release  ? OpKind::WriteRel
+            : order == MemOrder::NonAtomic ? OpKind::WriteNa
+                                           : OpKind::Write;
   op.value = v;
   op.releasing =
       order == MemOrder::Release || options_.model == MemoryModel::SC;
@@ -157,10 +261,23 @@ OpId MemState::write(ThreadId t, LocId loc, Value v, MemOrder order, OpId after)
   tview_[t][loc] = id;
   // mview' = tview' ∪ β.tview_t: the writer's full (both-component) view.
   ops_[id].mview = tview_[t];
+  if (race_) {
+    // Check and record at the pre-increment epoch, then (for a releasing
+    // write) publish the message and advance: the write itself must be
+    // ordered before whoever acquires it, not concurrent with them.
+    if (site_pc != kNoSite) {
+      race_access(t, loc,
+                  order == MemOrder::NonAtomic ? RaceCat::NaWrite
+                                               : RaceCat::AtomicWrite,
+                  site_pc);
+    }
+    if (ops_[id].releasing) race_attach(t, id);
+  }
   return id;
 }
 
-OpId MemState::update(ThreadId t, LocId loc, OpId w, Value v) {
+OpId MemState::update(ThreadId t, LocId loc, OpId w, Value v,
+                      std::uint32_t site_pc) {
   RC11_REQUIRE(locs_->is_var(loc), "update requires a plain variable");
   RC11_REQUIRE(!options_.enforce_covered || !ops_[w].covered,
                "cannot update a covered write");
@@ -180,9 +297,16 @@ OpId MemState::update(ThreadId t, LocId loc, OpId w, Value v) {
             ? std::nullopt
             : std::optional<Component>{locs_->component(loc)};
     merge_view_into(tview_[t], ops_[w].mview, only);
+    race_join(t, w);
   }
   tview_[t][loc] = id;
   ops_[id].mview = tview_[t];
+  if (race_) {
+    if (site_pc != kNoSite) {
+      race_access(t, loc, RaceCat::AtomicWrite, site_pc);
+    }
+    race_attach(t, id);  // upd^RA is releasing
+  }
   return id;
 }
 
@@ -198,8 +322,10 @@ OpId MemState::object_op(ThreadId t, LocId loc, OpKind kind, Value value,
   op.releasing = releasing;
   op.mo_pos = static_cast<std::uint32_t>(mo_[loc].size());
   op.ts = ops_[mo_[loc].back()].ts.successor();
+  const bool attach = op.releasing;
   const auto id = static_cast<OpId>(ops_.size());
   ops_.push_back(std::move(op));
+  if (race_) race_->msg.emplace_back();
   mo_[loc].push_back(id);
   if (sync_with) {
     if (cover) {
@@ -210,9 +336,11 @@ OpId MemState::object_op(ThreadId t, LocId loc, OpKind kind, Value value,
             ? std::nullopt
             : std::optional<Component>{locs_->component(loc)};
     merge_view_into(tview_[t], ops_[*sync_with].mview, only);
+    race_join(t, *sync_with);
   }
   tview_[t][loc] = id;
   ops_[id].mview = tview_[t];
+  if (race_ && attach) race_attach(t, id);
   return id;
 }
 
@@ -225,6 +353,7 @@ void MemState::consume(ThreadId t, LocId loc, OpId w, bool sync) {
             ? std::nullopt
             : std::optional<Component>{locs_->component(loc)};
     merge_view_into(tview_[t], ops_[w].mview, only);
+    race_join(t, w);
   }
   if (ops_[w].mo_pos > ops_[tview_[t][loc]].mo_pos) {
     tview_[t][loc] = w;
@@ -244,6 +373,41 @@ void MemState::permute_threads(const std::vector<ThreadId>& slot_of) {
     permuted[slot_of[t]] = std::move(tview_[t]);
   }
   tview_ = std::move(permuted);
+
+  if (race_) {
+    auto& rc = *race_;
+    const std::size_t t_count = num_threads_;
+    std::vector<std::uint32_t> nvc(rc.vc.size());
+    for (std::size_t t = 0; t < t_count; ++t) {
+      for (std::size_t u = 0; u < t_count; ++u) {
+        nvc[slot_of[t] * t_count + slot_of[u]] = rc.vc[t * t_count + u];
+      }
+    }
+    rc.vc = std::move(nvc);
+    std::vector<std::uint32_t> scratch(t_count);
+    for (auto& m : rc.msg) {
+      if (m.empty()) continue;
+      for (std::size_t u = 0; u < t_count; ++u) scratch[slot_of[u]] = m[u];
+      m = scratch;
+    }
+    // Summary pcs stay as they are: symmetric threads run identical code, so
+    // the pc of a relabelled access is the same instruction.
+    std::vector<RaceClocks::Cell> nsum(rc.summary.size());
+    const std::size_t num_locs = locs_->size();
+    for (std::size_t loc = 0; loc < num_locs; ++loc) {
+      for (std::size_t t = 0; t < t_count; ++t) {
+        for (std::size_t k = 0; k < kNumRaceCats; ++k) {
+          nsum[(loc * t_count + slot_of[t]) * kNumRaceCats + k] =
+              rc.summary[(loc * t_count + t) * kNumRaceCats + k];
+        }
+      }
+    }
+    rc.summary = std::move(nsum);
+    for (RaceRecord& r : rc.pending) {
+      r.prior.thread = slot_of[r.prior.thread];
+      r.current.thread = slot_of[r.current.thread];
+    }
+  }
 }
 
 void MemState::encode(std::vector<std::uint64_t>& out) const {
@@ -278,6 +442,23 @@ void MemState::encode(std::vector<std::uint64_t>& out) const {
       }
     }
   }
+  if (race_) {
+    // Clock rows, releasing-op messages (presence mirrors the releasing bit
+    // encoded above) and last-access summaries are part of state identity —
+    // two states that agree on views but disagree on hb must not be merged,
+    // or races reachable from only one of them would be lost.  `pending` is
+    // per-step scratch and deliberately excluded.
+    const auto& rc = *race_;
+    for (const auto w : rc.vc) out.push_back(w);
+    for (LocId loc = 0; loc < num_locs; ++loc) {
+      for (const OpId id : mo_[loc]) {
+        for (const auto w : rc.msg[id]) out.push_back(w);
+      }
+    }
+    for (const auto& cell : rc.summary) {
+      out.push_back((static_cast<std::uint64_t>(cell.clock) << 32) | cell.pc);
+    }
+  }
 }
 
 std::uint64_t MemState::hash() const {
@@ -302,6 +483,7 @@ std::string MemState::to_string() const {
         case OpKind::Init: os << "init(" << op.value << ")"; break;
         case OpKind::Write: os << "wr(" << op.value << ")"; break;
         case OpKind::WriteRel: os << "wrR(" << op.value << ")"; break;
+        case OpKind::WriteNa: os << "wrNA(" << op.value << ")"; break;
         case OpKind::Update:
           os << "upd(" << op.read_value << "->" << op.value << ")";
           break;

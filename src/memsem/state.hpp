@@ -52,6 +52,42 @@ namespace rc11::memsem {
 /// views (tview) and per-operation modification views (mview).
 using View = std::vector<OpId>;
 
+/// Sentinel "no program counter" for accesses performed outside a program
+/// step (tests driving MemState directly, object operations).  Accesses with
+/// this site are clock-maintained but never race-checked.
+inline constexpr std::uint32_t kNoSite = 0xffffffffu;
+
+/// Classification of a variable access for the race detector.  At least one
+/// write and at least one non-atomic access make a conflicting pair racy, so
+/// the detector keys its per-location summaries by this four-way split.
+enum class RaceCat : std::uint8_t {
+  NaRead = 0,       ///< non-atomic load
+  AtomicRead = 1,   ///< relaxed/acquire (atomic) load
+  NaWrite = 2,      ///< non-atomic store
+  AtomicWrite = 3,  ///< relaxed/release store, CAS, FAI
+};
+inline constexpr std::size_t kNumRaceCats = 4;
+
+/// One side of a reported race: which thread, at which program counter,
+/// performed what kind of access.
+struct RaceAccess {
+  ThreadId thread = 0;
+  std::uint32_t pc = kNoSite;
+  RaceCat cat = RaceCat::NaRead;
+  friend bool operator==(const RaceAccess&, const RaceAccess&) = default;
+};
+
+/// A happens-before data race: two conflicting accesses of `loc` (>= 1
+/// write, >= 1 non-atomic) with neither ordered before the other.  `current`
+/// is the access whose step detected the race; `prior` is the last
+/// conflicting access recorded in the per-location summary.
+struct RaceRecord {
+  LocId loc = 0;
+  RaceAccess prior;
+  RaceAccess current;
+  friend bool operator==(const RaceRecord&, const RaceRecord&) = default;
+};
+
 /// One modifying operation: the paper's (action, timestamp) pair plus the
 /// modification view attached to it at creation time.
 struct Op {
@@ -103,6 +139,14 @@ struct SemanticsOptions {
   /// canonical modification-order ranks, so order-isomorphic states are no
   /// longer identified and exploration blows up.
   bool canonical_timestamps = true;
+
+  /// When true, the state additionally maintains FastTrack-style vector
+  /// clocks deriving the C11 happens-before order from the synchronisation
+  /// the views already perform (clocks join exactly where views merge), plus
+  /// per-location last-access summaries, and flags hb-unordered conflicting
+  /// access pairs as data races (src/race/).  Off by default: the non-race
+  /// checkers pay zero overhead.
+  bool race_detection = false;
 
   friend bool operator==(const SemanticsOptions&, const SemanticsOptions&) = default;
 };
@@ -166,22 +210,47 @@ class MemState {
   // ------------------------------------------------------------------
 
   /// READ: thread `t` reads operation `w` (must be in Obs(t, loc)) with
-  /// order `Relaxed` or `Acquire`.  Returns the value read.  If `w` is
-  /// releasing and the read acquires, the thread's view of *all* locations is
-  /// merged with mview_w (this is simultaneously the paper's tview' ⊗ and
-  /// ctview' ⊗ updates); otherwise only the viewfront of `loc` advances.
-  Value read(ThreadId t, LocId loc, OpId w, MemOrder order);
+  /// order `Relaxed`, `Acquire` or `NonAtomic`.  Returns the value read.  If
+  /// `w` is releasing and the read acquires, the thread's view of *all*
+  /// locations is merged with mview_w (this is simultaneously the paper's
+  /// tview' ⊗ and ctview' ⊗ updates); otherwise only the viewfront of `loc`
+  /// advances.  `site_pc` identifies the program counter of the access for
+  /// race reporting (kNoSite disables the race check for this access).
+  Value read(ThreadId t, LocId loc, OpId w, MemOrder order,
+             std::uint32_t site_pc = kNoSite);
 
   /// WRITE: thread `t` writes `v` immediately after `after` (must be in
-  /// Obs(t, loc) \ cvd) with order `Relaxed` or `Release`.  Returns the new
-  /// operation.
-  OpId write(ThreadId t, LocId loc, Value v, MemOrder order, OpId after);
+  /// Obs(t, loc) \ cvd) with order `Relaxed`, `Release` or `NonAtomic`.
+  /// Returns the new operation.
+  OpId write(ThreadId t, LocId loc, Value v, MemOrder order, OpId after,
+             std::uint32_t site_pc = kNoSite);
 
   /// UPDATE: thread `t` performs upd^RA(loc, read_value_of(w), v): reads `w`
   /// (must be in Obs(t, loc) \ cvd), writes `v` immediately after it, covers
   /// `w`, and synchronises if `w` is releasing.  The new operation is
   /// releasing.  Returns the new operation.
-  OpId update(ThreadId t, LocId loc, OpId w, Value v);
+  OpId update(ThreadId t, LocId loc, OpId w, Value v,
+              std::uint32_t site_pc = kNoSite);
+
+  // ------------------------------------------------------------------
+  // Race detection (options().race_detection; src/race/)
+  // ------------------------------------------------------------------
+
+  /// Clears the per-step race buffer.  Called by the step layer before each
+  /// program step mutates the state, so race_records() afterwards holds
+  /// exactly the races that step introduced.  No-op when race detection is
+  /// off.
+  void race_begin_step() {
+    if (race_) race_->pending.clear();
+  }
+
+  /// The races detected since the last race_begin_step().  Empty when race
+  /// detection is off.
+  [[nodiscard]] std::span<const RaceRecord> race_records() const {
+    static const std::vector<RaceRecord> kEmpty;
+    return race_ ? std::span<const RaceRecord>(race_->pending)
+                 : std::span<const RaceRecord>(kEmpty);
+  }
 
   // ------------------------------------------------------------------
   // Abstract object primitive (Section 4)
@@ -236,6 +305,44 @@ class MemState {
   [[nodiscard]] std::string to_string() const;
 
  private:
+  /// FastTrack-style clock state, engaged iff options().race_detection.
+  /// Everything here is derived from the synchronisation structure the views
+  /// already maintain: clock rows join exactly where merge_view_into runs for
+  /// a genuine synchronisation, and messages attach exactly at releasing
+  /// operations.  `pending` is per-step scratch and NOT part of the encoding.
+  struct RaceClocks {
+    /// T×T matrix, row t = C_t (thread t's vector clock).  C_t[t] starts at
+    /// 1, everything else at 0: no cross-thread access is ordered until a
+    /// real release/acquire chain carries the epoch over.
+    std::vector<std::uint32_t> vc;
+    /// Parallel to the op arena: the clock message a releasing operation
+    /// carries (a copy of the writer's C_t at creation).  Empty for
+    /// non-releasing operations — presence mirrors the `releasing` bit,
+    /// which the canonical encoding already pins.
+    std::vector<std::vector<std::uint32_t>> msg;
+    /// Per (location, thread, RaceCat) last-access summary: the accessing
+    /// thread's epoch C_t[t] at the access (0 = no such access yet) and the
+    /// access's program counter for the report.  Keeps the race check
+    /// O(threads) per step instead of O(history).
+    struct Cell {
+      std::uint32_t clock = 0;
+      std::uint32_t pc = 0;
+    };
+    std::vector<Cell> summary;  // [(loc * T + t) * kNumRaceCats + cat]
+    /// Races detected since race_begin_step().  Transient.
+    std::vector<RaceRecord> pending;
+  };
+
+  /// Joins op `w`'s clock message into thread `t`'s clock row (the hb edge a
+  /// synchronising read/acquire creates).  No-op if `w` carries no message.
+  void race_join(ThreadId t, OpId w);
+  /// Attaches thread `t`'s current clock row to operation `id` (which must
+  /// be releasing) and then advances t's epoch.
+  void race_attach(ThreadId t, OpId id);
+  /// Race-checks one variable access against the location's summaries and
+  /// records it there.  Called only for var locations with a real site.
+  void race_access(ThreadId t, LocId loc, RaceCat cat, std::uint32_t pc);
+
   /// Pointwise-later merge: the paper's V1 ⊗ V2 (keeps the operation with the
   /// larger timestamp per location).  If `only` is set, locations of other
   /// components are skipped — this is the A1 ablation's crippled transfer
@@ -254,6 +361,7 @@ class MemState {
   std::vector<Op> ops_;               // arena; OpId indexes this
   std::vector<std::vector<OpId>> mo_;  // per location, ascending timestamp
   std::vector<View> tview_;            // per thread, over all locations
+  std::optional<RaceClocks> race_;     // engaged iff options_.race_detection
 };
 
 }  // namespace rc11::memsem

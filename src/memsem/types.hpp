@@ -47,6 +47,7 @@ enum class OpKind : std::uint8_t {
   Init,         ///< initialising write (timestamp 0) — also object init
   Write,        ///< relaxed write wr(x, n)
   WriteRel,     ///< releasing write wr^R(x, n)
+  WriteNa,      ///< non-atomic write wr^NA(x, n) — never releases
   Update,       ///< update upd^RA(x, m, n): atomic read-modify-write
   LockAcquire,  ///< abstract lock acquire_n (Fig. 6)
   LockRelease,  ///< abstract lock release_n (Fig. 6)
@@ -55,8 +56,21 @@ enum class OpKind : std::uint8_t {
 };
 
 /// Memory-order annotation on program accesses ([A] / [R] / none in the
-/// grammar of Section 3.1; CAS and FAI are always RA).
-enum class MemOrder : std::uint8_t { Relaxed, Acquire, Release, AcqRel };
+/// grammar of Section 3.1; CAS and FAI are always RA).  `NonAtomic` extends
+/// the grammar with plain C11 non-atomic accesses: operationally they behave
+/// like relaxed accesses (same observability, no synchronisation), but they
+/// additionally participate in data races — two hb-unordered same-location
+/// accesses of which at least one writes and at least one is non-atomic are
+/// a race (C11 §5.1.2.4; the rc11-race checker reports them).
+enum class MemOrder : std::uint8_t { Relaxed, Acquire, Release, AcqRel, NonAtomic };
+
+/// True iff an access with this order can take part in synchronisation (an
+/// acquiring read of a releasing write).  Relaxed and non-atomic accesses
+/// never synchronise.
+[[nodiscard]] constexpr bool synchronises(MemOrder o) noexcept {
+  return o == MemOrder::Acquire || o == MemOrder::Release ||
+         o == MemOrder::AcqRel;
+}
 
 /// Access footprint of one program step, for the engine's independence
 /// relation (engine/transition_system.hpp).  Classifies what the step does

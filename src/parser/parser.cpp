@@ -29,10 +29,8 @@ enum class Tok : std::uint8_t {
   Ident, Number,
   // punctuation / operators
   Semi, Comma, LParen, RParen, LBrace, RBrace, Dot,
-  Assign,        // :=
-  AssignRel,     // :=R
-  Arrow,         // <-
-  ArrowAcq,      // <-A
+  Assign,        // :=  with an optional order suffix (:=R, :=NA, ...)
+  Arrow,         // <-  with an optional order suffix (<-A, <-NA, ...)
   Plus, Minus, Star, Percent,
   Eq,  // single '=' (declaration initialisers only)
   Colon,     // ':' (outline annotations)
@@ -44,6 +42,10 @@ enum class Tok : std::uint8_t {
 struct Token {
   Tok kind = Tok::End;
   std::string text;
+  /// Memory-order annotation glued onto := / <- (the uppercase run directly
+  /// after the operator): "" for none, otherwise whatever the program wrote
+  /// ("R", "A", "NA", or a typo the parser rejects with the accepted list).
+  std::string suffix;
   long long number = 0;
   int line = 1;
   int col = 1;
@@ -112,10 +114,19 @@ class Lexer {
       current_.text = std::string{text};
       for (std::size_t i = 0; i < len; ++i) bump();
     };
-    if (three == ":=R") return set(Tok::AssignRel, 3, three);
-    if (three == "<-A") return set(Tok::ArrowAcq, 3, three);
-    if (two == ":=") return set(Tok::Assign, 2, two);
-    if (two == "<-") return set(Tok::Arrow, 2, two);
+    // := and <- swallow a directly-attached uppercase order suffix (":=R",
+    // "<-NA", also typos like ":=RR") so the parser can validate it against
+    // the orders the context accepts and report the bad token precisely.
+    const auto set_access = [&](Tok kind, std::string_view text) {
+      set(kind, 2, text);
+      while (pos_ < src_.size() && src_[pos_] >= 'A' && src_[pos_] <= 'Z') {
+        current_.suffix.push_back(src_[pos_]);
+        bump();
+      }
+      current_.text += current_.suffix;
+    };
+    if (two == ":=") return set_access(Tok::Assign, two);
+    if (two == "<-") return set_access(Tok::Arrow, two);
     if (three == "==>") return set(Tok::Implies, 3, three);
     if (two == "==") return set(Tok::EqEq, 2, two);
     if (ch == '=') return set(Tok::Eq, 1, "=");
@@ -220,6 +231,44 @@ class Parser {
   Token expect(Tok kind, const char* what) {
     if (lex_.peek().kind != kind) lex_.error(std::string("expected ") + what);
     return lex_.take();
+  }
+
+  /// Reports an error anchored at an already-taken token (the lexer's own
+  /// error() points at the *next* token, which is wrong for a bad order
+  /// suffix noticed only after the operator was consumed).
+  [[noreturn]] static void error_at(const Token& tok, const std::string& msg) {
+    support::fail("parse error at ", tok.line, ":", tok.col, ": ", msg,
+                  " (near '", tok.text, "')");
+  }
+
+  /// Validates the order suffix of a store operator token.
+  static memsem::MemOrder store_order(const Token& op) {
+    if (op.suffix.empty()) return memsem::MemOrder::Relaxed;
+    if (op.suffix == "R") return memsem::MemOrder::Release;
+    if (op.suffix == "NA") return memsem::MemOrder::NonAtomic;
+    error_at(op, "unknown memory order ':=" + op.suffix +
+                     "' on a store; accepted orders are ':=' (relaxed), "
+                     "':=R' (release) and ':=NA' (non-atomic)");
+  }
+
+  /// Validates the order suffix of a load operator token.
+  static memsem::MemOrder load_order(const Token& op) {
+    if (op.suffix.empty()) return memsem::MemOrder::Relaxed;
+    if (op.suffix == "A") return memsem::MemOrder::Acquire;
+    if (op.suffix == "NA") return memsem::MemOrder::NonAtomic;
+    error_at(op, "unknown memory order '<-" + op.suffix +
+                     "' on a load; accepted orders are '<-' (relaxed), "
+                     "'<-A' (acquire) and '<-NA' (non-atomic)");
+  }
+
+  /// Validates the order suffix of an object-method read (pop/deq), which
+  /// accepts only plain and acquire.
+  static bool method_acquires(const Token& op, const std::string& method) {
+    if (op.suffix.empty()) return false;
+    if (op.suffix == "A") return true;
+    error_at(op, "unknown memory order '<-" + op.suffix + "' on '" + method +
+                     "'; accepted orders are '<-' (relaxed) and '<-A' "
+                     "(acquire)");
   }
 
   bool accept(Tok kind) {
@@ -407,30 +456,40 @@ class Parser {
       return;
     }
 
-    // Stores: x := e;  x :=R e;  and local assignment r := e;
-    if (lex_.peek().kind == Tok::Assign || lex_.peek().kind == Tok::AssignRel) {
-      const bool releasing = lex_.take().kind == Tok::AssignRel;
+    // Stores: x := e;  x :=R e;  x :=NA e;  and local assignment r := e;
+    if (lex_.peek().kind == Tok::Assign) {
+      const Token op = lex_.take();
       Expr value = parse_expr(tb);
       expect(Tok::Semi, "';'");
       if (is_location(name)) {
         const auto x = location(name, LocKind::Var, "variable");
-        if (releasing) {
-          tb.store_rel(x, std::move(value));
-        } else {
-          tb.store(x, std::move(value));
+        switch (store_order(op)) {
+          case memsem::MemOrder::Release:
+            tb.store_rel(x, std::move(value));
+            break;
+          case memsem::MemOrder::NonAtomic:
+            tb.store_na(x, std::move(value));
+            break;
+          default:
+            tb.store(x, std::move(value));
+            break;
         }
       } else {
-        if (releasing) lex_.error("':=R' needs a shared variable target");
+        if (!op.suffix.empty()) {
+          error_at(op, "':=" + op.suffix +
+                           "' needs a shared variable target (register "
+                           "assignment takes no memory order)");
+        }
         tb.assign(reg_lookup(name), std::move(value));
       }
       return;
     }
 
     // Reads and RMW/method calls with a destination register:
-    //   r <- x; r <-A x; r <- CAS(...); r <- FAI(x); r <- l.acquire();
-    //   r <- s.pop(); r <-A s.pop();
-    if (lex_.peek().kind == Tok::Arrow || lex_.peek().kind == Tok::ArrowAcq) {
-      const bool acquiring = lex_.take().kind == Tok::ArrowAcq;
+    //   r <- x; r <-A x; r <-NA x; r <- CAS(...); r <- FAI(x);
+    //   r <- l.acquire(); r <- s.pop(); r <-A s.pop();
+    if (lex_.peek().kind == Tok::Arrow) {
+      const Token op = lex_.take();
       const auto dst = reg_lookup(name);
       const auto src = expect(Tok::Ident, "read source").text;
 
@@ -441,19 +500,21 @@ class Parser {
         expect(Tok::RParen, "')'");
         expect(Tok::Semi, "';'");
         if (method == "acquire") {
-          if (acquiring) lex_.error("lock methods take no <-A annotation");
+          if (!op.suffix.empty()) {
+            error_at(op, "lock methods take no <-" + op.suffix + " annotation");
+          }
           tb.acquire(location(src, LocKind::Lock, "lock"), dst,
                      name + " <- " + src + ".acquire()");
         } else if (method == "pop") {
           const auto s = location(src, LocKind::Stack, "stack");
-          if (acquiring) {
+          if (method_acquires(op, method)) {
             tb.pop_acq(dst, s, name + " <-A " + src + ".pop()");
           } else {
             tb.pop(dst, s, name + " <- " + src + ".pop()");
           }
         } else if (method == "deq") {
           const auto q = location(src, LocKind::Queue, "queue");
-          if (acquiring) {
+          if (method_acquires(op, method)) {
             tb.dequeue_acq(dst, q, name + " <-A " + src + ".deq()");
           } else {
             tb.dequeue(dst, q, name + " <- " + src + ".deq()");
@@ -465,7 +526,10 @@ class Parser {
       }
 
       if (src == "CAS") {
-        if (acquiring) lex_.error("CAS is always RA; drop the A annotation");
+        if (!op.suffix.empty()) {
+          error_at(op, "CAS is always RA; drop the " + op.suffix +
+                           " annotation");
+        }
         expect(Tok::LParen, "'('");
         const auto var = expect(Tok::Ident, "variable").text;
         expect(Tok::Comma, "','");
@@ -479,7 +543,10 @@ class Parser {
         return;
       }
       if (src == "FAI") {
-        if (acquiring) lex_.error("FAI is always RA; drop the A annotation");
+        if (!op.suffix.empty()) {
+          error_at(op, "FAI is always RA; drop the " + op.suffix +
+                           " annotation");
+        }
         expect(Tok::LParen, "'('");
         const auto var = expect(Tok::Ident, "variable").text;
         expect(Tok::RParen, "')'");
@@ -491,15 +558,22 @@ class Parser {
       // Plain load.
       expect(Tok::Semi, "';'");
       const auto x = location(src, LocKind::Var, "variable");
-      if (acquiring) {
-        tb.load_acq(dst, x);
-      } else {
-        tb.load(dst, x);
+      switch (load_order(op)) {
+        case memsem::MemOrder::Acquire:
+          tb.load_acq(dst, x);
+          break;
+        case memsem::MemOrder::NonAtomic:
+          tb.load_na(dst, x);
+          break;
+        default:
+          tb.load(dst, x);
+          break;
       }
       return;
     }
 
-    lex_.error("expected ':=', ':=R', '<-', '<-A' or a method call");
+    lex_.error("expected ':=', ':=R', ':=NA', '<-', '<-A', '<-NA' or a "
+               "method call");
   }
 
   void parse_reg_decl(ThreadBuilder& tb) {

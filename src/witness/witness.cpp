@@ -89,7 +89,8 @@ Witness from_json(std::string_view text) {
                    " (this build reads version ", kFormatVersion, ")");
   w.kind = doc.at("kind").as_string();
   support::require(
-      w.kind == "invariant" || w.kind == "outline" || w.kind == "refinement",
+      w.kind == "invariant" || w.kind == "outline" ||
+          w.kind == "refinement" || w.kind == "race",
       "witness: unknown kind '", w.kind, "'");
   w.source = doc.at("source").as_string();
   w.what = doc.at("what").as_string();

@@ -210,4 +210,102 @@ TEST(Cli, RefineWitnessRoundTripsAgainstConcrete) {
   EXPECT_NE(out.find("replay OK"), std::string::npos) << out;
 }
 
+TEST(Cli, RefineCombinedPorSymmetryWitnessReplays) {
+  // Both reductions at once: the counterexample found in the reduced product
+  // must still replay through the full, unreduced semantics.
+  const std::string wit = tmp_path("refine_witness_reduced.json");
+  std::string out;
+  EXPECT_EQ(run(bin("rc11-refine") + " --por --symmetry --witness " + wit +
+                    " " + prog("lock_client_abstract.rc11") + " " +
+                    prog("lock_client_broken.rc11"),
+                &out),
+            2);
+  EXPECT_NE(out.find("written to"), std::string::npos) << out;
+  EXPECT_EQ(run(bin("rc11-refine") + " --replay " + wit + " " +
+                    prog("lock_client_abstract.rc11") + " " +
+                    prog("lock_client_broken.rc11"),
+                &out),
+            0);
+  EXPECT_NE(out.find("replay OK"), std::string::npos) << out;
+}
+
+// --- rc11-race ---------------------------------------------------------------
+
+TEST(Cli, RaceClassifiesRacyAndCleanPrograms) {
+  std::string out;
+  EXPECT_EQ(run(bin("rc11-race") + " " + prog("mp_na_racy.rc11"), &out), 2);
+  EXPECT_NE(out.find("RACE: data race on 'd'"), std::string::npos) << out;
+  EXPECT_EQ(run(bin("rc11-race") + " " + prog("mp_na_release.rc11"), &out), 0);
+  EXPECT_NE(out.find("races:       0"), std::string::npos) << out;
+}
+
+TEST(Cli, RaceSamplingIsNeverDefinitivelyClean) {
+  // A clean sampling run is a lower bound, not a proof: exit 3, not 0.
+  EXPECT_EQ(run(bin("rc11-race") + " --strategy sample:500 --seed 7 " +
+                prog("disjoint_na.rc11")),
+            3);
+  // But a race found by sampling is still a real race: exit 2.
+  EXPECT_EQ(run(bin("rc11-race") + " --strategy sample:500 --seed 7 " +
+                prog("mp_na_racy.rc11")),
+            2);
+}
+
+/// The "races" array of a --json summary, for byte-comparison across engine
+/// configurations (the surrounding stats/strategy fields legitimately vary).
+std::string race_list_of(const std::string& json) {
+  const auto begin = json.find("\"races\"");
+  const auto end = json.find("\"stats\"");
+  EXPECT_NE(begin, std::string::npos) << json;
+  EXPECT_NE(end, std::string::npos) << json;
+  return json.substr(begin, end - begin);
+}
+
+TEST(Cli, RaceJsonListIdenticalAcrossReductions) {
+  const std::string plain = tmp_path("race_plain.json");
+  const std::string reduced = tmp_path("race_reduced.json");
+  EXPECT_EQ(run(bin("rc11-race") + " --json " + plain + " " +
+                prog("dcl_broken.rc11")),
+            2);
+  EXPECT_EQ(run(bin("rc11-race") + " --threads 4 --por --symmetry --json " +
+                reduced + " " + prog("dcl_broken.rc11")),
+            2);
+  const std::string a = race_list_of(read_file(plain));
+  EXPECT_EQ(a, race_list_of(read_file(reduced)));
+  EXPECT_NE(a.find("non-atomic write"), std::string::npos) << a;
+}
+
+TEST(Cli, RaceWitnessRoundTrips) {
+  const std::string wit = tmp_path("race_witness.json");
+  std::string out;
+  EXPECT_EQ(run(bin("rc11-race") + " --witness " + wit + " " +
+                    prog("dcl_broken.rc11"),
+                &out),
+            2);
+  EXPECT_NE(out.find("written to"), std::string::npos) << out;
+  EXPECT_EQ(run(bin("rc11-race") + " --replay " + wit + " " +
+                    prog("dcl_broken.rc11"),
+                &out),
+            0);
+  EXPECT_NE(out.find("replay OK"), std::string::npos) << out;
+  // Same witness against a different program: digests diverge, exit 2.
+  EXPECT_EQ(run(bin("rc11-race") + " --replay " + wit + " " +
+                    prog("mp_na_racy.rc11"),
+                &out),
+            2);
+  EXPECT_NE(out.find("replay FAILED"), std::string::npos) << out;
+}
+
+TEST(Cli, RaceParallelReducedWitnessReplays) {
+  const std::string wit = tmp_path("race_witness_par.json");
+  EXPECT_EQ(run(bin("rc11-race") + " --threads 4 --por --symmetry" +
+                " --witness " + wit + " " + prog("flag_spin_racy.rc11")),
+            2);
+  std::string out;
+  EXPECT_EQ(run(bin("rc11-race") + " --replay " + wit + " " +
+                    prog("flag_spin_racy.rc11"),
+                &out),
+            0)
+      << out;
+}
+
 }  // namespace

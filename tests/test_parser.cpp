@@ -273,6 +273,80 @@ TEST(ParserErrors, ReleasingWriteToRegister) {
   EXPECT_THROW(parse_program("thread t { reg r; r :=R 1; }"), Error);
 }
 
+// --- memory-order annotations: the NA orders and their diagnostics ----------
+
+TEST(Parser, NonAtomicAccessesParse) {
+  const auto p = parse_program(R"(
+    var x = 0;
+    thread t {
+      reg r;
+      x :=NA 1;
+      r <-NA x;
+    }
+  )");
+  ASSERT_EQ(p.sys.code(0).size(), 2u);
+  EXPECT_EQ(p.sys.code(0)[0].kind, lang::IKind::Store);
+  EXPECT_EQ(p.sys.code(0)[0].order, memsem::MemOrder::NonAtomic);
+  EXPECT_EQ(p.sys.code(0)[1].kind, lang::IKind::Load);
+  EXPECT_EQ(p.sys.code(0)[1].order, memsem::MemOrder::NonAtomic);
+}
+
+namespace {
+
+/// The malformed program must be rejected with a message that carries the
+/// expected substring (the accepted-orders list, or the specific complaint)
+/// and a line:col position.
+void expect_order_error(const std::string& src, const std::string& needle) {
+  try {
+    (void)parse_program(src);
+    FAIL() << "expected a parse error for: " << src;
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(needle), std::string::npos)
+        << "'" << what << "' should mention '" << needle << "'";
+    EXPECT_NE(what.find("3:"), std::string::npos)
+        << "'" << what << "' should point at line 3";
+  }
+}
+
+}  // namespace
+
+TEST(ParserErrors, UnknownStoreOrderListsAcceptedOrders) {
+  expect_order_error("var x = 0;\nthread t {\n  x :=RR 1;\n}",
+                     "accepted orders are ':=' (relaxed)");
+  expect_order_error("var x = 0;\nthread t {\n  x :=Q 1;\n}",
+                     "unknown memory order ':=Q'");
+}
+
+TEST(ParserErrors, UnknownLoadOrderListsAcceptedOrders) {
+  expect_order_error("var x = 0;\nthread t { reg r;\n  r <-B x;\n}",
+                     "accepted orders are '<-' (relaxed)");
+  expect_order_error("var x = 0;\nthread t { reg r;\n  r <-AA x;\n}",
+                     "unknown memory order '<-AA'");
+}
+
+TEST(ParserErrors, MemoryOrderOnRegisterAssignment) {
+  expect_order_error("thread t {\n  reg r;\n  r :=NA 1;\n}",
+                     "register assignment takes no memory order");
+}
+
+TEST(ParserErrors, MemoryOrderOnRmwAndMethods) {
+  expect_order_error(
+      "var x = 0;\nthread t { reg r;\n  r <-A CAS(x, 0, 1);\n}",
+      "CAS is always RA");
+  expect_order_error("var x = 0;\nthread t { reg r;\n  r <-NA FAI(x);\n}",
+                     "FAI is always RA");
+  expect_order_error(
+      "lock l;\nthread t { reg r;\n  r <-NA l.acquire();\n}",
+      "lock methods take no <-NA annotation");
+}
+
+TEST(ParserErrors, PopOrderRestrictedToAcquire) {
+  expect_order_error(
+      "stack s;\nthread t { reg r;\n  r <-NA s.pop();\n}",
+      "accepted orders are '<-' (relaxed) and '<-A'");
+}
+
 TEST(ParserErrors, PositionInMessage) {
   try {
     (void)parse_program("var x = 0;\nthread t {\n  x ::= 1;\n}");

@@ -250,6 +250,9 @@ TEST(PorCrosscheck, FullCorpusAgreement) {
   for (const auto& test : litmus::all_causality_tests()) {
     expect_por_exact(test.sys, "causality " + test.name);
   }
+  for (const auto& test : litmus::all_race_tests()) {
+    expect_por_exact(test.sys, "race " + test.name);
+  }
   expect_por_exact(litmus::peterson_counter().sys, "peterson");
   expect_por_exact(litmus::dekker_counter().sys, "dekker");
   expect_por_exact(litmus::barrier_exchange().sys, "barrier");
@@ -263,6 +266,9 @@ TEST(PorCrosscheck, FullCorpusAgreement) {
       "lock_client_seqlock.rc11",  "mp_broken_outline.rc11",
       "mp_stack.rc11",             "mp_verified.rc11",
       "sb.rc11",                   "ticket_lock.rc11",
+      "mp_na_racy.rc11",           "mp_na_release.rc11",
+      "dcl_broken.rc11",           "dcl_init.rc11",
+      "flag_spin_racy.rc11",       "disjoint_na.rc11",
   };
   for (const char* name : programs) {
     const auto program = parser::parse_file(std::string(RC11_SRC_DIR) +

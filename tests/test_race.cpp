@@ -1,0 +1,285 @@
+// Data-race detection: classification of the known-racy / known-race-free
+// corpus, exactness of the reported race *set* under every engine
+// configuration (worker counts, POR, symmetry, sampling), witness replay
+// through both access sites, and the zero-overhead guarantee for checkers
+// that leave race_detection off.
+//
+// Setting RC11_RACE_CROSSCHECK=1 widens the configuration matrix to the
+// on-disk sample programs and asserts that the pre-existing (all-atomic)
+// corpus is race-free (this is the CI race-detection job's configuration).
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "engine/checkpoint.hpp"
+#include "explore/explorer.hpp"
+#include "litmus/litmus.hpp"
+#include "parser/parser.hpp"
+#include "race/race.hpp"
+#include "witness/witness.hpp"
+
+namespace {
+
+using namespace rc11;
+using lang::System;
+using race::RaceOptions;
+using race::RaceResult;
+
+bool crosscheck_enabled() {
+  const char* v = std::getenv("RC11_RACE_CROSSCHECK");
+  return v != nullptr && *v != '\0' && std::string(v) != "0";
+}
+
+/// The run-independent identity of a race: location + both canonical sites.
+using RaceKey = std::array<std::uint64_t, 7>;
+
+std::vector<RaceKey> race_keys(const RaceResult& result) {
+  std::vector<RaceKey> keys;
+  keys.reserve(result.races.size());
+  for (const auto& r : result.races) {
+    keys.push_back({r.record.loc, r.record.prior.thread, r.record.prior.pc,
+                    static_cast<std::uint64_t>(r.record.prior.cat),
+                    r.record.current.thread, r.record.current.pc,
+                    static_cast<std::uint64_t>(r.record.current.cat)});
+  }
+  return keys;
+}
+
+/// The cross-check proper: a plain sequential exhaustive run is the oracle;
+/// every reduced / parallel / sampled configuration must report the exact
+/// same race set (sampling with enough episodes to cover these small state
+/// spaces — the sampled set is a lower bound in general, but on the corpus
+/// it must reach every race).
+void expect_race_exact(const System& sys, const std::string& what) {
+  const auto reference = race::check(sys, {});
+  ASSERT_FALSE(reference.truncated) << what;
+  const auto ref_keys = race_keys(reference);
+
+  for (const unsigned workers : {1U, 4U}) {
+    for (const bool por : {false, true}) {
+      for (const bool symmetry : {false, true}) {
+        RaceOptions opts;
+        opts.num_threads = workers;
+        opts.por = por;
+        opts.symmetry = symmetry;
+        const auto r = race::check(sys, opts);
+        EXPECT_FALSE(r.truncated) << what;
+        EXPECT_EQ(race_keys(r), ref_keys)
+            << what << " (threads " << workers << ", por " << por
+            << ", symmetry " << symmetry << "): race sets differ";
+      }
+    }
+  }
+
+  RaceOptions sampled;
+  sampled.mode = engine::Strategy::Sample;
+  sampled.sample.episodes = 3000;
+  const auto s = race::check(sys, sampled);
+  EXPECT_EQ(race_keys(s), ref_keys) << what << " (sampled): race sets differ";
+}
+
+TEST(Race, ClassifiesTheCorpus) {
+  for (const auto& test : litmus::all_race_tests()) {
+    const auto result = race::check(test.sys, {});
+    ASSERT_FALSE(result.truncated) << test.name;
+    EXPECT_EQ(result.racy(), test.racy) << test.name << ": " << test.description;
+    if (test.racy) {
+      // Every report names both sites on a real location.
+      for (const auto& r : result.races) {
+        EXPECT_FALSE(r.location.empty()) << test.name;
+        EXPECT_NE(r.record.prior.thread, r.record.current.thread) << test.name;
+        EXPECT_NE(r.record.prior.pc, memsem::kNoSite) << test.name;
+        EXPECT_NE(r.record.current.pc, memsem::kNoSite) << test.name;
+        EXPECT_NE(r.what.find(r.location), std::string::npos) << test.name;
+      }
+    } else {
+      EXPECT_TRUE(result.clean()) << test.name;
+    }
+  }
+}
+
+TEST(Race, ReportsAreUnorderedPairsInCanonicalOrder) {
+  for (const auto& test : litmus::all_race_tests()) {
+    const auto result = race::check(test.sys, {});
+    for (const auto& r : result.races) {
+      const auto rank = [](const memsem::RaceAccess& a) {
+        return std::make_tuple(a.thread, a.pc, static_cast<unsigned>(a.cat));
+      };
+      EXPECT_LE(rank(r.record.prior), rank(r.record.current))
+          << test.name << ": pair not canonically ordered";
+    }
+  }
+}
+
+TEST(Race, SetExactUnderEveryConfiguration) {
+  for (const auto& test : litmus::all_race_tests()) {
+    expect_race_exact(test.sys, test.name);
+  }
+}
+
+TEST(Race, DeterministicAcrossRepeatedRuns) {
+  for (const auto& test : litmus::all_race_tests()) {
+    RaceOptions opts;
+    opts.num_threads = 4;
+    opts.por = true;
+    const auto a = race::check(test.sys, opts);
+    const auto b = race::check(test.sys, opts);
+    EXPECT_EQ(race_keys(a), race_keys(b)) << test.name;
+    ASSERT_EQ(a.races.size(), b.races.size()) << test.name;
+    for (std::size_t i = 0; i < a.races.size(); ++i) {
+      EXPECT_EQ(a.races[i].what, b.races[i].what) << test.name;
+    }
+  }
+}
+
+TEST(Race, WitnessesReplayThroughBothSites) {
+  for (const auto& test : litmus::all_race_tests()) {
+    if (!test.racy) continue;
+    // Race witnesses digest the race-instrumented encoding; replay needs a
+    // system carrying the flag (the rc11-race CLI does the same).
+    System traced = test.sys;
+    auto sem = traced.options();
+    sem.race_detection = true;
+    traced.set_options(sem);
+
+    for (const bool symmetry : {false, true}) {
+      RaceOptions opts;
+      opts.track_traces = true;
+      opts.symmetry = symmetry;
+      const auto result = race::check(test.sys, opts);
+      ASSERT_TRUE(result.racy()) << test.name;
+      bool witnessed = false;
+      for (const auto& r : result.races) {
+        if (!r.witness) continue;
+        witnessed = true;
+        EXPECT_EQ(r.witness->kind, "race") << test.name;
+        EXPECT_FALSE(r.witness->steps.empty()) << test.name;
+        const auto replay = witness::replay(traced, *r.witness);
+        EXPECT_TRUE(replay.ok)
+            << test.name << " (symmetry " << symmetry << "): " << replay.error;
+      }
+      EXPECT_TRUE(witnessed)
+          << test.name << ": no race carries a witness (symmetry " << symmetry
+          << ")";
+      // Serialisation round-trip keeps the witness replayable.
+      for (const auto& r : result.races) {
+        if (!r.witness) continue;
+        const auto back = witness::from_json(witness::to_json(*r.witness));
+        EXPECT_TRUE(witness::replay(traced, back).ok) << test.name;
+        break;
+      }
+    }
+  }
+}
+
+TEST(Race, StopOnRaceStopsEarlyButStaysRacy) {
+  auto test = litmus::race_dcl_broken();
+  RaceOptions opts;
+  opts.stop_on_race = true;
+  const auto result = race::check(test.sys, opts);
+  EXPECT_TRUE(result.racy());
+  // Stopping was our choice, not a budget: the verdict is still definite.
+  EXPECT_EQ(result.stop, engine::StopReason::Complete);
+  const auto full = race::check(test.sys, {});
+  EXPECT_LE(result.stats.states, full.stats.states);
+}
+
+TEST(Race, SampleRejectsCheckpointAndResume) {
+  const auto test = litmus::race_mp_na();
+  RaceOptions opts;
+  opts.mode = engine::Strategy::Sample;
+  opts.checkpoint_path = "/tmp/never-written.ckpt";
+  EXPECT_THROW((void)race::check(test.sys, opts), std::exception);
+  RaceOptions opts2;
+  opts2.mode = engine::Strategy::Sample;
+  engine::Checkpoint ckpt;
+  opts2.resume = &ckpt;
+  EXPECT_THROW((void)race::check(test.sys, opts2), std::exception);
+}
+
+TEST(Race, ZeroOverheadWhenDetectionOff) {
+  // Non-race checkers never pay for the clocks: with the flag off (the
+  // default) the state encoding has no clock words and no records are kept.
+  const auto test = litmus::race_mp_na();
+  EXPECT_FALSE(test.sys.options().race_detection);
+  const auto plain = lang::initial_config(test.sys);
+  EXPECT_TRUE(plain.mem.race_records().empty());
+
+  System traced = test.sys;
+  auto sem = traced.options();
+  sem.race_detection = true;
+  traced.set_options(sem);
+  const auto instrumented = lang::initial_config(traced);
+  EXPECT_LT(plain.encode().size(), instrumented.encode().size())
+      << "the instrumented encoding must carry extra clock words";
+
+  // And exploration of the racy program is oblivious to races by default:
+  // same reachable-state count as the instrumented run (clocks never split
+  // states here — they are a function of the sync structure) and no
+  // records surface anywhere the explorer looks.
+  const auto r = explore::explore(test.sys, {});
+  EXPECT_FALSE(r.truncated);
+}
+
+TEST(Race, TruncatedRunIsInconclusiveNotClean) {
+  const auto test = litmus::race_dcl_broken();
+  RaceOptions opts;
+  opts.max_states = 3;
+  const auto result = race::check(test.sys, opts);
+  EXPECT_TRUE(result.truncated);
+  EXPECT_FALSE(result.clean());
+}
+
+// --- the full-corpus cross-check (RC11_RACE_CROSSCHECK=1; CI race job) ------
+
+TEST(RaceCrosscheck, FullCorpusAgreement) {
+  if (!crosscheck_enabled()) {
+    GTEST_SKIP() << "set RC11_RACE_CROSSCHECK=1 to run the full corpus";
+  }
+
+  // The on-disk race corpus: classification and configuration-independence.
+  const std::pair<const char*, bool> programs[] = {
+      {"mp_na_racy.rc11", true},    {"mp_na_release.rc11", false},
+      {"dcl_broken.rc11", true},    {"dcl_init.rc11", false},
+      {"flag_spin_racy.rc11", true}, {"disjoint_na.rc11", false},
+  };
+  for (const auto& [name, racy] : programs) {
+    const auto program = parser::parse_file(std::string(RC11_SRC_DIR) +
+                                            "/tools/programs/" + name);
+    const auto result = race::check(program.sys, {});
+    ASSERT_FALSE(result.truncated) << name;
+    EXPECT_EQ(result.racy(), racy) << name;
+    expect_race_exact(program.sys, name);
+  }
+
+  // The pre-existing sample programs are all-atomic (or object-mediated):
+  // the race checker must come back clean on every one of them.
+  const char* atomic_corpus[] = {
+      "lock_client_abstract.rc11", "mp_stack.rc11", "mp_verified.rc11",
+      "sb.rc11",                   "ticket_lock.rc11",
+  };
+  for (const char* name : atomic_corpus) {
+    const auto program = parser::parse_file(std::string(RC11_SRC_DIR) +
+                                            "/tools/programs/" + name);
+    const auto result = race::check(program.sys, {});
+    EXPECT_TRUE(result.clean()) << name << " must be race-free";
+  }
+
+  // And the in-memory families again, for one-roof completeness.
+  for (const auto& test : litmus::all_race_tests()) {
+    expect_race_exact(test.sys, "race " + test.name);
+  }
+  for (const auto& test : litmus::all_tests()) {
+    const auto result = race::check(test.sys, {});
+    EXPECT_TRUE(result.clean()) << "litmus " << test.name
+                                << " must be race-free (all-atomic)";
+  }
+}
+
+}  // namespace

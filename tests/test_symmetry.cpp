@@ -434,6 +434,9 @@ TEST(SymCrosscheck, FullCorpusAgreement) {
   for (const auto& test : litmus::all_causality_tests()) {
     expect_sym_exact(test.sys, "causality " + test.name);
   }
+  for (const auto& test : litmus::all_race_tests()) {
+    expect_sym_exact(test.sys, "race " + test.name);
+  }
   expect_sym_exact(litmus::peterson_counter().sys, "peterson");
   expect_sym_exact(litmus::dekker_counter().sys, "dekker");
   expect_sym_exact(litmus::barrier_exchange().sys, "barrier");
@@ -447,6 +450,9 @@ TEST(SymCrosscheck, FullCorpusAgreement) {
       "lock_client_seqlock.rc11",  "mp_broken_outline.rc11",
       "mp_stack.rc11",             "mp_verified.rc11",
       "sb.rc11",                   "ticket_lock.rc11",
+      "mp_na_racy.rc11",           "mp_na_release.rc11",
+      "dcl_broken.rc11",           "dcl_init.rc11",
+      "flag_spin_racy.rc11",       "disjoint_na.rc11",
   };
   for (const char* name : programs) {
     const auto program = parser::parse_file(std::string(RC11_SRC_DIR) +
