@@ -1,5 +1,6 @@
 #include "assertions/assertions.hpp"
 
+#include <algorithm>
 #include <sstream>
 #include <utility>
 
@@ -13,14 +14,44 @@ using memsem::OpId;
 struct Assertion::Impl {
   std::string name;
   Fn fn;
+  ViewFootprint footprint;
 };
+
+namespace {
+
+/// Union of two footprints (combinators may evaluate either operand).
+ViewFootprint merge_footprints(const ViewFootprint& a, const ViewFootprint& b) {
+  ViewFootprint out;
+  out.everything = a.everything || b.everything;
+  if (out.everything) return out;
+  out.entries = a.entries;
+  for (const auto& e : b.entries) {
+    if (std::find(out.entries.begin(), out.entries.end(), e) ==
+        out.entries.end()) {
+      out.entries.push_back(e);
+    }
+  }
+  return out;
+}
+
+ViewFootprint view_of(ThreadId t, LocId l) {
+  return ViewFootprint{false, {{t, l}}};
+}
+
+}  // namespace
 
 Assertion::Assertion()
     : impl_(std::make_shared<Impl>(
-          Impl{"true", [](const System&, const Config&) { return true; }})) {}
+          Impl{"true", [](const System&, const Config&) { return true; },
+               ViewFootprint{}})) {}
 
 Assertion::Assertion(std::string name, Fn fn)
-    : impl_(std::make_shared<Impl>(Impl{std::move(name), std::move(fn)})) {}
+    : Assertion(std::move(name), std::move(fn),
+                ViewFootprint{/*everything=*/true, {}}) {}
+
+Assertion::Assertion(std::string name, Fn fn, ViewFootprint footprint)
+    : impl_(std::make_shared<Impl>(
+          Impl{std::move(name), std::move(fn), std::move(footprint)})) {}
 
 bool Assertion::eval(const System& sys, const Config& cfg) const {
   return impl_->fn(sys, cfg);
@@ -28,33 +59,47 @@ bool Assertion::eval(const System& sys, const Config& cfg) const {
 
 const std::string& Assertion::name() const { return impl_->name; }
 
+const ViewFootprint& Assertion::footprint() const { return impl_->footprint; }
+
 Assertion Assertion::always() { return Assertion{}; }
 
 Assertion operator&&(Assertion a, Assertion b) {
   const std::string name = "(" + a.name() + " && " + b.name() + ")";
-  return Assertion{name, [a, b](const System& sys, const Config& cfg) {
+  ViewFootprint fp = merge_footprints(a.footprint(), b.footprint());
+  return Assertion{name,
+                   [a, b](const System& sys, const Config& cfg) {
                      return a.eval(sys, cfg) && b.eval(sys, cfg);
-                   }};
+                   },
+                   std::move(fp)};
 }
 
 Assertion operator||(Assertion a, Assertion b) {
   const std::string name = "(" + a.name() + " || " + b.name() + ")";
-  return Assertion{name, [a, b](const System& sys, const Config& cfg) {
+  ViewFootprint fp = merge_footprints(a.footprint(), b.footprint());
+  return Assertion{name,
+                   [a, b](const System& sys, const Config& cfg) {
                      return a.eval(sys, cfg) || b.eval(sys, cfg);
-                   }};
+                   },
+                   std::move(fp)};
 }
 
 Assertion operator!(Assertion a) {
-  return Assertion{"!" + a.name(), [a](const System& sys, const Config& cfg) {
+  ViewFootprint fp = a.footprint();
+  return Assertion{"!" + a.name(),
+                   [a](const System& sys, const Config& cfg) {
                      return !a.eval(sys, cfg);
-                   }};
+                   },
+                   std::move(fp)};
 }
 
 Assertion implies(Assertion a, Assertion b) {
   const std::string name = "(" + a.name() + " ==> " + b.name() + ")";
-  return Assertion{name, [a, b](const System& sys, const Config& cfg) {
+  ViewFootprint fp = merge_footprints(a.footprint(), b.footprint());
+  return Assertion{name,
+                   [a, b](const System& sys, const Config& cfg) {
                      return !a.eval(sys, cfg) || b.eval(sys, cfg);
-                   }};
+                   },
+                   std::move(fp)};
 }
 
 Assertion pred(std::string name, Assertion::Fn fn) {
@@ -85,28 +130,33 @@ std::string fmt(ThreadId t) { return std::to_string(t); }
 Assertion possible_obs(ThreadId t, LocId x, Value v) {
   const std::string name =
       support::concat("<loc", x, "=", v, ">_", fmt(t));
-  return Assertion{name, [t, x, v](const System&, const Config& cfg) {
+  return Assertion{name,
+                   [t, x, v](const System&, const Config& cfg) {
                      for (const OpId w : cfg.mem.observable(t, x)) {
                        if (cfg.mem.op(w).value == v) return true;
                      }
                      return false;
-                   }};
+                   },
+                   view_of(t, x)};
 }
 
 Assertion definite_obs(ThreadId t, LocId x, Value v) {
   const std::string name =
       support::concat("[loc", x, "=", v, "]_", fmt(t));
-  return Assertion{name, [t, x, v](const System&, const Config& cfg) {
+  return Assertion{name,
+                   [t, x, v](const System&, const Config& cfg) {
                      const OpId last = cfg.mem.last_op(x);
                      return cfg.mem.view_front(t, x) == last &&
                             cfg.mem.op(last).value == v;
-                   }};
+                   },
+                   view_of(t, x)};
 }
 
 Assertion cond_obs(ThreadId t, LocId x, Value u, LocId y, Value v) {
   const std::string name =
       support::concat("<loc", x, "=", u, ">[loc", y, "=", v, "]_", fmt(t));
-  return Assertion{name, [t, x, u, y, v](const System&, const Config& cfg) {
+  return Assertion{name,
+                   [t, x, u, y, v](const System&, const Config& cfg) {
                      for (const OpId w : cfg.mem.observable(t, x)) {
                        const auto& op = cfg.mem.op(w);
                        if (op.value != u) continue;
@@ -114,12 +164,14 @@ Assertion cond_obs(ThreadId t, LocId x, Value u, LocId y, Value v) {
                        if (!dview_is(cfg.mem, op.mview, y, v)) return false;
                      }
                      return true;
-                   }};
+                   },
+                   view_of(t, x)};
 }
 
 Assertion covered_var(LocId x, Value u) {
   const std::string name = support::concat("C_loc", x, "^", u);
-  return Assertion{name, [x, u](const System&, const Config& cfg) {
+  return Assertion{name,
+                   [x, u](const System&, const Config& cfg) {
                      const OpId last = cfg.mem.last_op(x);
                      for (const OpId w : cfg.mem.mo(x)) {
                        const auto& op = cfg.mem.op(w);
@@ -127,12 +179,14 @@ Assertion covered_var(LocId x, Value u) {
                        if (w != last || op.value != u) return false;
                      }
                      return true;
-                   }};
+                   },
+                   ViewFootprint{}};
 }
 
 Assertion hidden_var(LocId x, Value u) {
   const std::string name = support::concat("H_loc", x, "^", u);
-  return Assertion{name, [x, u](const System&, const Config& cfg) {
+  return Assertion{name,
+                   [x, u](const System&, const Config& cfg) {
                      bool exists = false;
                      for (const OpId w : cfg.mem.mo(x)) {
                        const auto& op = cfg.mem.op(w);
@@ -141,7 +195,8 @@ Assertion hidden_var(LocId x, Value u) {
                        if (!op.covered) return false;
                      }
                      return exists;
-                   }};
+                   },
+                   ViewFootprint{}};
 }
 
 // --- lock --------------------------------------------------------------------
@@ -161,7 +216,8 @@ const char* kind_name(OpKind k) {
 
 Assertion lock_possible_release(ThreadId t, LocId l, Value u) {
   const std::string name = support::concat("<l", l, ".release_", u, ">_", fmt(t));
-  return Assertion{name, [t, l, u](const System&, const Config& cfg) {
+  return Assertion{name,
+                   [t, l, u](const System&, const Config& cfg) {
                      const auto front = cfg.mem.rank(cfg.mem.view_front(t, l));
                      const auto order = cfg.mem.mo(l);
                      for (std::size_t i = front; i < order.size(); ++i) {
@@ -171,24 +227,28 @@ Assertion lock_possible_release(ThreadId t, LocId l, Value u) {
                        }
                      }
                      return false;
-                   }};
+                   },
+                   view_of(t, l)};
 }
 
 Assertion lock_definite(ThreadId t, LocId l, OpKind kind, Value u) {
   const std::string name =
       support::concat("[l", l, ".", kind_name(kind), "_", u, "]_", fmt(t));
-  return Assertion{name, [t, l, kind, u](const System&, const Config& cfg) {
+  return Assertion{name,
+                   [t, l, kind, u](const System&, const Config& cfg) {
                      const OpId last = cfg.mem.last_op(l);
                      if (cfg.mem.view_front(t, l) != last) return false;
                      const auto& op = cfg.mem.op(last);
                      return op.kind == kind && op.value == u;
-                   }};
+                   },
+                   view_of(t, l)};
 }
 
 Assertion lock_cond_obs(ThreadId t, LocId l, Value u, LocId y, Value v) {
   const std::string name = support::concat("<l", l, ".release_", u, ">[loc", y,
                                            "=", v, "]_", fmt(t));
-  return Assertion{name, [t, l, u, y, v](const System&, const Config& cfg) {
+  return Assertion{name,
+                   [t, l, u, y, v](const System&, const Config& cfg) {
                      const auto front = cfg.mem.rank(cfg.mem.view_front(t, l));
                      const auto order = cfg.mem.mo(l);
                      for (std::size_t i = front; i < order.size(); ++i) {
@@ -199,12 +259,14 @@ Assertion lock_cond_obs(ThreadId t, LocId l, Value u, LocId y, Value v) {
                        if (!dview_is(cfg.mem, op.mview, y, v)) return false;
                      }
                      return true;
-                   }};
+                   },
+                   view_of(t, l)};
 }
 
 Assertion lock_covered(LocId l, OpKind kind, Value u) {
   const std::string name = support::concat("C_l", l, ".", kind_name(kind), "_", u);
-  return Assertion{name, [l, kind, u](const System&, const Config& cfg) {
+  return Assertion{name,
+                   [l, kind, u](const System&, const Config& cfg) {
                      const OpId last = cfg.mem.last_op(l);
                      for (const OpId w : cfg.mem.mo(l)) {
                        const auto& op = cfg.mem.op(w);
@@ -214,12 +276,14 @@ Assertion lock_covered(LocId l, OpKind kind, Value u) {
                        }
                      }
                      return true;
-                   }};
+                   },
+                   ViewFootprint{}};
 }
 
 Assertion lock_hidden(LocId l, OpKind kind, Value u) {
   const std::string name = support::concat("H_l", l, ".", kind_name(kind), "_", u);
-  return Assertion{name, [l, kind, u](const System&, const Config& cfg) {
+  return Assertion{name,
+                   [l, kind, u](const System&, const Config& cfg) {
                      bool exists = false;
                      for (const OpId w : cfg.mem.mo(l)) {
                        const auto& op = cfg.mem.op(w);
@@ -228,7 +292,8 @@ Assertion lock_hidden(LocId l, OpKind kind, Value u) {
                        if (!op.covered) return false;
                      }
                      return exists;
-                   }};
+                   },
+                   ViewFootprint{}};
 }
 
 Assertion lock_hidden_init(LocId l) {
@@ -237,10 +302,12 @@ Assertion lock_hidden_init(LocId l) {
 
 Assertion lock_held_by(ThreadId t, LocId l) {
   const std::string name = support::concat("held(l", l, ")_", fmt(t));
-  return Assertion{name, [t, l](const System&, const Config& cfg) {
+  return Assertion{name,
+                   [t, l](const System&, const Config& cfg) {
                      const auto& op = cfg.mem.op(cfg.mem.last_op(l));
                      return op.kind == OpKind::LockAcquire && op.thread == t;
-                   }};
+                   },
+                   ViewFootprint{}};
 }
 
 // --- stack -------------------------------------------------------------------
@@ -260,37 +327,45 @@ std::optional<OpId> top_of(const MemState& mem, LocId s) {
 
 Assertion stack_can_pop(LocId s, Value v) {
   const std::string name = support::concat("<s", s, ".pop_", v, ">");
-  return Assertion{name, [s, v](const System&, const Config& cfg) {
+  return Assertion{name,
+                   [s, v](const System&, const Config& cfg) {
                      const auto top = top_of(cfg.mem, s);
                      return top && cfg.mem.op(*top).value == v;
-                   }};
+                   },
+                   ViewFootprint{}};
 }
 
 Assertion stack_pop_empty_only(LocId s) {
   const std::string name = support::concat("[s", s, ".pop_emp]");
-  return Assertion{name, [s](const System&, const Config& cfg) {
+  return Assertion{name,
+                   [s](const System&, const Config& cfg) {
                      return !top_of(cfg.mem, s).has_value();
-                   }};
+                   },
+                   ViewFootprint{}};
 }
 
 Assertion stack_cond_obs(LocId s, Value v, LocId y, Value n) {
   const std::string name =
       support::concat("<s", s, ".pop_", v, ">[loc", y, "=", n, "]");
-  return Assertion{name, [s, v, y, n](const System&, const Config& cfg) {
+  return Assertion{name,
+                   [s, v, y, n](const System&, const Config& cfg) {
                      const auto top = top_of(cfg.mem, s);
                      if (!top || cfg.mem.op(*top).value != v) return true;
                      const auto& op = cfg.mem.op(*top);
                      return op.releasing && dview_is(cfg.mem, op.mview, y, n);
-                   }};
+                   },
+                   ViewFootprint{}};
 }
 
 // --- program predicates --------------------------------------------------------
 
 Assertion at_pc(ThreadId t, std::uint32_t pc) {
   const std::string name = support::concat("pc", fmt(t), "=", pc);
-  return Assertion{name, [t, pc](const System&, const Config& cfg) {
+  return Assertion{name,
+                   [t, pc](const System&, const Config& cfg) {
                      return cfg.pc[t] == pc;
-                   }};
+                   },
+                   ViewFootprint{}};
 }
 
 Assertion pc_in(ThreadId t, std::set<std::uint32_t> pcs) {
@@ -298,24 +373,29 @@ Assertion pc_in(ThreadId t, std::set<std::uint32_t> pcs) {
   os << "pc" << t << " in {";
   for (const auto p : pcs) os << p << " ";
   os << "}";
-  return Assertion{os.str(), [t, pcs = std::move(pcs)](const System&,
-                                                       const Config& cfg) {
+  return Assertion{os.str(),
+                   [t, pcs = std::move(pcs)](const System&, const Config& cfg) {
                      return pcs.count(cfg.pc[t]) > 0;
-                   }};
+                   },
+                   ViewFootprint{}};
 }
 
 Assertion thread_done(ThreadId t) {
   const std::string name = support::concat("done_", fmt(t));
-  return Assertion{name, [t](const System& sys, const Config& cfg) {
+  return Assertion{name,
+                   [t](const System& sys, const Config& cfg) {
                      return cfg.thread_done(sys, t);
-                   }};
+                   },
+                   ViewFootprint{}};
 }
 
 Assertion reg_eq(Reg r, Value v) {
   const std::string name = support::concat("r", r.id, "@t", r.thread, "=", v);
-  return Assertion{name, [r, v](const System&, const Config& cfg) {
+  return Assertion{name,
+                   [r, v](const System&, const Config& cfg) {
                      return cfg.regs[r.thread][r.id] == v;
-                   }};
+                   },
+                   ViewFootprint{}};
 }
 
 Assertion reg_in(Reg r, std::set<Value> values) {
@@ -323,10 +403,12 @@ Assertion reg_in(Reg r, std::set<Value> values) {
   os << "r" << r.id << "@t" << r.thread << " in {";
   for (const auto v : values) os << v << " ";
   os << "}";
-  return Assertion{os.str(), [r, values = std::move(values)](
-                                 const System&, const Config& cfg) {
+  return Assertion{os.str(),
+                   [r, values = std::move(values)](const System&,
+                                                   const Config& cfg) {
                      return values.count(cfg.regs[r.thread][r.id]) > 0;
-                   }};
+                   },
+                   ViewFootprint{}};
 }
 
 }  // namespace assertions

@@ -26,6 +26,8 @@
 #include <memory>
 #include <set>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "lang/config.hpp"
 #include "lang/system.hpp"
@@ -40,6 +42,19 @@ using lang::ThreadId;
 using lang::Value;
 using memsem::OpKind;
 
+/// The viewfront entries an assertion's predicate may depend on, beyond the
+/// modification orders, covered bits, values, pcs and registers every
+/// predicate may read freely (all of those are part of every visited-set
+/// key).  Checkers running under the execution-graph quotient
+/// (--rf-quotient) pin these (thread, location) entries into the quotient
+/// key so the predicate stays a function of the key; `everything` marks a
+/// predicate with an unknown footprint (pred(), the generic constructor),
+/// which those checkers must reject instead of pinning.
+struct ViewFootprint {
+  bool everything = false;
+  std::vector<std::pair<ThreadId, LocId>> entries;
+};
+
 /// A named boolean predicate over configurations.  Immutable and cheaply
 /// copyable; combinators build formula trees whose names pretty-print the
 /// formula (used in Owicki-Gries failure reports).
@@ -48,10 +63,15 @@ class Assertion {
   using Fn = std::function<bool(const System&, const Config&)>;
 
   Assertion();  ///< `true`
+  /// Ad-hoc predicate: the footprint is unknown (ViewFootprint::everything).
   Assertion(std::string name, Fn fn);
+  /// Predicate with a known view footprint (what the factories below use).
+  Assertion(std::string name, Fn fn, ViewFootprint footprint);
 
   [[nodiscard]] bool eval(const System& sys, const Config& cfg) const;
   [[nodiscard]] const std::string& name() const;
+  /// The viewfront entries eval() may read (see ViewFootprint).
+  [[nodiscard]] const ViewFootprint& footprint() const;
 
   /// The constant-true assertion (annotation of uninteresting points).
   static Assertion always();

@@ -1,0 +1,139 @@
+// rc11lib/engine/abstraction.hpp
+//
+// The pluggable state-equivalence layer of the reachability engine: what it
+// means for two configurations to be "the same" for visited-set purposes.
+// The driver (engine/reach.hpp) deduplicates states by an *abstract key*
+// computed here; everything downstream of the key — frontier ownership,
+// sleep-mask storage, budget accounting — is abstraction-agnostic.  Trace
+// sinks, witnesses and checkpoints always stay concrete: the abstraction
+// only decides which arrivals are folded together, never what a recorded
+// step looks like.
+//
+// Three implementations:
+//
+//   * Concrete — the identity abstraction: the key is the configuration's
+//     canonical encoding (Config::encode_into).  Used by the driver's
+//     sleep-set-only reduced path, and the baseline every quotient's
+//     exactness is cross-checked against.
+//
+//   * Symmetry — the thread-permutation orbit quotient of PR 7
+//     (engine/symmetry.hpp): the key is the lexicographically minimal
+//     encoding over the interchangeable-thread permutations, with the
+//     achieving permutations reported so per-thread sleep masks can be
+//     transported into and out of canonical coordinates.
+//
+//   * RfQuotient — the execution-graph quotient (--rf-quotient): the key is
+//     [pcs, registers, rf/mo projection] where the projection
+//     (memsem::MemState::encode_quotient) keeps the full modification
+//     order — reads-from (Update read values), mo positions, covering,
+//     releasing bits, executing threads — plus exactly the view state a
+//     continuation can still observe, and drops the rest:
+//
+//       - a thread's viewfront entry for location l is kept iff the thread
+//         can still reach an instruction accessing l (its enabled reads,
+//         writes and RMWs on l are constrained by that entry), or the
+//         thread can still reach a *view-exporting* instruction — a
+//         releasing store, an RMW, or any object-method call — each of
+//         which snapshots the whole viewfront row into a kept modification
+//         view, or the entry is pinned by the caller (assertion
+//         footprints; see RfPins);
+//
+//       - a non-releasing plain-variable operation's modification view is
+//         dropped: under RC11 RAR no synchronisation path ever merges it
+//         (reads and updates only synchronise with releasing writes, and
+//         object synchronisation only targets object locations).
+//
+//     Two states with equal keys therefore have identical program state,
+//     identical execution graphs and identical observable views, so their
+//     enabled steps coincide and every step leads to equal-keyed states
+//     again (the keep mask only shrinks along transitions — reachability is
+//     closed under predecessors): the quotient is a bisimulation for final
+//     outcomes, invariant/obligation verdicts over pinned footprints, and
+//     race sets (clocks are part of the key).  Interleavings that build the
+//     same graph differ only in dead view history and are merged — the
+//     CDSChecker-style reduction the ROADMAP's reads-from item asks for —
+//     which is what cuts store-heavy *asymmetric* programs where --symmetry
+//     has no orbit to quotient.  DESIGN.md (StateAbstraction section) gives
+//     the full soundness argument; the --rf-quotient flag is rejected under
+//     MemoryModel::SC (every access synchronises there, so dropped entries
+//     would be observable) and may not be combined with --symmetry (v1).
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "engine/symmetry.hpp"
+#include "lang/config.hpp"
+
+namespace rc11::engine {
+
+/// The abstract key of one configuration: the encoding the visited set
+/// deduplicates by, plus the concrete-to-canonical thread permutations when
+/// the abstraction has any (empty means the identity — Concrete and
+/// RfQuotient keys are already in concrete thread coordinates).
+struct AbstractKey {
+  std::vector<std::uint64_t> encoding;
+  /// Every permutation achieving `encoding` (see SymmetryReducer::Canonical);
+  /// empty for abstractions whose keys keep concrete thread coordinates.
+  std::vector<ThreadPerm> perms;
+  /// False when the permutation set may be incomplete (capped tie
+  /// enumeration): sleep masks attached to this key must degrade to empty.
+  bool complete = true;
+};
+
+/// A state-equivalence policy.  key() may reuse per-instance mutable
+/// scratch, so an instance must not be shared across workers — drivers keep
+/// one per worker via clone().
+class StateAbstraction {
+ public:
+  enum class Kind : std::uint8_t { Concrete, Symmetry, RfQuotient };
+
+  virtual ~StateAbstraction() = default;
+
+  [[nodiscard]] virtual Kind kind() const noexcept = 0;
+
+  /// True iff the key can differ from the concrete encoding (e.g. a
+  /// symmetry abstraction over a system with no interchangeable threads is
+  /// trivial and the driver falls back to its plain path).
+  [[nodiscard]] virtual bool nontrivial() const noexcept = 0;
+
+  /// Computes the key of `cfg` into `out` (all fields overwritten).
+  virtual void key(const Config& cfg, AbstractKey& out) const = 0;
+
+  /// A fresh instance over the same system (for per-worker scratch).
+  [[nodiscard]] virtual std::unique_ptr<StateAbstraction> clone() const = 0;
+};
+
+/// True iff the key's reported permutation is the identity (always true for
+/// abstractions that report no permutations).
+[[nodiscard]] bool key_is_identity(const AbstractKey& key);
+
+/// Transports a per-thread bitmask into the key's canonical coordinates
+/// (identity when the key reports no permutations).  See
+/// SymmetryReducer::mask_to_canonical for the stabiliser-intersection rule.
+[[nodiscard]] std::uint64_t mask_to_abstract(std::uint64_t mask,
+                                             const AbstractKey& key);
+
+/// Inverse transport through the key's first reported permutation.
+[[nodiscard]] std::uint64_t mask_from_abstract(std::uint64_t mask,
+                                               const AbstractKey& key);
+
+/// Extra (thread, location) viewfront entries the rf quotient key must keep
+/// even where liveness analysis would drop them: the view footprints of the
+/// assertions a checker evaluates per state (assertions::Assertion::
+/// footprint()).  Checkers that evaluate footprint-less predicates under
+/// --rf-quotient must reject the combination instead.
+struct RfPins {
+  std::vector<std::pair<lang::ThreadId, lang::LocId>> entries;
+};
+
+[[nodiscard]] std::unique_ptr<StateAbstraction> make_concrete_abstraction();
+[[nodiscard]] std::unique_ptr<StateAbstraction> make_symmetry_abstraction(
+    const System& sys);
+[[nodiscard]] std::unique_ptr<StateAbstraction> make_rf_quotient_abstraction(
+    const System& sys, const RfPins& pins);
+
+}  // namespace rc11::engine

@@ -14,7 +14,7 @@ using witness::Json;
 
 Checkpoint make_checkpoint(const ShardedVisitedSet& sink,
                            const ExploreStats& stats, StopReason stop,
-                           bool por, bool symmetry) {
+                           bool por, bool symmetry, bool rf_quotient) {
   const auto snap = sink.snapshot();
   support::require(!snap.empty(),
                    "cannot checkpoint a run with no interned states");
@@ -56,6 +56,7 @@ Checkpoint make_checkpoint(const ShardedVisitedSet& sink,
   Checkpoint ckpt;
   ckpt.por = por;
   ckpt.symmetry = symmetry;
+  ckpt.rf_quotient = rf_quotient;
   ckpt.stop = stop;
   ckpt.stats = stats;
   ckpt.states.reserve(snap.size());
@@ -96,6 +97,8 @@ Json stats_to_json(const ExploreStats& stats) {
           Json::integer(static_cast<std::int64_t>(stats.symmetry_hits)));
   out.set("sleep_set_skips",
           Json::integer(static_cast<std::int64_t>(stats.sleep_set_skips)));
+  out.set("rf_merges",
+          Json::integer(static_cast<std::int64_t>(stats.rf_merges)));
   return out;
 }
 
@@ -124,6 +127,9 @@ ExploreStats stats_from_json(const Json& doc) {
     stats.sleep_set_skips =
         static_cast<std::uint64_t>(doc.at("sleep_set_skips").as_int());
   }
+  if (doc.has("rf_merges")) {
+    stats.rf_merges = static_cast<std::uint64_t>(doc.at("rf_merges").as_int());
+  }
   return stats;
 }
 
@@ -135,6 +141,7 @@ std::string to_json(const Checkpoint& ckpt) {
   doc.set("version", Json::integer(ckpt.version));
   doc.set("por", Json::boolean(ckpt.por));
   doc.set("symmetry", Json::boolean(ckpt.symmetry));
+  doc.set("rf_quotient", Json::boolean(ckpt.rf_quotient));
   doc.set("stop", Json::string(to_string(ckpt.stop)));
   doc.set("stats", stats_to_json(ckpt.stats));
   Json states = Json::array();
@@ -170,6 +177,9 @@ Checkpoint from_json(std::string_view text) {
   ckpt.por = doc.at("por").as_bool();
   // Absent in pre-symmetry version-1 files; those runs were unquotiented.
   ckpt.symmetry = doc.has("symmetry") && doc.at("symmetry").as_bool();
+  // Same back-compat rule for the execution-graph quotient.
+  ckpt.rf_quotient =
+      doc.has("rf_quotient") && doc.at("rf_quotient").as_bool();
   ckpt.stop = stop_reason_from_string(doc.at("stop").as_string());
   ckpt.stats = stats_from_json(doc.at("stats"));
   const auto& states = doc.at("states").items();

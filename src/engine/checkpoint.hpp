@@ -66,6 +66,10 @@ struct Checkpoint {
   /// Symmetry quotient changes which orbit representatives were expanded;
   /// resume must match (rejected loudly otherwise, like `por`).
   bool symmetry = false;
+  /// Execution-graph quotient changes which class representatives were
+  /// expanded; resume must match (rejected loudly otherwise, like `por`).
+  /// Absent from pre-PR-9 checkpoints and defaults to off.
+  bool rf_quotient = false;
   StopReason stop = StopReason::Complete;  ///< why the run stopped
   ExploreStats stats;                      ///< partial stats at the stop
   std::vector<State> states;
@@ -77,7 +81,8 @@ struct Checkpoint {
 [[nodiscard]] Checkpoint make_checkpoint(const ShardedVisitedSet& sink,
                                          const ExploreStats& stats,
                                          StopReason stop, bool por,
-                                         bool symmetry = false);
+                                         bool symmetry = false,
+                                         bool rf_quotient = false);
 
 /// Serialises to / parses from the versioned JSON schema (docs/FORMAT.md
 /// §Checkpoint files).  from_json throws support::Error on malformed input,

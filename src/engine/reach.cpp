@@ -6,14 +6,15 @@
 #include <bit>
 #include <condition_variable>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "engine/abstraction.hpp"
 #include "engine/checkpoint.hpp"
-#include "engine/symmetry.hpp"
 #include "support/diagnostics.hpp"
 #include "support/intern.hpp"
 #include "support/parallel.hpp"
@@ -75,11 +76,24 @@ class SeqMaskedSet {
   std::vector<std::uint64_t> masks_;
 };
 
-bool is_identity(const ThreadPerm& perm) {
-  for (std::size_t t = 0; t < perm.size(); ++t) {
-    if (perm[t] != t) return false;
+/// Builds the run's state abstraction from the reduction options: the
+/// symmetry orbit quotient, the execution-graph quotient, or — when neither
+/// applies but the sleep-set path still needs masked keying — the concrete
+/// identity abstraction.  Returns null when no reduced path is needed at
+/// all.  visit_reachable has already rejected symmetry+rf_quotient.
+std::unique_ptr<StateAbstraction> make_abstraction(const System& sys,
+                                                   const ReachOptions& options,
+                                                   bool sleep) {
+  if (options.symmetry) {
+    auto abs = make_symmetry_abstraction(sys);
+    if (abs->nontrivial()) return abs;
+    // No interchangeable threads: the orbit quotient is the identity, so
+    // fall through to the cheaper paths.
+  } else if (options.rf_quotient) {
+    return make_rf_quotient_abstraction(sys, options.rf_pins);
   }
-  return true;
+  if (sleep) return make_concrete_abstraction();
+  return nullptr;
 }
 
 /// Seeds a run from a checkpoint (ReachOptions::resume): every checkpointed
@@ -201,24 +215,25 @@ bool collapse_traced(const TransitionSystem& ts, ShardedVisitedSet& sink,
 // --- reduction successor path ------------------------------------------------
 
 /// Per-worker scratch for the reduction successor path: chain-walk step
-/// buffer, encoding buffer, canonicalisation result, and the per-thread run
+/// buffer, encoding buffer, abstract-key result, and the per-thread run
 /// metadata of the expansion in flight (valid only under sleep sets, which
 /// require <= 64 threads).
 struct ReduceScratch {
   lang::StepBuffer chain_steps;
   std::vector<std::uint64_t> scratch;
-  SymmetryReducer::Canonical canon;
+  AbstractKey key;
   std::array<lang::StepMeta, 64> meta{};
 };
 
 /// The successor-processing path both drivers share when any reduction —
-/// symmetry quotient and/or sleep sets — is active.  Differences from the
-/// plain path:
+/// a state abstraction (symmetry orbit or execution-graph quotient) and/or
+/// sleep sets — is active.  Differences from the plain path:
 ///
 ///   * Membership is decided in `canon_set` (SeqMaskedSet sequentially, a
-///     dedicated ShardedVisitedSet in parallel), keyed by canonical orbit
-///     encodings when `reducer` is set and concrete encodings otherwise,
-///     with per-state sleep masks (all zero when sleep sets are off).
+///     dedicated ShardedVisitedSet in parallel), keyed by the abstraction's
+///     abstract key (the concrete encoding for the identity abstraction of
+///     the sleep-only path), with per-state sleep masks (all zero when
+///     sleep sets are off).
 ///   * With a trace sink, every concrete successor is interned with
 ///     enqueued=false via resolve_traced, and the *canonical-set winner*
 ///     flips the flag via mark_enqueued: the expansion race between orbit
@@ -234,21 +249,25 @@ struct ReduceScratch {
 /// all come from one instruction, so they share one footprint): a sleeping
 /// thread's whole run is skipped; the child of run t inherits every thread
 /// of (sleep ∪ earlier-processed-runs) \ {t} that commutes with t.  Masks
-/// attached to canonical states must be closed under the state's
-/// automorphisms, hence the mask_to_canonical intersection over all
-/// discovered minimising permutations — and a forced empty mask when tie
-/// enumeration was capped (Canonical::complete false).  Expansion uses the
-/// *stored* canonical mask pulled back through perms[0], never the larger
-/// concrete child mask: the stored mask is what later arrivals are judged
-/// against.  DESIGN.md (symmetry + sleep section) gives the full argument.
+/// attached to abstract states must be closed under the state's
+/// automorphisms, hence the mask_to_abstract intersection over all
+/// permutations the key reports — and a forced empty mask when the key's
+/// permutation set may be incomplete (AbstractKey::complete false).
+/// Abstractions that keep concrete thread coordinates (Concrete, RfQuotient)
+/// report no permutations, so both transports are the identity there.
+/// Expansion uses the *stored* abstract mask pulled back through the first
+/// reported permutation, never the larger concrete child mask: the stored
+/// mask is what later arrivals are judged against.  DESIGN.md (symmetry +
+/// sleep section) gives the full argument.
 template <typename CanonSet, typename Push>
 void process_steps_reduced(const TransitionSystem& ts, ShardedVisitedSet* trace,
-                           bool collapse, const SymmetryReducer* reducer,
+                           bool collapse, const StateAbstraction& abs,
                            bool sleep, const Frontier& item,
                            std::span<lang::Step> steps, CanonSet& canon_set,
                            ReduceScratch& rs, bool count_stats,
                            std::uint64_t& chained, std::uint64_t& sym_hits,
-                           std::uint64_t& sleep_skips, Push&& push) {
+                           std::uint64_t& rf_merges, std::uint64_t& sleep_skips,
+                           Push&& push) {
   std::uint64_t mask = 0;
   if (sleep) {
     std::uint64_t enabled = 0;
@@ -290,6 +309,7 @@ void process_steps_reduced(const TransitionSystem& ts, ShardedVisitedSet* trace,
       lang::Step& step = steps[k];
       Config after = std::move(step.after);
       std::uint64_t concrete_id = ShardedVisitedSet::kNoState;
+      bool concrete_new = false;
       if (trace != nullptr) {
         std::uint64_t parent = item.id;
         memsem::ThreadId acting = step.thread;
@@ -313,46 +333,36 @@ void process_steps_reduced(const TransitionSystem& ts, ShardedVisitedSet* trace,
         }
         rs.scratch.clear();
         after.encode_into(rs.scratch);
-        concrete_id = trace
-                          ->resolve_traced(rs.scratch, parent, acting,
-                                           std::move(label), /*enqueued=*/false)
-                          .id;
-      } else {
-        if (collapse) {
-          std::uint64_t walked = 0;
-          collapse_untraced(ts, after, rs.chain_steps, walked);
-          if (count_stats) chained += walked;
-        }
-        if (reducer == nullptr) {
-          rs.scratch.clear();
-          after.encode_into(rs.scratch);
-        }
+        const auto cins = trace->resolve_traced(
+            rs.scratch, parent, acting, std::move(label), /*enqueued=*/false);
+        concrete_id = cins.id;
+        concrete_new = cins.inserted;
+      } else if (collapse) {
+        std::uint64_t walked = 0;
+        collapse_untraced(ts, after, rs.chain_steps, walked);
+        if (count_stats) chained += walked;
       }
-      std::uint64_t cmask = sleep ? child_sleep : 0;
-      std::span<const std::uint64_t> enc;
-      if (reducer != nullptr) {
-        reducer->canonicalize(after, rs.canon);
-        enc = rs.canon.encoding;
-        if (sleep) {
-          cmask = rs.canon.complete ? SymmetryReducer::mask_to_canonical(
-                                          child_sleep, rs.canon.perms)
-                                    : 0;
-        }
-      } else {
-        enc = rs.scratch;
+      abs.key(after, rs.key);
+      std::uint64_t cmask = 0;
+      if (sleep) {
+        cmask = rs.key.complete ? mask_to_abstract(child_sleep, rs.key) : 0;
       }
-      const auto r = canon_set.insert_masked(enc, cmask);
-      if (!r.inserted && reducer != nullptr &&
-          !is_identity(rs.canon.perms[0])) {
-        sym_hits += 1;
+      const auto r = canon_set.insert_masked(rs.key.encoding, cmask);
+      if (!r.inserted) {
+        if (abs.kind() == StateAbstraction::Kind::Symmetry &&
+            !key_is_identity(rs.key)) {
+          sym_hits += 1;
+        } else if (abs.kind() == StateAbstraction::Kind::RfQuotient &&
+                   count_stats && concrete_new) {
+          // A concrete state the sink had never seen folded into a visited
+          // quotient class.  Only a trace sink can tell a genuinely new
+          // concrete state from a re-arrival, so untraced runs report 0.
+          rf_merges += 1;
+        }
       }
       if (!r.inserted && !r.expand) continue;
       std::uint64_t fmask = 0;
-      if (sleep) {
-        fmask = reducer != nullptr ? SymmetryReducer::mask_from_canonical(
-                                         r.mask, rs.canon.perms[0])
-                                   : r.mask;
-      }
+      if (sleep) fmask = mask_from_abstract(r.mask, rs.key);
       if (trace != nullptr && r.inserted) trace->mark_enqueued(concrete_id);
       push(Frontier{std::move(after), concrete_id, fmask,
                     /*revisit=*/!r.inserted});
@@ -389,15 +399,14 @@ ReachResult parallel_reach(const TransitionSystem& ts,
   ShardedVisitedSet& visited = options.trace ? *options.trace : local_visited;
   const bool want_labels = options.want_labels || options.trace != nullptr;
   const bool collapse = options.por && ts.collapse_chains();
-  // Reduction configuration.  Symmetry classes are a pure function of the
-  // system, so the driver-level reducer (used for seeding) and the
-  // per-worker reducers (canonicalisation reuses mutable scratch, so one
-  // instance per worker) always agree.
-  std::optional<SymmetryReducer> seed_reducer;
-  if (options.symmetry) seed_reducer.emplace(sys);
-  const bool quotient = seed_reducer.has_value() && seed_reducer->symmetric();
+  // Reduction configuration.  Abstract keys are a pure function of the
+  // system, so the driver-level abstraction (used for seeding) and its
+  // per-worker clones (key() reuses mutable scratch, so one instance per
+  // worker) always agree.
   const bool sleep = options.sleep_sets && sys.num_threads() <= 64;
-  const bool reduced = quotient || sleep;
+  const std::unique_ptr<StateAbstraction> seed_abs =
+      make_abstraction(sys, options, sleep);
+  const bool reduced = seed_abs != nullptr;
   // The reduced paths' visited set: canonical orbit encodings (or masked
   // concrete ones under sleep-only) with per-state sleep masks.  Doubles as
   // *the* visited set in untraced reduced runs; traced runs keep the sink
@@ -423,19 +432,14 @@ ReachResult parallel_reach(const TransitionSystem& ts,
   std::atomic<std::uint64_t> por_reduced{0};
   std::atomic<std::uint64_t> por_chained{0};
   std::atomic<std::uint64_t> symmetry_hits{0};
+  std::atomic<std::uint64_t> rf_merges{0};
   std::atomic<std::uint64_t> sleep_skips{0};
 
-  SymmetryReducer::Canonical seed_canon;
+  AbstractKey seed_key;
   const auto canon_seed = [&](const Config& cfg) {
     if (!reduced) return;
-    if (quotient) {
-      seed_reducer->canonicalize(cfg, seed_canon);
-      canon_shared.insert_masked(seed_canon.encoding, 0);
-    } else {
-      seed_canon.encoding.clear();
-      cfg.encode_into(seed_canon.encoding);
-      canon_shared.insert_masked(seed_canon.encoding, 0);
-    }
+    seed_abs->key(cfg, seed_key);
+    canon_shared.insert_masked(seed_key.encoding, 0);
   };
 
   if (options.resume != nullptr) {
@@ -472,11 +476,11 @@ ReachResult parallel_reach(const TransitionSystem& ts,
     lang::StepBuffer chain_steps;          // separate pool for chain collapse
     std::vector<std::uint64_t> scratch;    // reusable encoding buffer
     std::uint64_t chained = 0;             // batched into por_chained below
-    std::optional<SymmetryReducer> wreducer;
-    if (quotient) wreducer.emplace(sys);
-    const SymmetryReducer* red = quotient ? &*wreducer : nullptr;
+    std::unique_ptr<StateAbstraction> wabs;
+    if (reduced) wabs = seed_abs->clone();
     ReduceScratch rs;
     std::uint64_t local_sym = 0;    // batched into symmetry_hits below
+    std::uint64_t local_rf = 0;     // batched into rf_merges below
     std::uint64_t local_skips = 0;  // batched into sleep_skips below
     for (;;) {
       batch.clear();
@@ -521,9 +525,9 @@ ReachResult parallel_reach(const TransitionSystem& ts,
           }
           (void)expand_steps(ts, cfg, options, steps, want_labels);
           process_steps_reduced(
-              ts, options.trace, collapse, red, sleep, item, steps.steps(),
+              ts, options.trace, collapse, *wabs, sleep, item, steps.steps(),
               canon_shared, rs, /*count_stats=*/false, chained, local_sym,
-              local_skips,
+              local_rf, local_skips,
               [&](Frontier&& f) { discovered.push_back(std::move(f)); });
           continue;
         }
@@ -546,9 +550,9 @@ ReachResult parallel_reach(const TransitionSystem& ts,
         const bool keep_going = visitor(cfg, item.id, steps.steps());
         if (reduced) {
           process_steps_reduced(
-              ts, options.trace, collapse, red, sleep, item, steps.steps(),
+              ts, options.trace, collapse, *wabs, sleep, item, steps.steps(),
               canon_shared, rs, /*count_stats=*/true, chained, local_sym,
-              local_skips,
+              local_rf, local_skips,
               [&](Frontier&& f) { discovered.push_back(std::move(f)); });
         } else {
           for (auto& step : steps.steps()) {
@@ -595,6 +599,10 @@ ReachResult parallel_reach(const TransitionSystem& ts,
         symmetry_hits.fetch_add(local_sym, std::memory_order_relaxed);
         local_sym = 0;
       }
+      if (local_rf != 0) {
+        rf_merges.fetch_add(local_rf, std::memory_order_relaxed);
+        local_rf = 0;
+      }
       if (local_skips != 0) {
         sleep_skips.fetch_add(local_skips, std::memory_order_relaxed);
         local_skips = 0;
@@ -632,6 +640,7 @@ ReachResult parallel_reach(const TransitionSystem& ts,
   result.stats.por_reduced = por_reduced.load();
   result.stats.por_chained = por_chained.load();
   result.stats.symmetry_hits = symmetry_hits.load();
+  result.stats.rf_merges = rf_merges.load();
   result.stats.sleep_set_skips = sleep_skips.load();
   result.stop = enforcer.reason();
   return result;
@@ -648,12 +657,10 @@ ReachResult sequential_reach(const TransitionSystem& ts,
   const bool want_labels = options.want_labels || options.trace != nullptr;
   const bool collapse = options.por && ts.collapse_chains();
   // Reduction configuration (mirrors parallel_reach).
-  std::optional<SymmetryReducer> reducer;
-  if (options.symmetry) reducer.emplace(sys);
-  const SymmetryReducer* red =
-      reducer.has_value() && reducer->symmetric() ? &*reducer : nullptr;
   const bool sleep = options.sleep_sets && sys.num_threads() <= 64;
-  const bool reduced = red != nullptr || sleep;
+  const std::unique_ptr<StateAbstraction> abs =
+      make_abstraction(sys, options, sleep);
+  const bool reduced = abs != nullptr;
   SeqMaskedSet canon;  // the reduced paths' (masked) visited set
   ReduceScratch rs;
   BudgetEnforcer enforcer(options.budget, options.cancel, options.fault,
@@ -672,14 +679,8 @@ ReachResult sequential_reach(const TransitionSystem& ts,
   std::vector<std::uint64_t> scratch;
   const auto canon_seed = [&](const Config& cfg) {
     if (!reduced) return;
-    if (red != nullptr) {
-      red->canonicalize(cfg, rs.canon);
-      canon.insert_masked(rs.canon.encoding, 0);
-    } else {
-      rs.scratch.clear();
-      cfg.encode_into(rs.scratch);
-      canon.insert_masked(rs.scratch, 0);
-    }
+    abs->key(cfg, rs.key);
+    canon.insert_masked(rs.key.encoding, 0);
   };
   if (options.resume != nullptr) {
     seed_from_checkpoint(
@@ -742,9 +743,10 @@ ReachResult sequential_reach(const TransitionSystem& ts,
     }
     if (reduced) {
       process_steps_reduced(
-          ts, options.trace, collapse, red, sleep, item, steps.steps(), canon,
+          ts, options.trace, collapse, *abs, sleep, item, steps.steps(), canon,
           rs, /*count_stats=*/!revisit, result.stats.por_chained,
-          result.stats.symmetry_hits, result.stats.sleep_set_skips,
+          result.stats.symmetry_hits, result.stats.rf_merges,
+          result.stats.sleep_set_skips,
           [&](Frontier&& f) { frontier.push_back(std::move(f)); });
     } else {
       for (auto& step : steps.steps()) {
@@ -829,12 +831,29 @@ ReachResult visit_reachable(const TransitionSystem& ts,
       return visit_reachable(ts, normalised, visitor);
     }
   }
+  support::require(
+      !(options.symmetry && options.rf_quotient),
+      "--symmetry and --rf-quotient cannot be combined (v1): sleep masks "
+      "cannot be transported through both quotients at once — pick one "
+      "reduction");
+  if (options.rf_quotient) {
+    support::require(
+        ts.system().options().model != memsem::MemoryModel::SC,
+        "--rf-quotient requires the RC11 RAR model: under SC every access "
+        "synchronises, so the quotient's view projection would drop "
+        "observable state (drop --rf-quotient or the SC model)");
+  }
   if (options.mode == Strategy::Sample) {
     support::require(
         !options.symmetry,
         "--symmetry requires exhaustive or POR exploration: the sampling "
         "strategy replays concrete schedules and cannot quotient states "
         "(drop --symmetry or the sampling strategy)");
+    support::require(
+        !options.rf_quotient,
+        "--rf-quotient requires exhaustive or POR exploration: the sampling "
+        "strategy replays concrete schedules and cannot quotient states "
+        "(drop --rf-quotient or the sampling strategy)");
     return sample_reach(ts, options, visitor);
   }
   if (options.resume != nullptr) {
@@ -855,6 +874,14 @@ ReachResult visit_reachable(const TransitionSystem& ts,
         "checkpoint was recorded with --symmetry ",
         options.resume->symmetry ? "on" : "off", " but this run has it ",
         options.symmetry ? "on" : "off",
+        "; resume must use the same reduction setting");
+    // And for the execution-graph quotient, for the same reason: it decides
+    // which class representative was interned and enqueued.
+    support::require(
+        options.resume->rf_quotient == options.rf_quotient,
+        "checkpoint was recorded with --rf-quotient ",
+        options.resume->rf_quotient ? "on" : "off", " but this run has it ",
+        options.rf_quotient ? "on" : "off",
         "; resume must use the same reduction setting");
   }
   const unsigned workers = support::resolve_num_threads(options.num_threads);

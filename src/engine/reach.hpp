@@ -32,6 +32,7 @@
 #include <functional>
 #include <span>
 
+#include "engine/abstraction.hpp"
 #include "engine/budget.hpp"
 #include "engine/sample.hpp"
 #include "engine/sharded_visited.hpp"
@@ -80,6 +81,14 @@ struct ExploreStats {
   /// (ReachOptions::sleep_sets) — transitions pruned, never states: every
   /// reachable state is still visited exactly once.
   std::uint64_t sleep_set_skips = 0;
+  /// Concrete states folded into an already-visited execution-graph class
+  /// (ReachOptions::rf_quotient): arrivals whose concrete encoding was new
+  /// but whose quotient key was not.  A lower bound on the states the
+  /// quotient saved.  Counted only when a trace sink is attached (the sink
+  /// is what distinguishes a genuinely new concrete state from a concrete
+  /// re-arrival); untraced runs report 0 and bench_rf compares visited
+  /// state counts instead.
+  std::uint64_t rf_merges = 0;
 };
 
 struct ReachOptions {
@@ -115,6 +124,21 @@ struct ReachOptions {
   /// (finals, invariants, obligations) must orbit-close them — the driver
   /// only visits one representative per orbit.
   bool symmetry = false;
+  /// Execution-graph quotient (engine/abstraction.hpp, RfQuotient): states
+  /// are deduplicated by [pcs, registers, rf/mo projection] instead of their
+  /// concrete encoding, folding interleavings that built the same execution
+  /// graph and differ only in dead view history.  Composes with por,
+  /// budgets, trace sinks (concrete, as with symmetry) and checkpoint/resume
+  /// (`rf_quotient` pinned in the checkpoint).  Rejected in combination with
+  /// `symmetry` (v1), under Strategy::Sample, and under MemoryModel::SC
+  /// (every SC access synchronises, so the projection would drop observable
+  /// state).  Exact for finals, verdicts over `rf_pins` footprints and race
+  /// sets — see DESIGN.md's StateAbstraction section.
+  bool rf_quotient = false;
+  /// Extra (thread, location) viewfront entries the rf-quotient key keeps
+  /// beyond what liveness analysis retains — the view footprints of the
+  /// assertions the caller evaluates per state.  Ignored unless rf_quotient.
+  RfPins rf_pins;
   /// Sleep-set pruning (Godefroid): each frontier entry carries the set of
   /// threads whose steps are provably covered by a commuted exploration
   /// order; their successor steps are skipped.  Prunes *transitions* only —

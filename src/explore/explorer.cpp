@@ -97,7 +97,11 @@ ExploreResult explore(const System& sys, const ExploreOptions& options,
   ropts.fuse_local_steps = options.fuse_local_steps;
   ropts.por = options.por;
   ropts.symmetry = options.symmetry;
-  ropts.sleep_sets = options.symmetry;
+  ropts.rf_quotient = options.rf_quotient;
+  ropts.rf_pins = options.rf_pins;
+  // Both quotients pay the masked visited set already; sleep-set pruning
+  // rides along for free on that path.
+  ropts.sleep_sets = options.symmetry || options.rf_quotient;
   ropts.mode = options.mode;
   ropts.sample = options.sample;
   ropts.trace = trace_store ? &*trace_store : nullptr;
@@ -205,7 +209,8 @@ ExploreResult explore(const System& sys, const ExploreOptions& options,
   if (!options.checkpoint_path.empty() && reach.truncated()) {
     engine::save_checkpoint(
         engine::make_checkpoint(*trace_store, reach.stats, reach.stop,
-                                options.por, options.symmetry),
+                                options.por, options.symmetry,
+                                options.rf_quotient),
         options.checkpoint_path);
   }
   result.final_configs = sort_keyed_configs(finals);

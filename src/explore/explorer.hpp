@@ -100,6 +100,23 @@ struct ExploreOptions {
   /// records the setting; resume rejects a mismatch).  Rejected under
   /// Strategy::Sample.
   bool symmetry = false;
+  /// Execution-graph quotient (engine/abstraction.hpp): deduplicate states
+  /// by [pcs, registers, rf/mo projection] instead of the concrete encoding,
+  /// folding interleavings that built the same execution graph.  Exact for
+  /// verdicts, outcome sets (final register values) and race sets; the
+  /// *concrete* final_configs list holds one class representative per merged
+  /// class, so callers comparing runs must compare outcomes, not raw final
+  /// encodings.  Invariants are evaluated on class representatives: pass
+  /// the invariant's view footprint in rf_pins so the predicate is a
+  /// function of the quotient key (assertions::Assertion::footprint()), and
+  /// reject footprint-less predicates before setting this.  Composes with
+  /// por, budgets, track_traces and checkpoint/resume (setting pinned in
+  /// the checkpoint); rejected with --symmetry (v1), under Strategy::Sample
+  /// and under the SC memory model.
+  bool rf_quotient = false;
+  /// Viewfront entries to pin into the rf-quotient key (see above); ignored
+  /// unless rf_quotient.
+  engine::RfPins rf_pins;
   /// Coverage mode (engine/sample.hpp): Exhaustive (default), Por — same
   /// setting as `por` above, either spelling works — or Sample, which runs
   /// `sample.episodes` seeded random schedules instead of enumerating and

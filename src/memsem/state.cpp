@@ -461,6 +461,69 @@ void MemState::encode(std::vector<std::uint64_t>& out) const {
   }
 }
 
+void MemState::encode_quotient(std::vector<std::uint64_t>& out,
+                               const std::uint8_t* tview_keep) const {
+  const auto num_locs = locs_->size();
+  // Modification-order block: identical to encode() — rf, mo, values,
+  // covered and releasing are exactly what the quotient must preserve.
+  for (LocId loc = 0; loc < num_locs; ++loc) {
+    const auto& order = mo_[loc];
+    out.push_back(order.size());
+    for (const OpId id : order) {
+      const Op& op = ops_[id];
+      std::uint64_t tag = static_cast<std::uint64_t>(op.kind);
+      tag |= static_cast<std::uint64_t>(op.thread) << 8;
+      tag |= static_cast<std::uint64_t>(op.releasing) << 40;
+      tag |= static_cast<std::uint64_t>(op.covered) << 41;
+      out.push_back(tag);
+      out.push_back(static_cast<std::uint64_t>(op.value));
+      out.push_back(static_cast<std::uint64_t>(op.read_value));
+      if (!options_.canonical_timestamps) {
+        out.push_back(static_cast<std::uint64_t>(op.ts.numerator()));
+        out.push_back(static_cast<std::uint64_t>(op.ts.denominator()));
+      }
+    }
+  }
+  // Thread viewfronts, filtered by the caller's keep mask.  Dropped entries
+  // are simply omitted: the mask is a function of the program counters,
+  // which the caller encodes ahead of this block, so equal keys always
+  // dropped the same entries.
+  for (ThreadId t = 0; t < num_threads_; ++t) {
+    const std::uint8_t* row =
+        tview_keep + static_cast<std::size_t>(t) * num_locs;
+    for (LocId loc = 0; loc < num_locs; ++loc) {
+      if (row[loc] != 0) out.push_back(ops_[tview_[t][loc]].mo_pos);
+    }
+  }
+  // Modification views of operations that can still synchronise someone.
+  // The keep decision reads only the releasing bit and the location kind,
+  // both pinned by the modification-order block above.
+  for (LocId loc = 0; loc < num_locs; ++loc) {
+    const bool is_var = locs_->is_var(loc);
+    for (const OpId id : mo_[loc]) {
+      if (is_var && !ops_[id].releasing) continue;
+      for (LocId l2 = 0; l2 < num_locs; ++l2) {
+        out.push_back(ops_[ops_[id].mview[l2]].mo_pos);
+      }
+    }
+  }
+  if (race_) {
+    // The full clock block stays: happens-before is exactly what the race
+    // checker observes per state, so the quotient must not merge states
+    // that disagree on it (mirrors encode()).
+    const auto& rc = *race_;
+    for (const auto w : rc.vc) out.push_back(w);
+    for (LocId loc = 0; loc < num_locs; ++loc) {
+      for (const OpId id : mo_[loc]) {
+        for (const auto w : rc.msg[id]) out.push_back(w);
+      }
+    }
+    for (const auto& cell : rc.summary) {
+      out.push_back((static_cast<std::uint64_t>(cell.clock) << 32) | cell.pc);
+    }
+  }
+}
+
 std::uint64_t MemState::hash() const {
   std::vector<std::uint64_t> words;
   words.reserve(64);

@@ -299,6 +299,32 @@ class MemState {
   /// timestamps are embedded, distinguishing isomorphic states).
   void encode(std::vector<std::uint64_t>& out) const;
 
+  /// Appends the reads-from/modification-order *quotient* encoding (the
+  /// engine's --rf-quotient state key; see engine/abstraction.hpp).  The
+  /// modification-order block (operation kinds, executing threads, values,
+  /// read values, covered flags, releasing bits) and — when race detection
+  /// is on — the full clock block are emitted exactly as encode() does.
+  /// What is projected away is view history that no continuation can
+  /// observe:
+  ///
+  ///   * per-operation modification views are kept only for operations that
+  ///     can still be merged into a thread view — releasing operations and
+  ///     every object-location operation.  A non-releasing plain-variable
+  ///     write's mview is dead: read-synchronisation requires the observed
+  ///     write to be releasing (read()), update-synchronisation likewise
+  ///     (update()), and object synchronisation only targets object
+  ///     locations (object_op()/consume());
+  ///
+  ///   * thread-viewfront entries are kept only where
+  ///     `tview_keep[t * num_locs + loc]` is nonzero.  The caller derives
+  ///     the keep mask from the per-thread program counters (which access
+  ///     and export reachability the thread still has), so the dropped-entry
+  ///     shape is a pure function of state components encoded *before* this
+  ///     block — equal quotient keys never conflate structurally different
+  ///     states.
+  void encode_quotient(std::vector<std::uint64_t>& out,
+                       const std::uint8_t* tview_keep) const;
+
   [[nodiscard]] std::uint64_t hash() const;
 
   /// Human-readable dump for diagnostics and counterexamples.

@@ -147,7 +147,29 @@ OutlineCheckResult check_outline(const System& sys, const ProofOutline& outline,
   ropts.num_threads = options.num_threads;
   ropts.por = options.por;
   ropts.symmetry = options.symmetry;
-  ropts.sleep_sets = options.symmetry;
+  ropts.rf_quotient = options.rf_quotient;
+  ropts.sleep_sets = options.symmetry || options.rf_quotient;
+  if (options.rf_quotient) {
+    // Pin every annotation's view footprint into the quotient key, so each
+    // obligation is a function of the key and verdicts are class-invariant.
+    // An assertion with an unknown footprint (assertions::pred) cannot be
+    // pinned — reject instead of silently under-approximating.
+    const auto collect = [&](const Assertion& a) {
+      const auto& fp = a.footprint();
+      support::require(
+          !fp.everything, "--rf-quotient cannot check assertion '", a.name(),
+          "': its view footprint is unknown (ad-hoc predicate); drop "
+          "--rf-quotient or express it with the footprinted assertion "
+          "factories");
+      for (const auto& e : fp.entries) ropts.rf_pins.entries.push_back(e);
+    };
+    collect(outline.global_invariant());
+    for (ThreadId t = 0; t < sys.num_threads(); ++t) {
+      for (std::uint32_t pc = 0; pc <= outline.terminal_pc(t); ++pc) {
+        collect(outline.at(t, pc));
+      }
+    }
+  }
   ropts.mode = options.mode;
   ropts.sample = options.sample;
   ropts.want_labels = true;  // interference messages cite the step label
@@ -254,7 +276,8 @@ OutlineCheckResult check_outline(const System& sys, const ProofOutline& outline,
   if (!options.checkpoint_path.empty() && reach.truncated()) {
     engine::save_checkpoint(
         engine::make_checkpoint(*trace_store, reach.stats, reach.stop,
-                                options.por, options.symmetry),
+                                options.por, options.symmetry,
+                                options.rf_quotient),
         options.checkpoint_path);
   }
   return result;

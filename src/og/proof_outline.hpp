@@ -125,6 +125,16 @@ struct OutlineCheckOptions {
   /// flagged in its trace.  Sound no-op without interchangeable threads;
   /// rejected under Strategy::Sample.  Default off.
   bool symmetry = false;
+  /// Execution-graph quotient (see explore::ExploreOptions::rf_quotient).
+  /// check_outline pins the view footprint of every annotation and of the
+  /// global invariant into the quotient key, which makes every obligation a
+  /// function of the key — the verdict, the set of failed obligations and
+  /// obligations-per-class equal an unreduced run's per merged class (the
+  /// total obligations_checked count shrinks with the visited set).
+  /// Rejected loudly when any annotation has an unknown footprint
+  /// (assertions::pred), with --symmetry (v1), under Strategy::Sample and
+  /// under the SC model.  Default off.
+  bool rf_quotient = false;
   /// Coverage mode (engine/sample.hpp).  Under Strategy::Sample the
   /// obligations are evaluated on the states `sample.episodes` seeded random
   /// schedules cross: failures found are real, but `valid` is never a proof

@@ -113,7 +113,8 @@ RaceResult check(const System& sys, const RaceOptions& options) {
   ropts.fuse_local_steps = options.fuse_local_steps;
   ropts.por = options.por;
   ropts.symmetry = options.symmetry;
-  ropts.sleep_sets = options.symmetry;
+  ropts.rf_quotient = options.rf_quotient;
+  ropts.sleep_sets = options.symmetry || options.rf_quotient;
   ropts.mode = options.mode;
   ropts.sample = options.sample;
   ropts.trace = trace_store ? &*trace_store : nullptr;
@@ -229,7 +230,8 @@ RaceResult check(const System& sys, const RaceOptions& options) {
   if (!options.checkpoint_path.empty() && reach.truncated()) {
     engine::save_checkpoint(
         engine::make_checkpoint(*trace_store, reach.stats, reach.stop,
-                                options.por, options.symmetry),
+                                options.por, options.symmetry,
+                                options.rf_quotient),
         options.checkpoint_path);
   }
   result.races.reserve(races.size());

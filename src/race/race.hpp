@@ -66,6 +66,14 @@ struct RaceOptions {
   bool fuse_local_steps = false;
   bool por = false;
   bool symmetry = false;
+  /// Execution-graph quotient (see explore::ExploreOptions::rf_quotient).
+  /// Exact for the race set without any pinning: race clocks, summary cells
+  /// and per-op messages are part of the quotient key whenever
+  /// race_detection is on (memsem encodes them alongside the modification
+  /// orders), and records surface on step post-states, which pair up
+  /// class-by-class.  Rejected with --symmetry (v1), under Strategy::Sample
+  /// and under the SC model.
+  bool rf_quotient = false;
   /// Exhaustive (default) or Sample coverage; under Sample the race set is
   /// a lower bound and checkpoint/resume are rejected.
   engine::Strategy mode = engine::Strategy::Exhaustive;

@@ -9,7 +9,11 @@
 //   P3  exploration is search-order independent (BFS and DFS agree on
 //       states, transitions and outcomes);
 //   P4  outcome sets are invariant under the timestamp-encoding ablation
-//       (canonicalisation is a pure quotient).
+//       (canonicalisation is a pure quotient);
+//   P5  the execution-graph quotient (--rf-quotient) is differential-exact:
+//       outcome sets, deadlock existence and race sets agree with the
+//       unreduced run on every generated program, and the quotient never
+//       visits more states.
 //
 // The vocabulary is chosen so every Fig. 5 rule is hit in every combination:
 // relaxed/releasing stores and relaxed/acquiring loads over two variables in
@@ -19,9 +23,13 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+#include <string>
+
 #include "explore/explorer.hpp"
 #include "lang/config.hpp"
 #include "memsem/validate.hpp"
+#include "race/race.hpp"
 
 namespace {
 
@@ -156,6 +164,36 @@ void check_program(const Generated& g) {
     const auto raw_outcomes = explore::final_register_values(
         raw_sys, explore::explore(raw_sys), g.regs);
     ASSERT_EQ(raw_outcomes, rc11_outcomes) << g.description;
+  }
+
+  // P5: the execution-graph quotient is differential-exact.  Outcome sets
+  // and deadlock existence must match the unreduced run (raw final
+  // encodings are representative-dependent, so they are *not* compared),
+  // the quotient may never visit more states, and the canonical race set
+  // must be identical whether or not states are keyed by the quotient.
+  {
+    explore::ExploreOptions rf;
+    rf.rf_quotient = true;
+    const auto rf_result = explore::explore(g.sys, rf);
+    ASSERT_EQ(explore::final_register_values(g.sys, rf_result, g.regs),
+              rc11_outcomes)
+        << g.description << ": outcome set changed under the rf quotient";
+    ASSERT_EQ(rf_result.stats.blocked == 0, inv_result.stats.blocked == 0)
+        << g.description << ": deadlock existence changed under the quotient";
+    ASSERT_LE(rf_result.stats.states, inv_result.stats.states)
+        << g.description;
+
+    race::RaceOptions plain_race;
+    race::RaceOptions rf_race;
+    rf_race.rf_quotient = true;
+    const auto a = race::check(g.sys, plain_race);
+    const auto b = race::check(g.sys, rf_race);
+    std::set<std::string> a_set, b_set;
+    for (const auto& r : a.races) a_set.insert(r.what);
+    for (const auto& r : b.races) b_set.insert(r.what);
+    ASSERT_EQ(b.racy(), a.racy()) << g.description;
+    ASSERT_EQ(b_set, a_set)
+        << g.description << ": race set changed under the rf quotient";
   }
 }
 

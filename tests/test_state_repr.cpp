@@ -15,7 +15,7 @@
 #include <string>
 #include <vector>
 
-#include "explore/sharded_visited.hpp"
+#include "engine/sharded_visited.hpp"
 #include "lang/config.hpp"
 #include "litmus/litmus.hpp"
 #include "parser/parser.hpp"
@@ -46,7 +46,7 @@ const char* kPrograms[] = {
 void check_oracle_equivalence(const System& sys, const std::string& what) {
   std::set<std::vector<std::uint64_t>> oracle;
   InternedWordSet interned;
-  explore::ShardedVisitedSet sharded(8);
+  engine::ShardedVisitedSet sharded(8);
 
   const auto insert_all = [&](const Config& cfg) {
     const auto enc = cfg.encode();
@@ -164,7 +164,7 @@ TEST(StateRepr, RandomizedInsertsMatchOracle) {
   std::mt19937_64 rng(0xc0ffee);  // fixed seed: reproducible
   std::set<std::vector<std::uint64_t>> oracle;
   InternedWordSet interned;
-  explore::ShardedVisitedSet sharded(4);
+  engine::ShardedVisitedSet sharded(4);
   for (int round = 0; round < 20'000; ++round) {
     std::vector<std::uint64_t> words(rng() % 12);
     for (auto& w : words) {

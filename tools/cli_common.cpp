@@ -7,6 +7,26 @@
 
 namespace rc11::cli {
 
+// The single source of truth for the sound state-space reductions.  A new
+// reduction needs exactly one row here (plus its engine plumbing): parsing,
+// the sampling conflicts and the mutual exclusions all follow from the table.
+const ReductionFlag kReductionFlags[kNumReductionFlags] = {
+    {"--por", &CommonOptions::por, /*checkpoint_pinned=*/true,
+     "--por cannot be combined with --strategy sample; pick one coverage "
+     "strategy",
+     nullptr},
+    {"--symmetry", &CommonOptions::symmetry, /*checkpoint_pinned=*/true,
+     "--symmetry cannot be combined with --strategy sample: the sampling "
+     "strategy replays concrete schedules and cannot quotient states (drop "
+     "one of the two)",
+     nullptr},
+    {"--rf-quotient", &CommonOptions::rf_quotient, /*checkpoint_pinned=*/true,
+     "--rf-quotient cannot be combined with --strategy sample: the sampling "
+     "strategy replays concrete schedules and cannot quotient states (drop "
+     "one of the two)",
+     "--symmetry"},
+};
+
 namespace {
 
 /// The process-wide cancellation token tripped by SIGINT/SIGTERM.
@@ -83,13 +103,11 @@ FlagStatus parse_common_flag(int argc, char** argv, int& i,
                ? FlagStatus::Consumed
                : FlagStatus::Error;
   }
-  if (arg == "--por") {
-    out.por = true;
-    return FlagStatus::Consumed;
-  }
-  if (arg == "--symmetry") {
-    out.symmetry = true;
-    return FlagStatus::Consumed;
+  for (const auto& rf : kReductionFlags) {
+    if (arg == rf.flag) {
+      out.*rf.member = true;
+      return FlagStatus::Consumed;
+    }
   }
   if (arg == "--stats") {
     out.stats = true;
@@ -139,15 +157,23 @@ FlagStatus parse_common_flag(int argc, char** argv, int& i,
 }
 
 std::string resolve_strategy(CommonOptions& opts) {
-  if (opts.mode == engine::Strategy::Sample) {
-    if (opts.por) {
-      return "--por cannot be combined with --strategy sample; pick one "
-             "coverage strategy";
+  // Mutual exclusions between reductions hold under every strategy.
+  for (const auto& rf : kReductionFlags) {
+    if (rf.excludes == nullptr || !(opts.*rf.member)) continue;
+    for (const auto& other : kReductionFlags) {
+      if (std::string{rf.excludes} == other.flag && opts.*other.member) {
+        return std::string{other.flag} + " and " + rf.flag +
+               " cannot be combined: the engine cannot transport sleep "
+               "masks through two state quotients at once — pick one "
+               "reduction";
+      }
     }
-    if (opts.symmetry) {
-      return "--symmetry cannot be combined with --strategy sample: the "
-             "sampling strategy replays concrete schedules and cannot "
-             "quotient states (drop one of the two)";
+  }
+  if (opts.mode == engine::Strategy::Sample) {
+    for (const auto& rf : kReductionFlags) {
+      if (opts.*rf.member && rf.sample_conflict != nullptr) {
+        return rf.sample_conflict;
+      }
     }
     if (!opts.checkpoint_path.empty()) {
       return "--checkpoint is not supported under --strategy sample: a "
@@ -183,7 +209,7 @@ int run_replay(const lang::System& sys, const CommonOptions& opts) {
 }
 
 void print_stats(const engine::ExploreStats& stats, bool por, bool symmetry,
-                 double wall_s) {
+                 bool rf_quotient, double wall_s) {
   const auto per_state =
       stats.states ? stats.visited_bytes / stats.states : 0;
   std::cout << "peak frontier:  " << stats.peak_frontier << "\n"
@@ -210,6 +236,16 @@ void print_stats(const engine::ExploreStats& stats, bool por, bool symmetry,
       std::cout << "quotient ratio: " << ratio
                 << "x orbit arrivals per visited state (lower bound)\n";
     }
+  }
+  if (rf_quotient) {
+    // rf_merges counts concrete arrivals absorbed into an already-visited
+    // quotient class; the engine only tells concrete-new arrivals apart when
+    // a trace sink is attached, so the counter reads 0 in trace-free runs
+    // (the visited-state count is the reduction measure either way).
+    std::cout << "rf merges:      " << stats.rf_merges
+              << " concrete arrival(s) merged into visited classes\n"
+              << "sleep skips:    " << stats.sleep_set_skips
+              << " step(s) pruned by sleep sets\n";
   }
   if (stats.episodes != 0) {
     std::cout << "episodes:       " << stats.episodes << "\n";
@@ -249,6 +285,10 @@ witness::Json stats_json(const engine::ExploreStats& stats) {
     j.set("sleep_set_skips",
           witness::Json::integer(
               static_cast<std::int64_t>(stats.sleep_set_skips)));
+  }
+  if (stats.rf_merges != 0) {
+    j.set("rf_merges",
+          witness::Json::integer(static_cast<std::int64_t>(stats.rf_merges)));
   }
   if (stats.episodes != 0) {
     j.set("episodes",

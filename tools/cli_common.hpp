@@ -9,6 +9,7 @@
 #pragma once
 
 #include <charconv>
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
@@ -48,6 +49,13 @@ struct CommonOptions {
   /// checkpoint records the setting); rejected with --strategy sample.  A
   /// sound no-op on programs with no interchangeable threads.
   bool symmetry = false;
+  /// --rf-quotient: execution-graph quotient — states are keyed by their
+  /// canonical reads-from/modification-order data plus per-thread progress
+  /// instead of the full concrete encoding (engine/abstraction.hpp).
+  /// Composes with --por, --threads, budgets and --checkpoint/--resume (the
+  /// checkpoint records the setting); rejected with --symmetry (v1), with
+  /// --strategy sample and under the SC model.
+  bool rf_quotient = false;
   /// --strategy exhaustive|por|sample[:N]: how the engine covers the state
   /// space.  `por` above and `--strategy por` are the same setting;
   /// resolve_strategy() normalises them and rejects conflicts.
@@ -68,10 +76,35 @@ struct CommonOptions {
 
 /// Usage-line fragment for the shared flags (tools append their own).
 inline constexpr const char* kCommonUsage =
-    "[--max-states N] [--threads N] [--por] [--symmetry] "
+    "[--max-states N] [--threads N] [--por] [--symmetry] [--rf-quotient] "
     "[--strategy exhaustive|por|sample[:N]] [--seed S] [--stats] "
     "[--json FILE] [--witness FILE] [--replay FILE] [--deadline-ms MS] "
     "[--mem-budget BYTES[K|M|G]] [--checkpoint FILE] [--resume FILE]";
+
+/// One sound state-space reduction flag, with every cross-cutting rule the
+/// CLI layer enforces about it.  The three reductions used to be parsed and
+/// validated by hand-written per-flag branches that drifted as flags were
+/// added; this table is now the single source of truth — parse_common_flag
+/// consumes any entry's `flag`, and resolve_strategy applies the
+/// `sample_conflict` and `excludes` rules uniformly.  Engine-side rules the
+/// table documents but the engine enforces (with the same vocabulary):
+/// flags with `checkpoint_pinned` are recorded in every checkpoint and a
+/// --resume run must pass the identical setting.
+struct ReductionFlag {
+  const char* flag;             ///< the command-line spelling ("--por")
+  bool CommonOptions::*member;  ///< the option the flag sets
+  bool checkpoint_pinned;       ///< recorded in checkpoints; resume must match
+  /// Error message under --strategy sample, or nullptr when the reduction
+  /// composes with sampling.
+  const char* sample_conflict;
+  /// Spelling of a mutually exclusive reduction flag, or nullptr.  The
+  /// exclusion is symmetric; one direction in the table suffices.
+  const char* excludes;
+};
+
+/// The reduction-flag table: --por, --symmetry, --rf-quotient.
+inline constexpr std::size_t kNumReductionFlags = 3;
+extern const ReductionFlag kReductionFlags[kNumReductionFlags];
 
 /// Byte-count parse for --mem-budget: a whole number with an optional
 /// binary-unit suffix (K, M or G, case-insensitive).  Rejects overflow.
@@ -119,18 +152,20 @@ enum class FlagStatus : std::uint8_t {
 /// The shared --stats block: peak frontier, visited-set memory, — under
 /// --por — how much the reduction saved (reduced expansions and states
 /// skipped by chain collapse), — under --symmetry — orbit-duplicate
-/// arrivals merged, sleep-set step skips and the quotient ratio, and —
+/// arrivals merged, sleep-set step skips and the quotient ratio, — under
+/// --rf-quotient — concrete arrivals merged into visited classes (counted
+/// only when traces are recorded; 0 otherwise) and sleep-set skips, and —
 /// under sampling — episodes, episode rate (when `wall_s` > 0; the tools
 /// time the run) and the distinct-state coverage estimate.  Rates and
 /// ratios go only to this human-readable block, never into --json: CI
 /// byte-compares JSON reports for seed determinism.
 void print_stats(const engine::ExploreStats& stats, bool por, bool symmetry,
-                 double wall_s = -1.0);
+                 bool rf_quotient, double wall_s = -1.0);
 
 /// ExploreStats as a JSON object (states, transitions, finals, blocked, the
-/// POR and symmetry/sleep counters when non-zero, and `episodes` when
-/// sampling) for --json summaries.  Deliberately free of timing data — same
-/// seed must produce a byte-identical report.
+/// POR, symmetry/sleep and rf-merge counters when non-zero, and `episodes`
+/// when sampling) for --json summaries.  Deliberately free of timing data —
+/// same seed must produce a byte-identical report.
 [[nodiscard]] witness::Json stats_json(const engine::ExploreStats& stats);
 
 /// Writes a --json summary document and narrates where it went.

@@ -14,6 +14,11 @@
 //   --symmetry          thread-symmetry quotient + sleep-set pruning; the
 //                       checker orbit-closes each race record, so the set
 //                       again matches an unreduced run's
+//   --rf-quotient       execution-graph quotient + sleep-set pruning; race
+//                       clocks and summary cells are part of the quotient
+//                       key, so the reported race set is exact without any
+//                       pinning; rejected with --symmetry (v1), with
+//                       --strategy sample and under the SC model
 //   --strategy S        exhaustive (default), por, or sample[:N] — seeded
 //                       random schedules; races found are real but the set
 //                       is a lower bound, so a clean sampling run exits 3
@@ -146,6 +151,7 @@ int main(int argc, char** argv) {
     opts.num_threads = common.num_threads;
     opts.por = common.por;
     opts.symmetry = common.symmetry;
+    opts.rf_quotient = common.rf_quotient;
     opts.mode = common.mode;
     opts.sample = common.sample;
     opts.stop_on_race = stop_on_race;
@@ -166,7 +172,8 @@ int main(int argc, char** argv) {
               << "transitions: " << result.stats.transitions << "\n"
               << "races:       " << result.races.size() << "\n";
     if (common.stats) {
-      cli::print_stats(result.stats, common.por, common.symmetry, wall_s);
+      cli::print_stats(result.stats, common.por, common.symmetry,
+                       common.rf_quotient, wall_s);
     }
     if (result.truncated) {
       std::cout << "WARNING: exploration stopped early — "

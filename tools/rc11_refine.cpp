@@ -18,6 +18,9 @@
 //                     (the Def. 8 simulation fixpoint is not quotiented);
 //                     verdicts and witnesses are unchanged, only the
 //                     product-node count shrinks
+//   --rf-quotient     rejected: the refinement checkers compare client
+//                     projections across two systems, which the
+//                     execution-graph quotient does not relate
 //   --strategy S      coverage strategy: exhaustive (default), por, or
 //                     sample[:N].  Sampling covers only the *concrete*
 //                     graph with N seeded random schedules (the abstract
@@ -116,6 +119,18 @@ int main(int argc, char** argv) {
     std::cout << "note: --symmetry implies --trace-only (the Def. 8 "
                  "simulation fixpoint is not quotiented)\n";
     trace_only = true;
+  }
+  if (common.rf_quotient) {
+    // Neither the Def. 8 simulation fixpoint nor the trace-inclusion product
+    // is quotiented by reads-from: both compare *client-projected* states
+    // across two different systems, and the quotient keys are only
+    // comparable within one system.
+    std::cerr << "rc11-refine: --rf-quotient is not supported here (the "
+                 "refinement checkers compare client projections across two "
+                 "systems, which the execution-graph quotient does not "
+                 "relate); use --por or --symmetry to shrink the graphs "
+                 "instead\n";
+    return cli::kExitUsage;
   }
   if (!common.checkpoint_path.empty() || !common.resume_path.empty()) {
     std::cerr << "rc11-refine: --checkpoint/--resume are not supported here "

@@ -15,6 +15,15 @@
 //                       outcomes and --invariant violations, composes with
 //                       --por/--threads/budgets/--checkpoint; a sound no-op
 //                       when no threads are interchangeable
+//   --rf-quotient       execution-graph quotient + sleep-set pruning: states
+//                       are keyed by canonical reads-from/modification-order
+//                       data plus per-thread progress, merging configurations
+//                       that differ only in dead view metadata; exact for
+//                       verdicts, outcome sets and --invariant violations
+//                       (the invariant's view footprint is pinned into the
+//                       key); composes with --por/--threads/budgets/
+//                       --checkpoint; rejected with --symmetry (v1), with
+//                       --strategy sample and under the SC model
 //   --strategy S        coverage strategy: exhaustive (default), por (same
 //                       as --por), or sample[:N] — N seeded random schedules
 //                       (episodes) instead of enumeration; results are a
@@ -150,6 +159,7 @@ int main(int argc, char** argv) {
     opts.num_threads = common.num_threads;
     opts.por = common.por;
     opts.symmetry = common.symmetry;
+    opts.rf_quotient = common.rf_quotient;
     opts.mode = common.mode;
     opts.sample = common.sample;
     opts.max_visited_bytes = common.max_visited_bytes;
@@ -162,6 +172,19 @@ int main(int argc, char** argv) {
     explore::Invariant invariant;
     if (!invariant_src.empty()) {
       const auto assertion = parser::parse_assertion(program, invariant_src);
+      if (common.rf_quotient) {
+        // Pin the invariant's view footprint into the quotient key so its
+        // verdict is a function of the key (class-invariant).  Parsed
+        // assertions are built from the footprinted factories, so an
+        // unknown footprint cannot arise from the grammar — guard anyway.
+        const auto& fp = assertion.footprint();
+        if (fp.everything) {
+          std::cerr << "rc11-run: --rf-quotient cannot check this "
+                       "--invariant: its view footprint is unknown\n";
+          return cli::kExitUsage;
+        }
+        for (const auto& e : fp.entries) opts.rf_pins.entries.push_back(e);
+      }
       invariant = [assertion, invariant_src](
                       const lang::System& s,
                       const lang::Config& c) -> std::optional<std::string> {
@@ -192,7 +215,8 @@ int main(int argc, char** argv) {
               << "finals:      " << result.stats.finals << "\n"
               << "blocked:     " << result.stats.blocked << "\n";
     if (common.stats) {
-      cli::print_stats(result.stats, common.por, common.symmetry, wall_s);
+      cli::print_stats(result.stats, common.por, common.symmetry,
+                       common.rf_quotient, wall_s);
     }
     if (result.truncated) {
       std::cout << "WARNING: exploration stopped early — "

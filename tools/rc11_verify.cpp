@@ -16,6 +16,13 @@
 //                        the verdict and failed-obligation set are exact
 //                        (see og/proof_outline.hpp); composes with --por,
 //                        --threads, budgets and --checkpoint/--resume
+//   --rf-quotient        execution-graph quotient + sleep-set pruning; every
+//                        annotation's view footprint is pinned into the
+//                        quotient key, so the verdict and failed-obligation
+//                        set are exact (see og/proof_outline.hpp); composes
+//                        with --por, --threads, budgets and --checkpoint/
+//                        --resume; rejected with --symmetry (v1), with
+//                        --strategy sample and under the SC model
 //   --strategy S         coverage strategy: exhaustive (default), por, or
 //                        sample[:N] — N seeded random schedules; failures
 //                        found are real (exit 2, replayable witness), but a
@@ -108,6 +115,7 @@ int main(int argc, char** argv) {
   opts.num_threads = common.num_threads;
   opts.por = common.por;
   opts.symmetry = common.symmetry;
+  opts.rf_quotient = common.rf_quotient;
   opts.mode = common.mode;
   opts.sample = common.sample;
   opts.max_visited_bytes = common.max_visited_bytes;
@@ -145,7 +153,8 @@ int main(int argc, char** argv) {
     std::cout << "states explored:     " << result.stats.states << "\n"
               << "obligations checked: " << result.obligations_checked << "\n";
     if (common.stats) {
-      cli::print_stats(result.stats, common.por, common.symmetry, wall_s);
+      cli::print_stats(result.stats, common.por, common.symmetry,
+                       common.rf_quotient, wall_s);
     }
 
     // A failed obligation is a definite negative even when the enumeration
