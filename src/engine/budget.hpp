@@ -34,6 +34,7 @@
 #include <functional>
 #include <string_view>
 #include <thread>
+#include <vector>
 
 namespace rc11::engine {
 
@@ -53,6 +54,12 @@ enum class StopReason : std::uint8_t {
   /// This is how every sampling run that finds no violation ends: the
   /// coverage is a sample, so results are a lower bound by construction.
   EpisodeCap,
+  /// A distributed run (engine/supervise.hpp) lost a worker process for
+  /// good: the per-worker restart/retry budget was exhausted (repeated
+  /// crashes, hangs or corrupt batches), survivors were drained, and the
+  /// report covers only the states whose results arrived.  Like every other
+  /// truncation the verdict is a lower bound, never a lie.
+  WorkerLost,
 };
 
 /// Stable lower-case names ("complete", "state-cap", ...) for reports,
@@ -88,8 +95,12 @@ class CancelToken {
 };
 
 /// A deterministic fault to inject into the driver, for tests and the CI
-/// robustness matrix.  Parsed from the RC11_FAULT environment variable:
+/// robustness matrix.  Parsed from the RC11_FAULT environment variable as a
+/// comma-separated list of specs (at most one state-level spec and at most
+/// one spec per process-level kind):
 ///
+///   state-level (fire at the Nth visited-state claim, 1-based, global
+///   across worker threads):
 ///   RC11_FAULT=insert:N     fail the Nth visited-state claim (the insert
 ///                           that would admit the Nth state) -> InjectedFault
 ///   RC11_FAULT=stall:N:MS   stall the worker claiming the Nth state for MS
@@ -98,17 +109,57 @@ class CancelToken {
 ///   RC11_FAULT=mem:N        behave as if the memory budget tripped at the
 ///                           Nth claim -> MemCap
 ///
-/// Claim indices are 1-based and global across workers.
+///   process-level (fire in the worker *process* handling the batch with
+///   the Nth global dispatch index, 1-based; engine/supervise.hpp — no
+///   effect on single-process runs; ":K" repeats the fault for K
+///   consecutive dispatches, default 1, so small K exercises
+///   crash->restart->replay recovery and a large K exhausts the retry
+///   budget into StopReason::WorkerLost):
+///   RC11_FAULT=crash:N[:K]    _exit(2) mid-batch
+///   RC11_FAULT=hang:N[:K]     stop reading/acking (supervisor hang timeout)
+///   RC11_FAULT=corrupt:N[:K]  flip bytes in the outbound ack frame so CRC
+///                             validation rejects it
+///
+///   e.g. RC11_FAULT=crash:3,stall:200:50
 struct FaultPlan {
-  enum class Kind : std::uint8_t { None, FailInsert, Stall, TripMem };
-  Kind kind = Kind::None;
+  enum class Kind : std::uint8_t {
+    None, FailInsert, Stall, TripMem, Crash, Hang, Corrupt
+  };
+  Kind kind = Kind::None;      ///< state-level fault (FailInsert/Stall/TripMem)
   std::uint64_t at_state = 0;  ///< 1-based claim index the fault fires at
   std::uint64_t stall_ms = 0;  ///< Stall only
 
-  [[nodiscard]] bool armed() const noexcept { return kind != Kind::None; }
+  /// One process-level fault (Crash/Hang/Corrupt), armed for the batches
+  /// with global dispatch index in [at_batch, at_batch + count).
+  struct ProcessFault {
+    Kind kind = Kind::None;
+    std::uint64_t at_batch = 0;  ///< 1-based dispatch index
+    std::uint64_t count = 1;     ///< consecutive dispatches affected
+  };
+  std::vector<ProcessFault> process;  ///< at most one entry per kind
 
-  /// Parses "insert:N" / "stall:N:MS" / "mem:N"; throws support::Error on
-  /// malformed input (including N == 0).
+  [[nodiscard]] bool armed() const noexcept {
+    return kind != Kind::None || !process.empty();
+  }
+
+  /// The process-level fault armed for dispatch index `dispatch`, or
+  /// nullptr.  Dispatch indices count every send, including resends after a
+  /// restart — a recovered batch arrives under a fresh (higher) index, so a
+  /// single-shot fault fires exactly once.
+  [[nodiscard]] const ProcessFault* process_fault_at(
+      std::uint64_t dispatch) const noexcept {
+    for (const auto& pf : process) {
+      if (dispatch >= pf.at_batch && dispatch < pf.at_batch + pf.count) {
+        return &pf;
+      }
+    }
+    return nullptr;
+  }
+
+  /// Parses a comma-separated fault list ("insert:N" / "stall:N:MS" /
+  /// "mem:N" / "crash:N[:K]" / "hang:N[:K]" / "corrupt:N[:K]"); throws
+  /// support::Error on malformed input (including N == 0), on a duplicated
+  /// kind and on a second state-level spec.
   [[nodiscard]] static FaultPlan parse(std::string_view spec);
 
   /// FaultPlan::parse(getenv("RC11_FAULT")), or an unarmed plan when the
@@ -121,6 +172,19 @@ struct FaultPlan {
 /// (the truncation-exactness tests rely on this), large enough that the
 /// probes stay off the hot path.
 inline constexpr std::uint64_t kBudgetCheckInterval = 32;
+
+/// Once a probe observes the deadline this close (or the run starts with a
+/// deadline this tight), every claim probes the clock: the every-32-claims
+/// cadence alone would let one slow stretch of claims overshoot
+/// --deadline-ms by an unbounded amount, so the enforcer escalates to
+/// per-claim probing for the deadline's final window.  One clock read per
+/// claim only inside that window — the hot path keeps its counter-only cost.
+inline constexpr std::uint64_t kDeadlineUrgentWindowMs = 50;
+
+/// An injected stall sleeps in slices of this size, probing the deadline
+/// between slices, so even a stall much longer than --deadline-ms cannot
+/// delay the Deadline decision past one slice.
+inline constexpr std::uint64_t kStallSliceMs = 5;
 
 /// The per-state gate both reachability drivers run: claim() is called once
 /// per state about to be expanded and returns Complete to proceed or the
@@ -147,20 +211,45 @@ class BudgetEnforcer {
 
     const std::uint64_t n = claimed_.fetch_add(1, std::memory_order_relaxed) + 1;
     bool probe = (n % kBudgetCheckInterval) == 0;
-    if (fault_.armed() && n == fault_.at_state) {
+    // Deadline escalation: the first claim probes (so a deadline tighter
+    // than the urgent window arms per-claim probing immediately), and once
+    // any probe has seen the deadline inside the urgent window, every claim
+    // probes — the counter cadence alone would overshoot --deadline-ms by
+    // however long 31 claims happen to take.
+    if (!probe && budget_.deadline_ms != 0 &&
+        (n == 1 || urgent_.load(std::memory_order_relaxed))) {
+      probe = true;
+    }
+    if (fault_.kind != FaultPlan::Kind::None && n == fault_.at_state) {
       switch (fault_.kind) {
         case FaultPlan::Kind::FailInsert:
           return decide(StopReason::InjectedFault);
         case FaultPlan::Kind::TripMem:
           return decide(StopReason::MemCap);
-        case FaultPlan::Kind::Stall:
-          std::this_thread::sleep_for(
-              std::chrono::milliseconds(fault_.stall_ms));
-          // A stall is exactly when deadlines expire: probe unconditionally
-          // so "stall + deadline" trips deterministically.
+        case FaultPlan::Kind::Stall: {
+          // Sleep in slices, honouring the deadline between slices: a stall
+          // must not carry the run past --deadline-ms by more than one
+          // slice.  "stall + deadline" therefore trips deterministically,
+          // and promptly.
+          std::uint64_t left = fault_.stall_ms;
+          while (left > 0) {
+            const std::uint64_t slice = left < kStallSliceMs ? left : kStallSliceMs;
+            std::this_thread::sleep_for(std::chrono::milliseconds(slice));
+            left -= slice;
+            if (budget_.deadline_ms != 0 &&
+                std::chrono::steady_clock::now() - start_ >=
+                    std::chrono::milliseconds(budget_.deadline_ms)) {
+              return decide(StopReason::Deadline);
+            }
+          }
           probe = true;
           break;
+        }
         case FaultPlan::Kind::None:
+        case FaultPlan::Kind::Crash:
+        case FaultPlan::Kind::Hang:
+        case FaultPlan::Kind::Corrupt:
+          // Process-level kinds never occupy the state-level slot.
           break;
       }
     }
@@ -169,10 +258,15 @@ class BudgetEnforcer {
     }
     if (n > budget_.max_states) return decide(StopReason::StateCap);
     if (probe) {
-      if (budget_.deadline_ms != 0 &&
-          std::chrono::steady_clock::now() - start_ >=
-              std::chrono::milliseconds(budget_.deadline_ms)) {
-        return decide(StopReason::Deadline);
+      if (budget_.deadline_ms != 0) {
+        const auto elapsed = std::chrono::steady_clock::now() - start_;
+        if (elapsed >= std::chrono::milliseconds(budget_.deadline_ms)) {
+          return decide(StopReason::Deadline);
+        }
+        if (elapsed + std::chrono::milliseconds(kDeadlineUrgentWindowMs) >=
+            std::chrono::milliseconds(budget_.deadline_ms)) {
+          urgent_.store(true, std::memory_order_relaxed);
+        }
       }
       if (budget_.max_visited_bytes != 0 &&
           visited_bytes_() > budget_.max_visited_bytes) {
@@ -194,10 +288,15 @@ class BudgetEnforcer {
     if (cancel_ != nullptr && cancel_->cancelled()) {
       return decide(StopReason::Interrupted);
     }
-    if (budget_.deadline_ms != 0 &&
-        std::chrono::steady_clock::now() - start_ >=
-            std::chrono::milliseconds(budget_.deadline_ms)) {
-      return decide(StopReason::Deadline);
+    if (budget_.deadline_ms != 0) {
+      const auto elapsed = std::chrono::steady_clock::now() - start_;
+      if (elapsed >= std::chrono::milliseconds(budget_.deadline_ms)) {
+        return decide(StopReason::Deadline);
+      }
+      if (elapsed + std::chrono::milliseconds(kDeadlineUrgentWindowMs) >=
+          std::chrono::milliseconds(budget_.deadline_ms)) {
+        urgent_.store(true, std::memory_order_relaxed);
+      }
     }
     if (budget_.max_visited_bytes != 0 &&
         visited_bytes_() > budget_.max_visited_bytes) {
@@ -230,6 +329,9 @@ class BudgetEnforcer {
   std::chrono::steady_clock::time_point start_;
   std::atomic<std::uint64_t> claimed_{0};
   std::atomic<StopReason> reason_{StopReason::Complete};
+  /// Set once a probe sees the deadline within kDeadlineUrgentWindowMs;
+  /// from then on every claim probes the clock.
+  std::atomic<bool> urgent_{false};
 };
 
 }  // namespace rc11::engine

@@ -1,0 +1,121 @@
+#include "engine/wire.hpp"
+
+#include <array>
+
+#include "support/diagnostics.hpp"
+#include "witness/witness.hpp"
+
+namespace rc11::engine::wire {
+
+namespace {
+
+constexpr std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kCrcTable = make_crc_table();
+
+std::uint32_t read_le32(const char* p) noexcept {
+  const auto b = [&](std::size_t i) {
+    return static_cast<std::uint32_t>(static_cast<unsigned char>(p[i]));
+  };
+  return b(0) | (b(1) << 8) | (b(2) << 16) | (b(3) << 24);
+}
+
+void append_le32(std::string& out, std::uint32_t v) {
+  out.push_back(static_cast<char>(v & 0xFFu));
+  out.push_back(static_cast<char>((v >> 8) & 0xFFu));
+  out.push_back(static_cast<char>((v >> 16) & 0xFFu));
+  out.push_back(static_cast<char>((v >> 24) & 0xFFu));
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::string_view bytes) noexcept {
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (char ch : bytes) {
+    c = kCrcTable[(c ^ static_cast<unsigned char>(ch)) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::string encode_frame(std::string_view payload) {
+  support::require(payload.size() <= kMaxFramePayload,
+                   "wire frame payload of ", payload.size(),
+                   " bytes exceeds the ", kMaxFramePayload, "-byte cap");
+  std::string out;
+  out.reserve(kHeaderBytes + payload.size());
+  out.append(kMagic, sizeof kMagic);
+  append_le32(out, static_cast<std::uint32_t>(payload.size()));
+  append_le32(out, crc32(payload));
+  out.append(payload);
+  return out;
+}
+
+FrameReader::Status FrameReader::next(std::string& payload,
+                                      std::string& error) {
+  if (corrupt_) {
+    error = error_;
+    return Status::Corrupt;
+  }
+  const auto poison = [&](std::string why) {
+    corrupt_ = true;
+    error_ = std::move(why);
+    error = error_;
+    return Status::Corrupt;
+  };
+  // Reclaim the consumed prefix once it dominates the buffer.
+  if (pos_ > 0 && (pos_ == buf_.size() || pos_ >= 4096)) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+  if (buf_.size() - pos_ < kHeaderBytes) return Status::NeedMore;
+  const char* head = buf_.data() + pos_;
+  if (std::string_view(head, sizeof kMagic) !=
+      std::string_view(kMagic, sizeof kMagic)) {
+    return poison("bad frame magic (stream out of sync)");
+  }
+  const std::uint32_t len = read_le32(head + 4);
+  if (len > kMaxFramePayload) {
+    return poison(support::concat("frame length ", len, " exceeds the ",
+                                  kMaxFramePayload, "-byte cap"));
+  }
+  if (buf_.size() - pos_ < kHeaderBytes + len) return Status::NeedMore;
+  const std::uint32_t want = read_le32(head + 8);
+  const std::string_view body(buf_.data() + pos_ + kHeaderBytes, len);
+  const std::uint32_t got = crc32(body);
+  if (got != want) {
+    return poison(support::concat("frame CRC mismatch: header says ", want,
+                                  ", payload hashes to ", got));
+  }
+  payload.assign(body);
+  pos_ += kHeaderBytes + len;
+  return Status::Frame;
+}
+
+witness::Json words_json(std::span<const std::uint64_t> words) {
+  witness::Json arr = witness::Json::array();
+  for (std::uint64_t w : words) {
+    arr.push(witness::Json::string(witness::digest_to_hex(w)));
+  }
+  return arr;
+}
+
+std::vector<std::uint64_t> words_from_json(const witness::Json& array) {
+  std::vector<std::uint64_t> words;
+  words.reserve(array.items().size());
+  for (const witness::Json& item : array.items()) {
+    words.push_back(witness::digest_from_hex(item.as_string()));
+  }
+  return words;
+}
+
+}  // namespace rc11::engine::wire

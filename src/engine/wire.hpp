@@ -1,0 +1,93 @@
+// rc11lib/engine/wire.hpp
+//
+// Length-prefixed frame codec for the supervised multi-process driver
+// (engine/supervise.hpp).  Frontier batches and their acks travel over
+// anonymous pipes between the supervisor and its worker processes; the
+// payloads are JSON records derived from the checkpoint v1 wire format
+// (docs/FORMAT.md), and this layer wraps each payload in a self-validating
+// frame so the supervisor can detect a corrupt, truncated or garbage stream
+// *before* any of it influences a verdict:
+//
+//   offset  size  field
+//   0       4     magic "RC4W"
+//   4       4     payload length, u32 little-endian (<= kMaxFramePayload)
+//   8       4     CRC-32 (IEEE 802.3) of the payload, u32 little-endian
+//   12      len   payload bytes (UTF-8 JSON)
+//
+// A pipe is a byte stream: once one frame fails validation there is no
+// reliable way to re-synchronise, so FrameReader is sticky-corrupt — the
+// supervisor's only sound response is to kill the worker, restart it and
+// resend the unacknowledged batch (engine/supervise.cpp does exactly that).
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "witness/json.hpp"
+
+namespace rc11::engine::wire {
+
+/// Frame magic: "RC4W" (rc11 wire, version-bumped with the schema).
+inline constexpr char kMagic[4] = {'R', 'C', '4', 'W'};
+
+/// Header bytes before the payload (magic + length + CRC).
+inline constexpr std::size_t kHeaderBytes = 12;
+
+/// Hard cap on one frame's payload.  A batch of frontier paths on any real
+/// program is a few KiB; anything near this cap is a corrupted length field.
+inline constexpr std::size_t kMaxFramePayload = 16u << 20;  // 16 MiB
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) of `bytes`.
+[[nodiscard]] std::uint32_t crc32(std::string_view bytes) noexcept;
+
+/// Wraps `payload` in a frame (header + bytes, ready to write to a pipe).
+/// Throws support::Error if the payload exceeds kMaxFramePayload.
+[[nodiscard]] std::string encode_frame(std::string_view payload);
+
+/// Incremental frame parser over a byte stream delivered in arbitrary
+/// chunks.  feed() appends raw bytes; next() pops the earliest complete
+/// frame.  Any validation failure (bad magic, oversized length, CRC
+/// mismatch) poisons the reader permanently: the stream cannot be
+/// re-synchronised, so every later next() reports Corrupt too.
+class FrameReader {
+ public:
+  enum class Status : std::uint8_t {
+    NeedMore,  ///< no complete frame buffered yet
+    Frame,     ///< `payload` holds the next frame's payload
+    Corrupt,   ///< stream failed validation (sticky); `error` says why
+  };
+
+  void feed(const char* data, std::size_t n) { buf_.append(data, n); }
+
+  /// Pops the next frame into `payload`, or explains why it cannot.
+  [[nodiscard]] Status next(std::string& payload, std::string& error);
+
+  /// Bytes buffered but not yet consumed (diagnostics).
+  [[nodiscard]] std::size_t buffered() const noexcept {
+    return buf_.size() - pos_;
+  }
+
+  [[nodiscard]] bool corrupt() const noexcept { return corrupt_; }
+
+ private:
+  std::string buf_;
+  std::size_t pos_ = 0;  ///< consumed prefix of buf_
+  bool corrupt_ = false;
+  std::string error_;
+};
+
+/// Encodes a word vector (a state encoding or abstraction key) as a JSON
+/// array of "0x..." digests — the same representation checkpoint v1 uses
+/// for state encodings, so the batch schema stays a strict derivative of
+/// the checkpoint format.
+[[nodiscard]] witness::Json words_json(std::span<const std::uint64_t> words);
+
+/// Parses words_json output back; throws support::Error on malformed input.
+[[nodiscard]] std::vector<std::uint64_t> words_from_json(
+    const witness::Json& array);
+
+}  // namespace rc11::engine::wire

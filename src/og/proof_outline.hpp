@@ -86,6 +86,10 @@ struct OutlineCheckResult {
   /// the state space was checked and `valid` is not a proof (a
   /// stop_at_first_failure stop is Complete — the verdict is definite).
   engine::StopReason stop = engine::StopReason::Complete;
+  /// Robustness counters of a supervised (--workers) run; all zero
+  /// otherwise.  Kept out of `stats` so recovered runs stay byte-identical
+  /// to undisturbed ones in verdict-bearing output.
+  engine::DistTelemetry dist;
   [[nodiscard]] bool truncated() const {
     return stop != engine::StopReason::Complete;
   }
@@ -153,6 +157,10 @@ struct OutlineCheckOptions {
   const engine::Checkpoint* resume = nullptr;
   /// Written when the run stops early; implies trace recording.
   std::string checkpoint_path;
+  /// Supervised multi-process checking (engine/supervise.hpp; same contract
+  /// as explore::ExploreOptions::workers): 0 stays in-process.  Rejected
+  /// with symmetry, Strategy::Sample, num_threads > 1 and resume.
+  unsigned workers = 0;
 };
 
 /// Checks outline validity (and, optionally, interference freedom) over the

@@ -209,6 +209,11 @@ std::string truncation_diagnosis(const StateGraph& abs, const StateGraph& conc) 
             "is a sampled subgraph (episode budget exhausted); coverage is a "
             "lower bound — raise --strategy sample:N for more episodes";
         break;
+      case engine::StopReason::WorkerLost:
+        hint =
+            "lost a worker process for good (supervised run); rerun "
+            "single-process or raise RC11_DIST_RETRIES";
+        break;
     }
     return support::concat(which, " state graph ", hint);
   };

@@ -54,7 +54,8 @@ TEST(Budget, StopReasonNamesRoundTrip) {
   for (const auto reason :
        {StopReason::Complete, StopReason::StateCap, StopReason::MemCap,
         StopReason::Deadline, StopReason::Interrupted,
-        StopReason::InjectedFault}) {
+        StopReason::InjectedFault, StopReason::EpisodeCap,
+        StopReason::WorkerLost}) {
     EXPECT_EQ(engine::stop_reason_from_string(engine::to_string(reason)),
               reason);
   }
@@ -78,10 +79,63 @@ TEST(Budget, FaultPlanParses) {
   EXPECT_EQ(mem.at_state, 3u);
 }
 
+TEST(Budget, FaultPlanParsesProcessFaults) {
+  const auto crash = engine::FaultPlan::parse("crash:4");
+  EXPECT_EQ(crash.kind, engine::FaultPlan::Kind::None);
+  ASSERT_EQ(crash.process.size(), 1u);
+  EXPECT_EQ(crash.process[0].kind, engine::FaultPlan::Kind::Crash);
+  EXPECT_EQ(crash.process[0].at_batch, 4u);
+  EXPECT_EQ(crash.process[0].count, 1u);
+  EXPECT_NE(crash.process_fault_at(4), nullptr);
+  EXPECT_EQ(crash.process_fault_at(3), nullptr);
+  EXPECT_EQ(crash.process_fault_at(5), nullptr);
+
+  const auto repeated = engine::FaultPlan::parse("corrupt:2:100");
+  ASSERT_EQ(repeated.process.size(), 1u);
+  EXPECT_EQ(repeated.process[0].kind, engine::FaultPlan::Kind::Corrupt);
+  EXPECT_EQ(repeated.process[0].at_batch, 2u);
+  EXPECT_EQ(repeated.process[0].count, 100u);
+  EXPECT_NE(repeated.process_fault_at(2), nullptr);
+  EXPECT_NE(repeated.process_fault_at(101), nullptr);
+  EXPECT_EQ(repeated.process_fault_at(102), nullptr);
+
+  const auto hang = engine::FaultPlan::parse("hang:7");
+  ASSERT_EQ(hang.process.size(), 1u);
+  EXPECT_EQ(hang.process[0].kind, engine::FaultPlan::Kind::Hang);
+}
+
+TEST(Budget, FaultPlanParsesCommaSeparatedLists) {
+  const auto plan = engine::FaultPlan::parse("crash:100,stall:200:50");
+  EXPECT_EQ(plan.kind, engine::FaultPlan::Kind::Stall);
+  EXPECT_EQ(plan.at_state, 200u);
+  EXPECT_EQ(plan.stall_ms, 50u);
+  ASSERT_EQ(plan.process.size(), 1u);
+  EXPECT_EQ(plan.process[0].kind, engine::FaultPlan::Kind::Crash);
+  EXPECT_EQ(plan.process[0].at_batch, 100u);
+
+  const auto trio = engine::FaultPlan::parse("crash:1,hang:2,corrupt:3:4");
+  EXPECT_EQ(trio.kind, engine::FaultPlan::Kind::None);
+  ASSERT_EQ(trio.process.size(), 3u);
+  EXPECT_TRUE(trio.armed());
+}
+
 TEST(Budget, FaultPlanRejectsMalformedSpecs) {
-  for (const char* bad : {"", "insert", "insert:", "insert:0", "insert:x",
-                          "stall:5", "stall:5:", "stall:0:10", "mem:-1",
-                          "oom:5", "insert:5:9"}) {
+  for (const char* bad :
+       {"", "insert", "insert:", "insert:0", "insert:x", "stall:5", "stall:5:",
+        "stall:0:10", "mem:-1", "oom:5", "insert:5:9", "crash", "crash:",
+        "crash:0", "crash:x", "crash:5:0", "crash:5:x", "hang:5:2:9",
+        "corrupt:", ",", "crash:5,", ",crash:5", "crash:5,,hang:6",
+        "crash:5 ,hang:6"}) {
+    SCOPED_TRACE(bad);
+    EXPECT_THROW((void)engine::FaultPlan::parse(bad), support::Error);
+  }
+}
+
+TEST(Budget, FaultPlanRejectsDuplicateSpecs) {
+  for (const char* bad :
+       {"crash:5,crash:9", "hang:1,hang:1", "corrupt:2,corrupt:3:4",
+        "insert:5,mem:9", "insert:5,insert:6", "stall:5:10,mem:2",
+        "crash:1,insert:5,stall:2:10"}) {
     SCOPED_TRACE(bad);
     EXPECT_THROW((void)engine::FaultPlan::parse(bad), support::Error);
   }
@@ -225,6 +279,49 @@ TEST(Budget, StallPlusDeadlineTripsDeadlineDeterministically) {
     EXPECT_EQ(result.stop, StopReason::Deadline);
     EXPECT_TRUE(result.truncated);
   }
+}
+
+// Satellite regression for the deadline-probe granularity fix: a stall far
+// longer than the deadline must not delay the Deadline decision to the end
+// of the stall — the sliced sleep probes the clock between slices.
+TEST(Budget, LongStallCannotOvershootDeadline) {
+  const auto program = parser::parse_file(prog("lock_client_seqlock.rc11"));
+  ExploreOptions opts;
+  opts.deadline_ms = 40;
+  opts.fault = engine::FaultPlan::parse("stall:10:20000");
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto result = explore::explore(program.sys, opts);
+  const auto elapsed_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count();
+  EXPECT_EQ(result.stop, StopReason::Deadline);
+  EXPECT_TRUE(result.truncated);
+  // Well under the 20s stall; generous slack for loaded CI machines.
+  EXPECT_LT(elapsed_ms, 5000);
+}
+
+// Deadline escalation at claim granularity: with slow claims, the
+// every-32-claims cadence alone would overshoot a 30ms deadline by up to
+// 31 claim times.  The first claim probes, sees the deadline inside the
+// urgent window, and every following claim probes — so the trip happens
+// before the counter-based probe at claim 32 ever fires.
+TEST(Budget, DeadlineProbeEscalatesToEveryClaim) {
+  const engine::Budget budget{.max_states = 1'000'000,
+                              .max_visited_bytes = 0,
+                              .deadline_ms = 30};
+  engine::BudgetEnforcer enforcer(budget, nullptr, engine::FaultPlan{},
+                                  [] { return std::uint64_t{0}; });
+  std::uint64_t claims = 0;
+  StopReason stop = StopReason::Complete;
+  while (stop == StopReason::Complete && claims < 2 * engine::kBudgetCheckInterval) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(4));
+    stop = enforcer.claim();
+    claims += 1;
+  }
+  EXPECT_EQ(stop, StopReason::Deadline);
+  // ~8 claims of 4ms pass the 30ms deadline; without per-claim escalation
+  // the first probe would only happen at claim 32 (~128ms late).
+  EXPECT_LT(claims, engine::kBudgetCheckInterval);
 }
 
 // --- Checkpoint / resume ----------------------------------------------------

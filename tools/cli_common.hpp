@@ -14,6 +14,7 @@
 #include <string>
 
 #include "engine/reach.hpp"
+#include "engine/supervise.hpp"
 #include "lang/system.hpp"
 #include "witness/json.hpp"
 #include "witness/witness.hpp"
@@ -72,14 +73,23 @@ struct CommonOptions {
   std::uint64_t deadline_ms = 0;        ///< --deadline-ms MS (wall clock)
   std::string checkpoint_path;  ///< --checkpoint FILE: save on early stop
   std::string resume_path;      ///< --resume FILE: continue a saved run
+  /// --workers N: crash-tolerant multi-process checking (engine/supervise
+  /// .hpp) — N forked worker processes, supervised and restarted on
+  /// crash/hang/corruption.  0 (the default) stays in-process.  Verdicts and
+  /// stats are byte-identical for every N; composes with --por,
+  /// --rf-quotient, budgets and --checkpoint; rejected with --symmetry,
+  /// --strategy sample, --threads > 1 and --resume.  A run that loses a
+  /// worker for good exits 3 with a partial report (StopReason::WorkerLost).
+  unsigned workers = 0;
 };
 
 /// Usage-line fragment for the shared flags (tools append their own).
 inline constexpr const char* kCommonUsage =
-    "[--max-states N] [--threads N] [--por] [--symmetry] [--rf-quotient] "
-    "[--strategy exhaustive|por|sample[:N]] [--seed S] [--stats] "
-    "[--json FILE] [--witness FILE] [--replay FILE] [--deadline-ms MS] "
-    "[--mem-budget BYTES[K|M|G]] [--checkpoint FILE] [--resume FILE]";
+    "[--max-states N] [--threads N] [--workers N] [--por] [--symmetry] "
+    "[--rf-quotient] [--strategy exhaustive|por|sample[:N]] [--seed S] "
+    "[--stats] [--json FILE] [--witness FILE] [--replay FILE] "
+    "[--deadline-ms MS] [--mem-budget BYTES[K|M|G]] [--checkpoint FILE] "
+    "[--resume FILE]";
 
 /// One sound state-space reduction flag, with every cross-cutting rule the
 /// CLI layer enforces about it.  The three reductions used to be parsed and
@@ -161,6 +171,12 @@ enum class FlagStatus : std::uint8_t {
 /// byte-compares JSON reports for seed determinism.
 void print_stats(const engine::ExploreStats& stats, bool por, bool symmetry,
                  bool rf_quotient, double wall_s = -1.0);
+
+/// The --stats lines of a supervised (--workers) run: restarts, retried
+/// batches, corrupt frames, orphaned states.  Human block only — telemetry
+/// never enters --json, so a recovered run's report stays byte-identical to
+/// an undisturbed one's.
+void print_dist_stats(const engine::DistTelemetry& dist);
 
 /// ExploreStats as a JSON object (states, transitions, finals, blocked, the
 /// POR, symmetry/sleep and rf-merge counters when non-zero, and `episodes`

@@ -105,6 +105,14 @@ int main(int argc, char** argv) {
     std::cerr << "rc11-refine: " << err << "\n";
     return cli::kExitUsage;
   }
+  if (common.workers > 0) {
+    // The refinement fixpoint runs over a product of two prebuilt graphs,
+    // not over the frontier the supervisor partitions.
+    std::cerr << "rc11-refine: --workers is not supported here (supervised "
+                 "multi-process checking covers rc11-run, rc11-verify and "
+                 "rc11-race)\n";
+    return cli::kExitUsage;
+  }
   if (common.mode == engine::Strategy::Sample && !trace_only) {
     // The Def. 8 simulation fixpoint needs the full concrete edge relation
     // (missing edges would let pairs survive vacuously); the trace-inclusion
